@@ -1,0 +1,220 @@
+//! Criterion micro-benchmarks for the building blocks underneath the
+//! figure experiments: simulation kernel cycle cost, software probe cost,
+//! FQP fabric push, and reconfiguration latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fqp::assign::assign;
+use fqp::fabric::Fabric;
+use fqp::plan::{bind, Catalog};
+use fqp::query::Query;
+use hwsim::Simulator;
+use joinhw::harness::{build, prefill_steady_state};
+use joinhw::{DesignParams, FlowModel};
+use joinsw::baseline::NestedLoopJoin;
+use streamcore::workload::{KeyDist, WorkloadSpec};
+use streamcore::{Field, JoinPredicate, Record, Schema, StreamTag, Tuple};
+
+fn hw_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_simulation");
+    for (name, flow) in [("uniflow", FlowModel::UniFlow), ("biflow", FlowModel::BiFlow)] {
+        group.bench_function(format!("{name}_16core_cycle"), |b| {
+            let params = DesignParams::new(flow, 16, 1 << 10);
+            let mut join = build(&params);
+            prefill_steady_state(join.as_mut(), 1 << 10);
+            let mut sim = Simulator::new();
+            let mut seq = 0u32;
+            b.iter(|| {
+                // Keep the design saturated while stepping one cycle.
+                join.offer(StreamTag::R, Tuple::new(seq, seq));
+                seq = seq.wrapping_add(1);
+                sim.step(black_box(join.as_mut()));
+                if join.pending_results() > 1_024 {
+                    join.drain_results();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn synthesis_model(c: &mut Criterion) {
+    c.bench_function("synthesize_512core_report", |b| {
+        let params = DesignParams::new(FlowModel::UniFlow, 512, 1 << 18)
+            .with_network(joinhw::NetworkKind::Scalable);
+        b.iter(|| params.synthesize(black_box(&hwsim::devices::XC7VX485T)).unwrap());
+    });
+}
+
+fn sw_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sw_probe");
+    for exp in [10u32, 12, 14] {
+        group.bench_function(format!("nested_loop_window_2e{exp}"), |b| {
+            let mut join = NestedLoopJoin::new(1 << exp, JoinPredicate::Equi);
+            for i in 0..(1u32 << exp) {
+                join.prefill(StreamTag::S, Tuple::new(i, i));
+            }
+            let mut seq = 1u32 << 30;
+            b.iter(|| {
+                seq = seq.wrapping_add(1);
+                black_box(join.process(StreamTag::R, Tuple::new(seq, 0)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    c.bench_function("workload_generate_10k", |b| {
+        let spec = WorkloadSpec::new(10_000, KeyDist::Uniform { domain: 1 << 16 });
+        b.iter(|| black_box(spec.generate().count()));
+    });
+}
+
+fn select_variants(c: &mut Criterion) {
+    use fqp::opblock::{BlockId, BlockProgram, OpBlock, Port};
+    use fqp::plan::BoundCondition;
+    use fqp::query::CmpOp;
+
+    let mut group = c.benchmark_group("select_variants");
+    let conditions = vec![
+        BoundCondition { field: 0, op: CmpOp::Gt, value: 10 },
+        BoundCondition { field: 1, op: CmpOp::Lt, value: 90 },
+        BoundCondition { field: 2, op: CmpOp::Eq, value: 1 },
+    ];
+    group.bench_function("conjunction_3_conditions", |b| {
+        let mut block = OpBlock::new(BlockId(0));
+        block.reprogram(BlockProgram::Select {
+            conditions: conditions.clone(),
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(block.process(Port::Left, Record::new(vec![i % 100, i % 97, i % 2])))
+        });
+    });
+    group.bench_function("truth_table_3_atoms", |b| {
+        // Equivalent conjunction as a precomputed table (only mask 0b111
+        // passes).
+        let table: Vec<bool> = (0..8).map(|m| m == 7).collect();
+        let mut block = OpBlock::new(BlockId(1));
+        block.reprogram(BlockProgram::TruthTableSelect {
+            atoms: conditions.clone(),
+            table,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(block.process(Port::Left, Record::new(vec![i % 100, i % 97, i % 2])))
+        });
+    });
+    group.finish();
+}
+
+fn datapath_push(c: &mut Criterion) {
+    use fqp::datapath::canonical_path;
+    use fqp::opblock::BlockProgram;
+    use fqp::plan::BoundCondition;
+    use fqp::query::CmpOp;
+
+    c.bench_function("datapath_active_switch_push", |b| {
+        let mut path = canonical_path();
+        path.activate(
+            1,
+            BlockProgram::Select {
+                conditions: vec![BoundCondition { field: 0, op: CmpOp::Gt, value: 90 }],
+            },
+        )
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            path.push(Record::new(vec![i % 100]));
+            if i.is_multiple_of(4_096) {
+                path.take_delivered();
+            }
+        });
+    });
+}
+
+fn fqp_fabric(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "customers",
+        Schema::new(vec![
+            Field::new("product_id", 32).unwrap(),
+            Field::new("age", 8).unwrap(),
+        ])
+        .unwrap(),
+    );
+    catalog.register(
+        "products",
+        Schema::new(vec![
+            Field::new("product_id", 32).unwrap(),
+            Field::new("price", 32).unwrap(),
+        ])
+        .unwrap(),
+    );
+    let plan = bind(
+        &Query::parse(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 256",
+        )
+        .unwrap(),
+        &catalog,
+    )
+    .unwrap();
+
+    c.bench_function("fabric_push_select_join", |b| {
+        let mut fabric = Fabric::new(4);
+        let handle = assign(&plan, &mut fabric).unwrap();
+        for i in 0..256u64 {
+            fabric.push("products", Record::new(vec![i, i * 2])).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            fabric
+                .push("customers", Record::new(vec![i % 256, 30]))
+                .unwrap();
+            if i.is_multiple_of(1_024) {
+                fabric.take_sink(handle.sink).unwrap();
+            }
+        });
+    });
+
+    c.bench_function("fabric_assign_and_remove", |b| {
+        b.iter_batched(
+            || Fabric::new(4),
+            |mut fabric| {
+                let handle = assign(black_box(&plan), &mut fabric).unwrap();
+                fqp::assign::remove(&handle, &mut fabric).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("query_parse_and_bind", |b| {
+        b.iter(|| {
+            let q = Query::parse(black_box(
+                "SELECT age FROM customers WHERE age > 25 \
+                 JOIN products ON product_id WINDOW 1536",
+            ))
+            .unwrap();
+            bind(&q, &catalog).unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    hw_simulation,
+    synthesis_model,
+    sw_probe,
+    workload_generation,
+    select_variants,
+    datapath_push,
+    fqp_fabric
+);
+criterion_main!(benches);

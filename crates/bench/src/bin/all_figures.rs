@@ -1,0 +1,12 @@
+//! Prints every figure and table of the evaluation in paper order.
+//! Pass `--csv` for machine-readable output.
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    for table in bench::all() {
+        if csv {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Projection: uni-flow stream joins on the AWS F1 FPGA (XCVU9P).
+fn main() {
+    println!("{}", bench::cloudscale_projection());
+}

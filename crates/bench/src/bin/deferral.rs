@@ -1,0 +1,4 @@
+//! Ablation: original vs low-latency handshake join result deferral.
+fn main() {
+    println!("{}", bench::deferral_ablation());
+}

@@ -1,0 +1,4 @@
+//! Ablation: scalable-network tree fan-out (paper future work, Fig. 9 discussion).
+fn main() {
+    println!("{}", bench::fanout_ablation());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14b experiment. Run with --release.
+fn main() {
+    println!("{}", bench::fig14b());
+}

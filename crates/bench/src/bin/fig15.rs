@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 experiment. Run with --release.
+fn main() {
+    println!("{}", bench::fig15());
+}

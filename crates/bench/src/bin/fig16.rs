@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig16 experiment. Run with --release.
+fn main() {
+    println!("{}", bench::fig16());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig17 experiment. Run with --release.
+fn main() {
+    println!("{}", bench::fig17());
+}

@@ -1,0 +1,4 @@
+//! Ablation: nested-loop vs hash join cores.
+fn main() {
+    println!("{}", bench::hashjoin_ablation());
+}

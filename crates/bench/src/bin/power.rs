@@ -1,0 +1,4 @@
+//! Regenerates the paper's power experiment. Run with --release.
+fn main() {
+    println!("{}", bench::power());
+}

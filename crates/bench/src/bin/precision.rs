@@ -1,0 +1,4 @@
+//! Regenerates the paper's precision experiment. Run with --release.
+fn main() {
+    println!("{}", bench::precision_ablation());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig. 6 deployment comparison plus a live re-query run.
+fn main() {
+    println!("{}", bench::deployment_paths());
+    println!("{}", bench::live_requery());
+}

@@ -1,0 +1,36 @@
+//! Ablation: software uni-flow (SplitJoin) vs software bi-flow (handshake
+//! join) throughput on this host — the Fig. 14b comparison, in software.
+//! Run with --release.
+
+use joinsw::handshake::HandshakeConfig;
+use joinsw::harness::{measure_handshake_throughput, measure_throughput};
+use joinsw::splitjoin::SplitJoinConfig;
+
+fn main() {
+    let mut t = bench::Table::new(
+        "Ablation — software uni-flow vs bi-flow throughput (4 threads)",
+        &["window", "uni-flow Mt/s", "bi-flow Mt/s", "uni/bi"],
+    );
+    for exp in [10u32, 12, 14] {
+        let window = 1usize << exp;
+        let tuples = (40_000_000 / window as u64).clamp(500, 8_192);
+        let uni = measure_throughput(SplitJoinConfig::new(4, window), tuples, 1 << 20)
+            .million_per_second();
+        let bi =
+            measure_handshake_throughput(HandshakeConfig::new(4, window), tuples, 1 << 20)
+                .million_per_second();
+        t.row(vec![
+            format!("2^{exp}"),
+            format!("{uni:.5}"),
+            format!("{bi:.5}"),
+            format!("{:.1}x", uni / bi),
+        ]);
+    }
+    t.note(
+        "both flows do the same total comparisons per tuple; in software they land \
+         near parity at large windows — the paper's 'in theory, both models are \
+         similar in their parallelization concept'. The hardware gap of Fig. 14b \
+         comes from bi-flow's coordination discipline, not the flow model itself.",
+    );
+    println!("{t}");
+}

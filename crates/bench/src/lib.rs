@@ -1,0 +1,104 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section V).
+//!
+//! Each figure has a binary (`cargo run -p bench --release --bin fig14a`,
+//! …); [`all`] returns every table for the combined `all_figures` binary,
+//! whose output backs `EXPERIMENTS.md`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig14a` | uni-flow HW throughput vs cores (Virtex-5) |
+//! | `fig14b` | uni-flow vs bi-flow HW throughput vs window |
+//! | `fig14c` | uni-flow HW throughput, 512 cores (Virtex-7) |
+//! | `fig14d` | software SplitJoin throughput |
+//! | `fig15`  | uni-flow HW latency |
+//! | `fig16`  | software SplitJoin latency |
+//! | `fig17`  | clock frequency vs cores |
+//! | `power`  | Section V power comparison |
+//! | `reconfig` | Fig. 6 deployment paths + live re-query |
+//! | `precision` | ablation: handshake ordering precision vs drift |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hwfigs;
+mod reconfigfig;
+mod swfigs;
+mod table;
+
+pub use hwfigs::{
+    cloudscale_projection, deferral_ablation, fanout_ablation, fig14a, fig14b, fig14c,
+    fig15, fig17, hashjoin_ablation, power,
+};
+pub use reconfigfig::{deployment_paths, live_requery};
+pub use swfigs::{fig14d, fig14d_windows, fig16, fig16_config};
+pub use table::Table;
+
+use joinsw::baseline::reference_join;
+use joinsw::handshake::{HandshakeConfig, HandshakeJoin};
+use streamcore::workload::{KeyDist, WorkloadSpec};
+use streamcore::JoinPredicate;
+
+/// Ablation: the software handshake chain's ordering-precision knob
+/// (in-flight wave depth) versus result drift from strict semantics.
+pub fn precision_ablation() -> Table {
+    let mut t = Table::new(
+        "Ablation — handshake ordering precision (in-flight depth) vs result drift",
+        &["channel capacity", "results", "reference", "drift"],
+    );
+    let inputs: Vec<_> = WorkloadSpec::new(6_000, KeyDist::Uniform { domain: 16 })
+        .generate()
+        .collect();
+    let window = 256;
+    let want = reference_join(&inputs, window, JoinPredicate::Equi).len() as f64;
+    for capacity in [2usize, 8, 32, 128] {
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(4, window).with_channel_capacity(capacity),
+        );
+        for &(tag, tuple) in &inputs {
+            join.process(tag, tuple);
+        }
+        join.flush();
+        let got = join.shutdown().result_count as f64;
+        t.row(vec![
+            capacity.to_string(),
+            format!("{got}"),
+            format!("{want}"),
+            format!("{:.2}%", 100.0 * (got - want).abs() / want),
+        ]);
+    }
+    t.note("SplitJoin's 'adjustable ordering precision': shallower buffers = stricter semantics");
+    t
+}
+
+/// Every figure and table, in paper order.
+pub fn all() -> Vec<Table> {
+    vec![
+        fig14a(),
+        fig14b(),
+        fig14c(),
+        fig14d(),
+        fig15(),
+        fig16(),
+        fig17(),
+        power(),
+        deployment_paths(),
+        live_requery(),
+        precision_ablation(),
+        fanout_ablation(),
+        hashjoin_ablation(),
+        deferral_ablation(),
+        cloudscale_projection(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_ablation_produces_four_points() {
+        let t = precision_ablation();
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! The Flexible Query Processor (FQP): a runtime-reprogrammable stream
+//! query fabric, plus the acceleration-landscape taxonomy of the paper's
+//! Section II.
+//!
+//! FQP is the paper's answer to the central limitation of query-to-circuit
+//! compilers: instead of synthesizing each query into a fixed design
+//! (minutes to days, with the system halted), a *topology of
+//! online-programmable blocks* is synthesized once; queries are then
+//! mapped onto it at runtime in microseconds — the "Lego-like" connectable
+//! stream processor of the paper's conclusion.
+//!
+//! The pipeline from text to running query:
+//!
+//! 1. [`query::Query::parse`] — parse the SQL-like dialect;
+//! 2. [`plan::bind`] — bind against stream schemas ([`plan::Catalog`])
+//!    into a pipeline of operators;
+//! 3. [`assign::assign`] — allocate idle [`opblock::OpBlock`]s on a
+//!    [`fabric::Fabric`], program them, and wire the pipeline;
+//! 4. [`fabric::Fabric::push`] — stream records through;
+//! 5. [`assign::remove`] / [`fabric::Fabric::reprogram`] — change or
+//!    remove queries live ([`reconfig`] quantifies why this matters).
+//!
+//! # Example
+//!
+//! ```
+//! use fqp::assign::assign;
+//! use fqp::fabric::Fabric;
+//! use fqp::plan::{bind, Catalog};
+//! use fqp::query::Query;
+//! use streamcore::{Field, Record, Schema};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut catalog = Catalog::new();
+//! catalog.register(
+//!     "readings",
+//!     Schema::new(vec![Field::new("sensor", 32)?, Field::new("value", 32)?])?,
+//! );
+//! let query = Query::parse("SELECT value FROM readings WHERE value > 90")?;
+//! let plan = bind(&query, &catalog)?;
+//!
+//! let mut fabric = Fabric::new(8);
+//! let handle = assign(&plan, &mut fabric)?;
+//! fabric.push("readings", Record::new(vec![1, 95]))?;
+//! fabric.push("readings", Record::new(vec![2, 50]))?;
+//! assert_eq!(fabric.take_sink(handle.sink)?, vec![Record::new(vec![95])]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod datapath;
+pub mod fabric;
+pub mod hwbridge;
+pub mod landscape;
+pub mod manager;
+pub mod opblock;
+pub mod placement;
+pub mod plan;
+pub mod provision;
+pub mod query;
+pub mod reconfig;
+pub mod virtualize;

@@ -1,0 +1,504 @@
+//! Multi-query management with inter-query operator sharing — the
+//! paper's open problem #4: "generalize the query mapping from
+//! single-query optimization to multi-query optimization to amortize the
+//! execution cost across the shared processing of several queries",
+//! in the spirit of the Rete-like global query plans it cites.
+//!
+//! [`QueryManager::deploy`] looks for an already-deployed query whose
+//! operator pipeline starts with the same operators over the same streams
+//! and reuses those blocks (fan-out on the last shared block); only the
+//! differing suffix consumes fresh OP-Blocks. Shared blocks are
+//! reference-counted so [`QueryManager::undeploy`] releases exactly the
+//! blocks no surviving query needs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use streamcore::Record;
+
+use crate::assign::AssignError;
+use crate::fabric::{Fabric, FabricError, SinkId, Target};
+use crate::opblock::{BlockId, BlockProgram, Port};
+use crate::plan::{Plan, PlanOp};
+
+/// Identifier of a deployed query within a [`QueryManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Deployed {
+    id: QueryId,
+    primary: String,
+    secondary: Option<String>,
+    /// The full pipeline, programs included (shared prefix + own suffix).
+    chain: Vec<(BlockId, BlockProgram)>,
+    /// Index of the first block exclusively owned by this query.
+    owned_from: usize,
+    sink: SinkId,
+}
+
+/// Statistics about sharing across currently deployed queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingReport {
+    /// Queries currently deployed.
+    pub queries: usize,
+    /// Distinct blocks in use.
+    pub blocks_in_use: usize,
+    /// Blocks a sharing-oblivious deployment would have used.
+    pub blocks_without_sharing: usize,
+}
+
+impl SharingReport {
+    /// Blocks saved by sharing.
+    pub fn blocks_saved(&self) -> usize {
+        self.blocks_without_sharing - self.blocks_in_use
+    }
+}
+
+/// Deploys queries onto a fabric with operator sharing and reference
+/// counting.
+///
+/// # Example
+///
+/// ```
+/// use fqp::manager::QueryManager;
+/// use fqp::plan::{bind, Catalog};
+/// use fqp::query::Query;
+/// use streamcore::{Field, Record, Schema};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut catalog = Catalog::new();
+/// catalog.register(
+///     "readings",
+///     Schema::new(vec![Field::new("sensor", 32)?, Field::new("value", 32)?])?,
+/// );
+/// let hot = bind(&Query::parse("SELECT * FROM readings WHERE value > 90")?, &catalog)?;
+///
+/// let mut mgr = QueryManager::new(4);
+/// let a = mgr.deploy(&hot)?;
+/// let b = mgr.deploy(&hot)?; // identical: shares every block
+/// assert_eq!(mgr.sharing_report().blocks_in_use, 1);
+///
+/// mgr.push("readings", Record::new(vec![1, 95]))?;
+/// assert_eq!(mgr.take_results(a)?.len(), 1);
+/// assert_eq!(mgr.take_results(b)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryManager {
+    fabric: Fabric,
+    next_id: u64,
+    deployed: Vec<Deployed>,
+    refcounts: HashMap<BlockId, usize>,
+}
+
+impl QueryManager {
+    /// Creates a manager over a fresh fabric of `num_blocks` OP-Blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        Self {
+            fabric: Fabric::new(num_blocks),
+            next_id: 0,
+            deployed: Vec::new(),
+            refcounts: HashMap::new(),
+        }
+    }
+
+    /// Read access to the underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Deploys `plan`, sharing the longest matching operator prefix of an
+    /// already-deployed query over the same streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::InsufficientBlocks`] when the *unshared*
+    /// suffix does not fit the idle pool (sharing reduces the
+    /// requirement); the fabric is left unchanged in that case.
+    pub fn deploy(&mut self, plan: &Plan) -> Result<QueryId, AssignError> {
+        let programs: Vec<BlockProgram> = if plan.ops.is_empty() {
+            vec![BlockProgram::Passthrough]
+        } else {
+            plan.ops.iter().map(op_to_program).collect()
+        };
+
+        // Longest shareable prefix across deployed queries.
+        let shared: Vec<(BlockId, BlockProgram)> = self
+            .deployed
+            .iter()
+            .filter(|d| d.primary == plan.primary)
+            .map(|d| {
+                let mut n = 0;
+                while n < d.chain.len() && n < programs.len() {
+                    if d.chain[n].1 != programs[n] {
+                        break;
+                    }
+                    // Sharing a join block additionally requires the same
+                    // secondary stream feeding its right port.
+                    if matches!(programs[n], BlockProgram::Join { .. })
+                        && d.secondary != plan.secondary
+                    {
+                        break;
+                    }
+                    n += 1;
+                }
+                d.chain[..n].to_vec()
+            })
+            .max_by_key(Vec::len)
+            .unwrap_or_default();
+
+        let suffix = &programs[shared.len()..];
+        let available = self.fabric.idle_blocks();
+        if available < suffix.len() {
+            return Err(AssignError::InsufficientBlocks {
+                required: suffix.len(),
+                available,
+            });
+        }
+
+        // Allocate and program the suffix.
+        let mut chain = shared.clone();
+        for prog in suffix {
+            let id = self.fabric.find_idle().expect("counted above");
+            self.fabric.reprogram(id, prog.clone())?;
+            chain.push((id, prog.clone()));
+        }
+
+        // Wiring. The primary stream feeds the first block only when it
+        // is newly allocated (a shared first block is already bound).
+        if shared.is_empty() {
+            self.fabric
+                .bind_stream(&plan.primary, chain[0].0, Port::Left);
+        }
+        for (i, (id, prog)) in chain.iter().enumerate().skip(shared.len()) {
+            if matches!(prog, BlockProgram::Join { .. }) {
+                let stream = plan
+                    .secondary
+                    .as_deref()
+                    .expect("join implies a secondary stream");
+                self.fabric.bind_stream(stream, *id, Port::Right);
+            }
+            if i > 0 {
+                self.fabric
+                    .connect(chain[i - 1].0, Target::Block(*id, Port::Left))?;
+            }
+        }
+        let sink = self.fabric.add_sink();
+        self.fabric
+            .connect(chain.last().expect("non-empty").0, Target::Sink(sink))?;
+
+        // Reference counting over the whole chain.
+        for (id, _) in &chain {
+            *self.refcounts.entry(*id).or_insert(0) += 1;
+        }
+
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.deployed.push(Deployed {
+            id,
+            primary: plan.primary.clone(),
+            secondary: plan.secondary.clone(),
+            owned_from: shared.len(),
+            chain,
+            sink,
+        });
+        Ok(id)
+    }
+
+    /// Removes a query, releasing every block no surviving query shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] wrapped in [`AssignError`] for stale ids.
+    pub fn undeploy(&mut self, id: QueryId) -> Result<(), AssignError> {
+        let pos = self
+            .deployed
+            .iter()
+            .position(|d| d.id == id)
+            .ok_or(AssignError::Fabric(FabricError::UnknownStream {
+                stream: id.to_string(),
+            }))?;
+        let d = self.deployed.remove(pos);
+        // Detach this query's private wiring from the shared prefix.
+        if let Some((first_own, _)) = d.chain.get(d.owned_from) {
+            if d.owned_from > 0 {
+                self.fabric.disconnect(
+                    d.chain[d.owned_from - 1].0,
+                    Target::Block(*first_own, Port::Left),
+                )?;
+            }
+        } else if let Some((last, _)) = d.chain.last() {
+            // Entire chain shared: only the sink edge is private.
+            self.fabric.disconnect(*last, Target::Sink(d.sink))?;
+        }
+        for (block, _) in d.chain.iter().rev() {
+            let count = self.refcounts.get_mut(block).expect("refcounted");
+            *count -= 1;
+            if *count == 0 {
+                self.refcounts.remove(block);
+                self.fabric.release(*block)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes one record into the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownStream`] if no deployed query reads
+    /// `stream`.
+    pub fn push(&mut self, stream: &str, record: Record) -> Result<(), FabricError> {
+        self.fabric.push(stream, record)
+    }
+
+    /// Removes and returns the results of one query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown query ids.
+    pub fn take_results(&mut self, id: QueryId) -> Result<Vec<Record>, FabricError> {
+        let d = self
+            .deployed
+            .iter()
+            .find(|d| d.id == id)
+            .ok_or(FabricError::UnknownSink { id: SinkId(usize::MAX) })?;
+        self.fabric.take_sink(d.sink)
+    }
+
+    /// Graphviz DOT rendering of the shared topology (see
+    /// [`Fabric::to_dot`]) — shared prefix blocks show their fan-out to
+    /// every dependent query's suffix.
+    pub fn to_dot(&self) -> String {
+        self.fabric.to_dot()
+    }
+
+    /// Sharing statistics across the deployed queries.
+    pub fn sharing_report(&self) -> SharingReport {
+        SharingReport {
+            queries: self.deployed.len(),
+            blocks_in_use: self.refcounts.len(),
+            blocks_without_sharing: self.deployed.iter().map(|d| d.chain.len()).sum(),
+        }
+    }
+}
+
+fn op_to_program(op: &PlanOp) -> BlockProgram {
+    match op {
+        PlanOp::Select { conditions } => BlockProgram::Select {
+            conditions: conditions.clone(),
+        },
+        PlanOp::SelectTable { atoms, table } => BlockProgram::TruthTableSelect {
+            atoms: atoms.clone(),
+            table: table.clone(),
+        },
+        PlanOp::Join {
+            key_left,
+            key_right,
+            window,
+        } => BlockProgram::Join {
+            key_left: *key_left,
+            key_right: *key_right,
+            window: *window,
+        },
+        PlanOp::Project { fields } => BlockProgram::Project {
+            fields: fields.clone(),
+        },
+        PlanOp::Aggregate {
+            func,
+            field,
+            window,
+            kind,
+        } => BlockProgram::Aggregate {
+            func: *func,
+            field: *field,
+            window: *window,
+            kind: *kind,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{bind, Catalog};
+    use crate::query::Query;
+    use streamcore::{Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "customers",
+            Schema::new(vec![
+                Field::new("product_id", 32).unwrap(),
+                Field::new("age", 8).unwrap(),
+                Field::new("gender", 1).unwrap(),
+            ])
+            .unwrap(),
+        );
+        c.register(
+            "products",
+            Schema::new(vec![
+                Field::new("product_id", 32).unwrap(),
+                Field::new("price", 32).unwrap(),
+            ])
+            .unwrap(),
+        );
+        c.register(
+            "returns",
+            Schema::new(vec![Field::new("product_id", 32).unwrap()]).unwrap(),
+        );
+        c
+    }
+
+    fn plan_of(text: &str) -> Plan {
+        bind(&Query::parse(text).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn common_select_prefix_is_shared() {
+        // Same selection, different join windows: the select block is
+        // shared, each query owns its join block -> 3 blocks, not 4.
+        let q1 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 1536",
+        );
+        let q2 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 2048",
+        );
+        let mut mgr = QueryManager::new(3);
+        let a = mgr.deploy(&q1).unwrap();
+        let b = mgr.deploy(&q2).unwrap();
+        let report = mgr.sharing_report();
+        assert_eq!(report.blocks_in_use, 3);
+        assert_eq!(report.blocks_without_sharing, 4);
+        assert_eq!(report.blocks_saved(), 1);
+
+        // Both queries see matching traffic.
+        mgr.push("products", Record::new(vec![7, 10])).unwrap();
+        mgr.push("customers", Record::new(vec![7, 40, 1])).unwrap();
+        assert_eq!(mgr.take_results(a).unwrap().len(), 1);
+        assert_eq!(mgr.take_results(b).unwrap().len(), 1);
+
+        // The shared select still filters for both.
+        mgr.push("customers", Record::new(vec![7, 20, 1])).unwrap();
+        assert!(mgr.take_results(a).unwrap().is_empty());
+        assert!(mgr.take_results(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn identical_queries_share_everything() {
+        let q = plan_of("SELECT * FROM customers WHERE age > 25");
+        let mut mgr = QueryManager::new(1);
+        let a = mgr.deploy(&q).unwrap();
+        let b = mgr.deploy(&q).unwrap();
+        assert_eq!(mgr.sharing_report().blocks_in_use, 1);
+        mgr.push("customers", Record::new(vec![1, 30, 0])).unwrap();
+        assert_eq!(mgr.take_results(a).unwrap().len(), 1);
+        assert_eq!(mgr.take_results(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn undeploy_releases_only_unshared_blocks() {
+        let q1 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 64",
+        );
+        let q2 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 128",
+        );
+        let mut mgr = QueryManager::new(3);
+        let a = mgr.deploy(&q1).unwrap();
+        let b = mgr.deploy(&q2).unwrap();
+        mgr.undeploy(b).unwrap();
+        // q2's join block is released; the shared select and q1's join
+        // survive.
+        assert_eq!(mgr.sharing_report().blocks_in_use, 2);
+        assert_eq!(mgr.fabric().idle_blocks(), 1);
+        mgr.push("products", Record::new(vec![3, 5])).unwrap();
+        mgr.push("customers", Record::new(vec![3, 30, 0])).unwrap();
+        assert_eq!(mgr.take_results(a).unwrap().len(), 1);
+
+        mgr.undeploy(a).unwrap();
+        assert_eq!(mgr.fabric().idle_blocks(), 3);
+    }
+
+    #[test]
+    fn join_prefix_requires_matching_secondary_stream() {
+        // Same operator shape but a different secondary stream: the join
+        // must NOT be shared.
+        let q1 = plan_of("SELECT * FROM customers JOIN products ON product_id WINDOW 64");
+        let q2 = plan_of("SELECT * FROM customers JOIN returns ON product_id WINDOW 64");
+        let mut mgr = QueryManager::new(2);
+        mgr.deploy(&q1).unwrap();
+        mgr.deploy(&q2).unwrap();
+        assert_eq!(mgr.sharing_report().blocks_in_use, 2);
+    }
+
+    #[test]
+    fn sharing_reduces_the_block_requirement() {
+        let q1 = plan_of("SELECT * FROM customers WHERE age > 25");
+        let q2 = plan_of("SELECT age FROM customers WHERE age > 25");
+        // One block total is NOT enough for q2's projection…
+        let mut mgr = QueryManager::new(1);
+        mgr.deploy(&q1).unwrap();
+        assert!(matches!(
+            mgr.deploy(&q2),
+            Err(AssignError::InsufficientBlocks { required: 1, available: 0 })
+        ));
+        // …but two are, because the select is shared.
+        let mut mgr = QueryManager::new(2);
+        let a = mgr.deploy(&q1).unwrap();
+        let b = mgr.deploy(&q2).unwrap();
+        assert_eq!(mgr.sharing_report().blocks_in_use, 2);
+        mgr.push("customers", Record::new(vec![9, 50, 1])).unwrap();
+        assert_eq!(mgr.take_results(a).unwrap()[0].values().len(), 3);
+        assert_eq!(mgr.take_results(b).unwrap()[0].values(), &[50]);
+    }
+
+    #[test]
+    fn unshared_streams_do_not_share() {
+        let q1 = plan_of("SELECT * FROM customers WHERE product_id > 0");
+        let q2 = plan_of("SELECT * FROM products WHERE product_id > 0");
+        let mut mgr = QueryManager::new(2);
+        mgr.deploy(&q1).unwrap();
+        mgr.deploy(&q2).unwrap();
+        assert_eq!(mgr.sharing_report().blocks_in_use, 2);
+    }
+
+    #[test]
+    fn dot_export_shows_shared_fanout() {
+        let q1 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 64",
+        );
+        let q2 = plan_of(
+            "SELECT * FROM customers WHERE age > 25 \
+             JOIN products ON product_id WINDOW 128",
+        );
+        let mut mgr = QueryManager::new(3);
+        mgr.deploy(&q1).unwrap();
+        mgr.deploy(&q2).unwrap();
+        let dot = mgr.to_dot();
+        // The shared select (block 0) feeds both join blocks.
+        assert!(dot.contains("b0 -> b1"), "{dot}");
+        assert!(dot.contains("b0 -> b2"), "{dot}");
+        assert!(dot.matches("sink").count() >= 2, "{dot}");
+    }
+
+    #[test]
+    fn undeploy_unknown_id_errors() {
+        let mut mgr = QueryManager::new(1);
+        assert!(mgr.undeploy(QueryId(42)).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the simulation kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned by [`crate::Fifo::push`] when the FIFO cannot accept another
+/// element this cycle.
+///
+/// In hardware, pushing into a full FIFO silently drops data or corrupts
+/// state; the simulator surfaces the condition instead so that designs can
+/// assert their flow control is correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FifoFullError {
+    /// Capacity of the FIFO that rejected the push.
+    pub capacity: usize,
+}
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "push into full fifo (capacity {})", self.capacity)
+    }
+}
+
+impl Error for FifoFullError {}
+
+/// Returned when a design does not fit the selected device.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CapacityError {
+    /// Human-readable description of the resource that overflowed.
+    pub resource: &'static str,
+    /// Amount required by the design.
+    pub required: u64,
+    /// Amount available on the device.
+    pub available: u64,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design requires {} {} but device provides {}",
+            self.required, self.resource, self.available
+        )
+    }
+}
+
+impl Error for CapacityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_full_display() {
+        let e = FifoFullError { capacity: 4 };
+        assert_eq!(e.to_string(), "push into full fifo (capacity 4)");
+    }
+
+    #[test]
+    fn capacity_error_display() {
+        let e = CapacityError {
+            resource: "BRAM18",
+            required: 128,
+            available: 120,
+        };
+        assert_eq!(
+            e.to_string(),
+            "design requires 128 BRAM18 but device provides 120"
+        );
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FifoFullError>();
+        assert_send_sync::<CapacityError>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Cycle-level synchronous hardware simulation kernel with FPGA device,
+//! resource, timing, and power models.
+//!
+//! `hwsim` is the substrate on which the hardware designs of the
+//! acceleration-landscape reproduction are built. It provides:
+//!
+//! * a **simulation kernel** ([`Component`], [`Simulator`]) implementing the
+//!   classic two-phase synchronous-circuit discipline: every clock cycle,
+//!   all components first *evaluate* (compute combinational outputs and
+//!   stage register updates against the state at the start of the cycle)
+//!   and then *commit* (latch the staged updates). Evaluation order never
+//!   affects results;
+//! * **hardware building blocks**: registered FIFOs ([`Fifo`]), registers
+//!   ([`Register`]), fixed delay lines ([`DelayLine`]), and a block-RAM
+//!   model ([`Bram`]) with port accounting and activity counters;
+//! * **synthesis-report models**: an FPGA device catalog ([`Device`],
+//!   [`devices`]), LUT/FF/BRAM resource accounting ([`Resources`],
+//!   [`Utilization`]), a fan-out-driven maximum-clock-frequency estimator
+//!   ([`TimingProfile`], [`estimate_fmax`]) and a static + dynamic power
+//!   model ([`PowerModel`]).
+//!
+//! The synthesis-report models are *models of a synthesis tool*, not
+//! measurements: their constants are calibrated against the feasibility
+//! matrix and data points reported in the ICDCS'17 paper (see `DESIGN.md`
+//! at the repository root).
+//!
+//! # Example
+//!
+//! Simulate a two-stage pipeline built from FIFOs:
+//!
+//! ```
+//! use hwsim::{Component, Fifo, Simulator};
+//!
+//! struct Pipeline {
+//!     input: Fifo<u64>,
+//!     output: Fifo<u64>,
+//! }
+//!
+//! impl Component for Pipeline {
+//!     fn begin_cycle(&mut self) {
+//!         self.input.begin_cycle();
+//!         self.output.begin_cycle();
+//!     }
+//!     fn eval(&mut self) {
+//!         if self.input.can_pop() && self.output.can_push() {
+//!             let v = self.input.pop().unwrap();
+//!             self.output.push(v + 1).unwrap();
+//!         }
+//!     }
+//!     fn commit(&mut self) {
+//!         self.input.commit();
+//!         self.output.commit();
+//!     }
+//! }
+//!
+//! let mut p = Pipeline { input: Fifo::new(4), output: Fifo::new(4) };
+//! p.input.load(7);
+//! let mut sim = Simulator::new();
+//! sim.run(&mut p, 2);
+//! assert_eq!(p.output.pop(), Some(8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bram;
+mod device;
+mod error;
+mod fifo;
+mod power;
+mod reg;
+mod resources;
+mod sim;
+mod timing;
+mod trace;
+
+pub use bram::{Bram, BramStats};
+pub use device::{devices, Device, Family};
+pub use error::{CapacityError, FifoFullError};
+pub use fifo::Fifo;
+pub use power::{PowerModel, PowerReport};
+pub use reg::{DelayLine, Register};
+pub use resources::{MemoryMapping, Resources, Utilization};
+pub use resources::LUTRAM_THRESHOLD_BITS as LUTRAM_THRESHOLD_BITS_DEFAULT;
+pub use sim::{Component, Simulator};
+pub use timing::{estimate_fmax, Frequency, TimingProfile};
+pub use trace::{SignalId, TraceRecorder};

@@ -1,0 +1,227 @@
+//! Registers and delay lines: the sequential primitives of the kernel.
+
+use std::collections::VecDeque;
+
+/// A D-type register: reads return the value latched at the previous clock
+/// edge; writes become visible only after [`commit`](Register::commit).
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Register;
+///
+/// let mut r = Register::new(1u32);
+/// r.set(2);
+/// assert_eq!(*r.get(), 1); // old value until the clock edge
+/// r.commit();
+/// assert_eq!(*r.get(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Register<T> {
+    current: T,
+    next: Option<T>,
+}
+
+impl<T> Register<T> {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: T) -> Self {
+        Self {
+            current: initial,
+            next: None,
+        }
+    }
+
+    /// The value latched at the last clock edge.
+    pub fn get(&self) -> &T {
+        &self.current
+    }
+
+    /// Stages `value` to be latched at the next clock edge. A later `set`
+    /// in the same cycle wins (last-write semantics, as in HDL processes).
+    pub fn set(&mut self, value: T) {
+        self.next = Some(value);
+    }
+
+    /// Returns `true` if a new value has been staged this cycle.
+    pub fn is_staged(&self) -> bool {
+        self.next.is_some()
+    }
+
+    /// Latches the staged value, if any.
+    pub fn commit(&mut self) {
+        if let Some(v) = self.next.take() {
+            self.current = v;
+        }
+    }
+
+    /// Consumes the register and returns the latched value.
+    pub fn into_inner(self) -> T {
+        self.current
+    }
+}
+
+impl<T: Default> Default for Register<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// A fixed-length pipeline of registers: a value pushed in emerges
+/// `depth` clock edges later.
+///
+/// Used to model pipelined wiring (e.g. the stages a tuple traverses in a
+/// scalable distribution network) without instantiating full FIFOs.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::DelayLine;
+///
+/// let mut d: DelayLine<u8> = DelayLine::new(2);
+/// d.push(Some(5));
+/// d.commit();
+/// assert_eq!(d.output(), None); // still in flight
+/// d.push(None);
+/// d.commit();
+/// assert_eq!(d.output(), Some(&5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DelayLine<T> {
+    stages: VecDeque<Option<T>>,
+    staged_input: Option<Option<T>>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line of `depth` register stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero: a zero-depth delay line is a wire, not a
+    /// sequential element.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "delay line depth must be at least 1");
+        let mut stages = VecDeque::with_capacity(depth);
+        for _ in 0..depth {
+            stages.push_back(None);
+        }
+        Self {
+            stages,
+            staged_input: None,
+        }
+    }
+
+    /// Number of register stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stages this cycle's input (use `None` for a bubble).
+    pub fn push(&mut self, value: Option<T>) {
+        self.staged_input = Some(value);
+    }
+
+    /// The value emerging from the final stage this cycle.
+    pub fn output(&self) -> Option<&T> {
+        self.stages.back().and_then(|s| s.as_ref())
+    }
+
+    /// Advances the pipeline by one clock edge. If no input was staged this
+    /// cycle, a bubble enters the first stage.
+    pub fn commit(&mut self) {
+        let input = self.staged_input.take().unwrap_or(None);
+        self.stages.pop_back();
+        self.stages.push_front(input);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_basic_latching() {
+        let mut r = Register::new(0u64);
+        r.set(42);
+        assert!(r.is_staged());
+        assert_eq!(*r.get(), 0);
+        r.commit();
+        assert!(!r.is_staged());
+        assert_eq!(*r.get(), 42);
+    }
+
+    #[test]
+    fn register_last_write_wins() {
+        let mut r = Register::new(0u64);
+        r.set(1);
+        r.set(2);
+        r.commit();
+        assert_eq!(*r.get(), 2);
+    }
+
+    #[test]
+    fn register_commit_without_set_is_noop() {
+        let mut r = Register::new(9u8);
+        r.commit();
+        assert_eq!(*r.get(), 9);
+    }
+
+    #[test]
+    fn register_into_inner() {
+        let r = Register::new(String::from("x"));
+        assert_eq!(r.into_inner(), "x");
+    }
+
+    #[test]
+    fn register_default() {
+        let r: Register<u32> = Register::default();
+        assert_eq!(*r.get(), 0);
+    }
+
+    #[test]
+    fn delay_line_latency_matches_depth() {
+        for depth in 1..6usize {
+            let mut d: DelayLine<u32> = DelayLine::new(depth);
+            d.push(Some(99));
+            d.commit();
+            let mut seen_after = 1;
+            while d.output().is_none() {
+                d.push(None);
+                d.commit();
+                seen_after += 1;
+                assert!(seen_after <= depth, "value lost in delay line");
+            }
+            assert_eq!(seen_after, depth);
+            assert_eq!(d.output(), Some(&99));
+        }
+    }
+
+    #[test]
+    fn delay_line_streams_back_to_back_values() {
+        let mut d: DelayLine<u32> = DelayLine::new(3);
+        let mut out = Vec::new();
+        for i in 0..10u32 {
+            d.push(Some(i));
+            d.commit();
+            if let Some(&v) = d.output() {
+                out.push(v);
+            }
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn delay_line_bubble_when_no_push() {
+        let mut d: DelayLine<u32> = DelayLine::new(1);
+        d.push(Some(1));
+        d.commit();
+        assert_eq!(d.output(), Some(&1));
+        d.commit(); // no push: bubble
+        assert_eq!(d.output(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn delay_line_zero_depth_panics() {
+        let _ = DelayLine::<u8>::new(0);
+    }
+}

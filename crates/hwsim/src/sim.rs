@@ -1,0 +1,221 @@
+//! The two-phase synchronous simulation kernel.
+
+/// A clocked hardware component.
+///
+/// Components follow the two-phase synchronous-circuit discipline. Each
+/// simulated clock cycle proceeds as:
+///
+/// 1. [`begin_cycle`](Component::begin_cycle) — snapshot cycle-start state
+///    (FIFO occupancies, register outputs);
+/// 2. [`eval`](Component::eval) — compute combinational logic against the
+///    snapshot and *stage* register/FIFO updates;
+/// 3. [`commit`](Component::commit) — latch staged updates.
+///
+/// Because `eval` only observes cycle-start state and only stages updates,
+/// the order in which sibling components evaluate never changes behaviour —
+/// the same property a real netlist has.
+///
+/// Composite components forward all three calls to their children.
+pub trait Component {
+    /// Snapshot cycle-start state. Called exactly once per cycle, before
+    /// [`eval`](Component::eval).
+    fn begin_cycle(&mut self);
+
+    /// Compute combinational outputs and stage sequential updates.
+    fn eval(&mut self);
+
+    /// Latch staged updates, completing the clock cycle.
+    fn commit(&mut self);
+}
+
+/// Drives a [`Component`] through clock cycles and tracks simulated time.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{Component, Register, Simulator};
+///
+/// struct Counter(Register<u64>);
+/// impl Component for Counter {
+///     fn begin_cycle(&mut self) {}
+///     fn eval(&mut self) {
+///         let next = self.0.get() + 1;
+///         self.0.set(next);
+///     }
+///     fn commit(&mut self) {
+///         self.0.commit();
+///     }
+/// }
+///
+/// let mut c = Counter(Register::new(0));
+/// let mut sim = Simulator::new();
+/// sim.run(&mut c, 10);
+/// assert_eq!(*c.0.get(), 10);
+/// assert_eq!(sim.cycle(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Simulator {
+    cycle: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the design by one clock cycle.
+    pub fn step<C: Component + ?Sized>(&mut self, root: &mut C) {
+        root.begin_cycle();
+        root.eval();
+        root.commit();
+        self.cycle += 1;
+    }
+
+    /// Advances the design by `cycles` clock cycles.
+    pub fn run<C: Component + ?Sized>(&mut self, root: &mut C, cycles: u64) {
+        for _ in 0..cycles {
+            self.step(root);
+        }
+    }
+
+    /// Steps the design until `done` returns `true`, or until `max_cycles`
+    /// additional cycles have elapsed. The predicate is evaluated after each
+    /// cycle. Returns `true` if the predicate fired.
+    pub fn run_until<C, F>(&mut self, root: &mut C, max_cycles: u64, mut done: F) -> bool
+    where
+        C: Component + ?Sized,
+        F: FnMut(&C) -> bool,
+    {
+        for _ in 0..max_cycles {
+            self.step(root);
+            if done(root) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs `cycles` clock cycles, invoking `sampler` after each one with
+    /// the design and a recorder already positioned at the new cycle —
+    /// the convenient way to capture a waveform (see
+    /// [`TraceRecorder`](crate::TraceRecorder)).
+    pub fn run_traced<C, F>(
+        &mut self,
+        root: &mut C,
+        cycles: u64,
+        trace: &mut crate::TraceRecorder,
+        mut sampler: F,
+    ) where
+        C: Component + ?Sized,
+        F: FnMut(&C, &mut crate::TraceRecorder),
+    {
+        for _ in 0..cycles {
+            self.step(root);
+            trace.set_cycle(self.cycle);
+            sampler(root, trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Register;
+
+    struct Counter(Register<u64>);
+
+    impl Component for Counter {
+        fn begin_cycle(&mut self) {}
+        fn eval(&mut self) {
+            let next = self.0.get() + 1;
+            self.0.set(next);
+        }
+        fn commit(&mut self) {
+            self.0.commit();
+        }
+    }
+
+    #[test]
+    fn step_advances_one_cycle() {
+        let mut c = Counter(Register::new(0));
+        let mut sim = Simulator::new();
+        sim.step(&mut c);
+        assert_eq!(sim.cycle(), 1);
+        assert_eq!(*c.0.get(), 1);
+    }
+
+    #[test]
+    fn run_advances_many_cycles() {
+        let mut c = Counter(Register::new(0));
+        let mut sim = Simulator::new();
+        sim.run(&mut c, 1000);
+        assert_eq!(sim.cycle(), 1000);
+        assert_eq!(*c.0.get(), 1000);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut c = Counter(Register::new(0));
+        let mut sim = Simulator::new();
+        let fired = sim.run_until(&mut c, 100, |c| *c.0.get() == 7);
+        assert!(fired);
+        assert_eq!(sim.cycle(), 7);
+    }
+
+    #[test]
+    fn run_until_gives_up_after_max_cycles() {
+        let mut c = Counter(Register::new(0));
+        let mut sim = Simulator::new();
+        let fired = sim.run_until(&mut c, 5, |c| *c.0.get() == 7);
+        assert!(!fired);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn run_traced_samples_every_cycle() {
+        let mut c = Counter(Register::new(0));
+        let mut sim = Simulator::new();
+        let mut trace = crate::TraceRecorder::new();
+        let sig = trace.signal("count", 8);
+        sim.run_traced(&mut c, 5, &mut trace, |counter, t| {
+            t.sample(sig, *counter.0.get());
+        });
+        // The counter changes every cycle: five change events.
+        assert_eq!(trace.change_count(), 5);
+        assert!(trace.to_vcd().contains("#5"));
+    }
+
+    #[test]
+    fn register_update_is_not_visible_within_cycle() {
+        // A register written during eval must still read its old value
+        // until commit.
+        struct TwoReads {
+            r: Register<u32>,
+            observed: Vec<u32>,
+        }
+        impl Component for TwoReads {
+            fn begin_cycle(&mut self) {}
+            fn eval(&mut self) {
+                self.r.set(self.r.get() + 1);
+                self.observed.push(*self.r.get());
+            }
+            fn commit(&mut self) {
+                self.r.commit();
+            }
+        }
+        let mut c = TwoReads {
+            r: Register::new(0),
+            observed: Vec::new(),
+        };
+        let mut sim = Simulator::new();
+        sim.run(&mut c, 3);
+        // eval observes the value at the start of each cycle.
+        assert_eq!(c.observed, vec![0, 1, 2]);
+    }
+}

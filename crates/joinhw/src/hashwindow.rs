@@ -1,0 +1,170 @@
+//! A hash-indexed circular sub-window: the storage behind hash-join
+//! processing cores.
+//!
+//! The paper notes the uni-flow join core poses no "limitation on the
+//! chosen join algorithm, e.g., nested-loop join or hash join". A hash
+//! core keeps the same circular sliding storage but adds a key index, so
+//! a probe scans only the matching bucket instead of the whole
+//! sub-window — one bucket entry per cycle after a one-cycle hash lookup.
+
+use std::collections::{HashMap, VecDeque};
+
+use streamcore::Tuple;
+
+/// A sub-window with a per-key bucket index for equi-join probing.
+#[derive(Debug, Clone, Default)]
+pub struct HashWindow {
+    /// Circular slot storage (models the BRAM tuple store).
+    slots: Vec<Option<Tuple>>,
+    /// Key → slot indices, oldest first (models the BRAM bucket index).
+    buckets: HashMap<u32, VecDeque<usize>>,
+    head: usize,
+    occupancy: usize,
+}
+
+impl HashWindow {
+    /// Creates an empty hash window of `capacity` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be at least 1");
+        Self {
+            slots: vec![None; capacity],
+            buckets: HashMap::new(),
+            head: 0,
+            occupancy: 0,
+        }
+    }
+
+    /// Maximum number of tuples retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of tuples currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Stores `tuple`, expiring and returning the oldest stored tuple if
+    /// the window was full. Maintains the bucket index.
+    pub fn store(&mut self, tuple: Tuple) -> Option<Tuple> {
+        let cap = self.capacity();
+        let expired = self.slots[self.head].take().inspect(|old| {
+            let bucket = self
+                .buckets
+                .get_mut(&old.key())
+                .expect("expired tuple indexed");
+            let idx = bucket.pop_front().expect("bucket non-empty");
+            debug_assert_eq!(idx, self.head, "oldest of a key expires first");
+            if bucket.is_empty() {
+                self.buckets.remove(&old.key());
+            }
+        });
+        self.slots[self.head] = Some(tuple);
+        self.buckets
+            .entry(tuple.key())
+            .or_default()
+            .push_back(self.head);
+        self.head = (self.head + 1) % cap;
+        if self.occupancy < cap {
+            self.occupancy += 1;
+        }
+        expired
+    }
+
+    /// Number of stored tuples with the given key — the probe's scan
+    /// length (one bucket entry per cycle).
+    pub fn bucket_len(&self, key: u32) -> usize {
+        self.buckets.get(&key).map_or(0, VecDeque::len)
+    }
+
+    /// Reads the `idx`-th oldest stored tuple with `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= bucket_len(key)`.
+    pub fn bucket_read(&self, key: u32, idx: usize) -> Tuple {
+        let slot = self.buckets.get(&key).expect("bucket exists")[idx];
+        self.slots[slot].expect("indexed slot occupied")
+    }
+
+    /// Loads a tuple directly (pre-fill path).
+    pub fn load(&mut self, tuple: Tuple) {
+        self.store(tuple);
+    }
+
+    /// Stored tuples, oldest first (verification).
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        let cap = self.capacity();
+        let oldest = (self.head + cap - self.occupancy) % cap;
+        (0..self.occupancy)
+            .map(|i| self.slots[(oldest + i) % cap].expect("occupied"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: u32, p: u32) -> Tuple {
+        Tuple::new(k, p)
+    }
+
+    #[test]
+    fn buckets_track_stores_by_key() {
+        let mut w = HashWindow::new(8);
+        w.store(t(1, 0));
+        w.store(t(2, 1));
+        w.store(t(1, 2));
+        assert_eq!(w.bucket_len(1), 2);
+        assert_eq!(w.bucket_len(2), 1);
+        assert_eq!(w.bucket_len(9), 0);
+        assert_eq!(w.bucket_read(1, 0), t(1, 0));
+        assert_eq!(w.bucket_read(1, 1), t(1, 2));
+    }
+
+    #[test]
+    fn expiry_removes_from_bucket() {
+        let mut w = HashWindow::new(2);
+        w.store(t(1, 0));
+        w.store(t(1, 1));
+        assert_eq!(w.store(t(2, 2)), Some(t(1, 0)));
+        assert_eq!(w.bucket_len(1), 1);
+        assert_eq!(w.bucket_read(1, 0), t(1, 1));
+        assert_eq!(w.occupancy(), 2);
+    }
+
+    #[test]
+    fn snapshot_matches_subwindow_semantics() {
+        use crate::SubWindow;
+        let mut hash = HashWindow::new(3);
+        let mut nested = SubWindow::new(3);
+        for i in 0..10u32 {
+            hash.store(t(i % 4, i));
+            nested.begin_cycle();
+            nested.store(t(i % 4, i));
+        }
+        assert_eq!(hash.snapshot(), nested.snapshot());
+    }
+
+    #[test]
+    fn bucket_order_is_age_order_across_wraparound() {
+        let mut w = HashWindow::new(4);
+        for i in 0..9u32 {
+            w.store(t(7, i));
+        }
+        assert_eq!(w.bucket_len(7), 4);
+        let ages: Vec<u32> = (0..4).map(|i| w.bucket_read(7, i).payload()).collect();
+        assert_eq!(ages, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = HashWindow::new(0);
+    }
+}

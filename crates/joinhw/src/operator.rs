@@ -1,0 +1,157 @@
+//! Runtime-programmable join operators.
+//!
+//! A join core's operator "can be dynamically programmed without the need
+//! for synthesis … by an instruction which has two segments. The first
+//! segment defines join parameters such as the number of join cores …
+//! while the second segment carries the join operator conditions."
+//! ([`JoinOperator::encode`] produces exactly those two 64-bit words; the
+//! storage-core FSM consumes them in its *Operator Store 1/2* states.)
+
+use std::error::Error;
+use std::fmt;
+
+pub use streamcore::JoinPredicate;
+
+fn opcode(p: &JoinPredicate) -> u64 {
+    match p {
+        JoinPredicate::Equi => 0,
+        JoinPredicate::Band { .. } => 1,
+        JoinPredicate::LessThan => 2,
+        JoinPredicate::All => 3,
+    }
+}
+
+fn operand(p: &JoinPredicate) -> u64 {
+    match *p {
+        JoinPredicate::Band { delta } => delta as u64,
+        _ => 0,
+    }
+}
+
+/// A fully specified join operator: parallelization parameters plus the
+/// join condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinOperator {
+    /// Number of join cores sharing the sliding window.
+    pub num_cores: u32,
+    /// The join condition.
+    pub predicate: JoinPredicate,
+}
+
+impl JoinOperator {
+    /// An equi-join across `num_cores` cores — the paper's workload.
+    pub fn equi(num_cores: u32) -> Self {
+        Self {
+            num_cores,
+            predicate: JoinPredicate::Equi,
+        }
+    }
+
+    /// Encodes the operator into the two instruction words consumed by the
+    /// storage-core FSM (*Operator Store 1* and *Operator Store 2*).
+    pub fn encode(&self) -> [u64; 2] {
+        let word1 = self.num_cores as u64;
+        let word2 = opcode(&self.predicate) << 32 | operand(&self.predicate);
+        [word1, word2]
+    }
+
+    /// Decodes two instruction words back into an operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperatorDecodeError`] if the opcode is unknown or the
+    /// core count is zero.
+    pub fn decode(words: [u64; 2]) -> Result<Self, OperatorDecodeError> {
+        let num_cores = words[0] as u32;
+        if num_cores == 0 {
+            return Err(OperatorDecodeError::ZeroCores);
+        }
+        let opcode = words[1] >> 32;
+        let operand = words[1] as u32;
+        let predicate = match opcode {
+            0 => JoinPredicate::Equi,
+            1 => JoinPredicate::Band { delta: operand },
+            2 => JoinPredicate::LessThan,
+            3 => JoinPredicate::All,
+            other => return Err(OperatorDecodeError::UnknownOpcode { opcode: other }),
+        };
+        Ok(Self {
+            num_cores,
+            predicate,
+        })
+    }
+}
+
+impl fmt::Display for JoinOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} over {} cores", self.predicate, self.num_cores)
+    }
+}
+
+/// Errors decoding an operator instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorDecodeError {
+    /// The instruction names an unknown predicate opcode.
+    UnknownOpcode {
+        /// The unrecognized opcode value.
+        opcode: u64,
+    },
+    /// The instruction requests zero join cores.
+    ZeroCores,
+}
+
+impl fmt::Display for OperatorDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorDecodeError::UnknownOpcode { opcode } => {
+                write!(f, "unknown join predicate opcode {opcode}")
+            }
+            OperatorDecodeError::ZeroCores => write!(f, "operator requests zero join cores"),
+        }
+    }
+}
+
+impl Error for OperatorDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ops = [
+            JoinOperator::equi(16),
+            JoinOperator {
+                num_cores: 512,
+                predicate: JoinPredicate::Band { delta: 77 },
+            },
+            JoinOperator {
+                num_cores: 1,
+                predicate: JoinPredicate::LessThan,
+            },
+            JoinOperator {
+                num_cores: 3,
+                predicate: JoinPredicate::All,
+            },
+        ];
+        for op in ops {
+            assert_eq!(JoinOperator::decode(op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_instructions() {
+        assert_eq!(
+            JoinOperator::decode([0, 0]),
+            Err(OperatorDecodeError::ZeroCores)
+        );
+        let err = JoinOperator::decode([4, 9 << 32]);
+        assert_eq!(err, Err(OperatorDecodeError::UnknownOpcode { opcode: 9 }));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let op = JoinOperator::equi(8);
+        assert_eq!(op.to_string(), "Equi over 8 cores");
+    }
+}

@@ -1,0 +1,167 @@
+//! A BRAM-backed circular sub-window shared by both join-core designs.
+
+use hwsim::Bram;
+use streamcore::Tuple;
+
+/// One join core's share of a stream's sliding window: a circular buffer
+/// in block RAM. Storing into a full sub-window overwrites (expires) the
+/// oldest tuple.
+#[derive(Debug, Clone)]
+pub struct SubWindow {
+    bram: Bram<u64>,
+    head: usize,
+    occupancy: usize,
+}
+
+impl SubWindow {
+    /// Creates an empty sub-window of `capacity` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            bram: Bram::new(capacity),
+            head: 0,
+            occupancy: 0,
+        }
+    }
+
+    /// Maximum number of tuples retained.
+    pub fn capacity(&self) -> usize {
+        self.bram.capacity()
+    }
+
+    /// Number of tuples currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Opens a new clock cycle on the underlying BRAM (port accounting).
+    pub fn begin_cycle(&mut self) {
+        self.bram.begin_cycle();
+    }
+
+    /// Stores `tuple`, expiring and returning the oldest stored tuple if
+    /// the sub-window was full. Costs one BRAM write port.
+    pub fn store(&mut self, tuple: Tuple) -> Option<Tuple> {
+        let expired = self
+            .bram
+            .write(self.head, tuple.raw())
+            .filter(|_| self.occupancy == self.capacity())
+            .map(Tuple::from_raw);
+        self.head = (self.head + 1) % self.capacity();
+        if self.occupancy < self.capacity() {
+            self.occupancy += 1;
+        }
+        expired
+    }
+
+    /// Reads the `idx`-th oldest stored tuple (`0` = oldest). Costs one
+    /// BRAM read port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= occupancy()`.
+    pub fn read(&mut self, idx: usize) -> Tuple {
+        assert!(idx < self.occupancy, "read index {idx} out of occupancy");
+        let cap = self.capacity();
+        let oldest = (self.head + cap - self.occupancy) % cap;
+        let addr = (oldest + idx) % cap;
+        Tuple::from_raw(*self.bram.read(addr).expect("occupied slot"))
+    }
+
+    /// Loads a tuple directly, bypassing clocked port accounting — for
+    /// pre-filling windows before a measurement.
+    pub fn load(&mut self, tuple: Tuple) {
+        let cap = self.capacity();
+        self.bram.load(self.head, tuple.raw());
+        self.head = (self.head + 1) % cap;
+        if self.occupancy < cap {
+            self.occupancy += 1;
+        }
+    }
+
+    /// Iterates over stored tuples from oldest to newest, without port
+    /// accounting (test/verification use).
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        let occ = self.occupancy;
+        let mut out = Vec::with_capacity(occ);
+        let cap = self.capacity();
+        let oldest = (self.head + cap - occ) % cap;
+        for i in 0..occ {
+            let addr = (oldest + i) % cap;
+            out.push(Tuple::from_raw(*self.bram.peek(addr).expect("occupied")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: u32) -> Tuple {
+        Tuple::new(k, 0)
+    }
+
+    #[test]
+    fn stores_and_reads_in_age_order() {
+        let mut w = SubWindow::new(4);
+        for k in 0..3 {
+            w.begin_cycle();
+            assert_eq!(w.store(t(k)), None);
+        }
+        w.begin_cycle();
+        assert_eq!(w.read(0), t(0));
+        w.begin_cycle();
+        assert_eq!(w.read(2), t(2));
+        assert_eq!(w.occupancy(), 3);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut w = SubWindow::new(2);
+        w.begin_cycle();
+        w.store(t(1));
+        w.begin_cycle();
+        w.store(t(2));
+        w.begin_cycle();
+        assert_eq!(w.store(t(3)), Some(t(1)));
+        w.begin_cycle();
+        assert_eq!(w.read(0), t(2));
+        w.begin_cycle();
+        assert_eq!(w.read(1), t(3));
+    }
+
+    #[test]
+    fn wraparound_keeps_order_across_many_generations() {
+        let mut w = SubWindow::new(3);
+        for k in 0..10 {
+            w.begin_cycle();
+            w.store(t(k));
+        }
+        assert_eq!(w.snapshot(), vec![t(7), t(8), t(9)]);
+    }
+
+    #[test]
+    fn load_bypasses_ports_and_matches_store_semantics() {
+        let mut a = SubWindow::new(3);
+        let mut b = SubWindow::new(3);
+        for k in 0..5 {
+            a.load(t(k));
+            b.begin_cycle();
+            b.store(t(k));
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of occupancy")]
+    fn reading_past_occupancy_panics() {
+        let mut w = SubWindow::new(2);
+        w.begin_cycle();
+        w.store(t(1));
+        w.read(1);
+    }
+}

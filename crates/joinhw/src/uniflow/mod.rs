@@ -1,0 +1,560 @@
+//! The uni-flow (SplitJoin) parallel stream join in hardware: distribution
+//! network → independent join cores → result-gathering network (Fig. 9).
+
+mod core;
+mod network;
+
+pub use self::core::{CoreStats, JoinCore, ProcessingState, StorageState};
+pub use self::network::{DistributionNetwork, GatheringNetwork};
+
+use hwsim::Component;
+use streamcore::{Frame, MatchPair, StreamTag, Tuple};
+
+use crate::{DesignParams, FlowModel, JoinOperator};
+
+/// The complete uni-flow parallel stream join design.
+///
+/// Drive it like hardware: [`offer`](UniFlowJoin::offer) frames into the
+/// distribution network (one per cycle at most), step the clock via the
+/// [`Component`] interface, and read joined pairs from
+/// [`drain_results`](UniFlowJoin::drain_results).
+///
+/// # Example
+///
+/// ```
+/// use hwsim::Simulator;
+/// use joinhw::uniflow::UniFlowJoin;
+/// use joinhw::{DesignParams, FlowModel, JoinOperator};
+/// use streamcore::{StreamTag, Tuple};
+///
+/// let params = DesignParams::new(FlowModel::UniFlow, 4, 64);
+/// let mut join = UniFlowJoin::new(&params);
+/// let mut sim = Simulator::new();
+/// join.program(JoinOperator::equi(4));
+///
+/// // Feed one S tuple, then a matching R tuple.
+/// for (tag, key) in [(StreamTag::S, 7), (StreamTag::R, 7)] {
+///     while !join.offer(tag, Tuple::new(key, 0)) {
+///         sim.step(&mut join);
+///     }
+///     sim.step(&mut join);
+/// }
+/// while !join.quiescent() {
+///     sim.step(&mut join);
+/// }
+/// let results = join.drain_results();
+/// assert_eq!(results.len(), 1);
+/// assert_eq!(results[0].r.key(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniFlowJoin {
+    params: DesignParams,
+    dist: DistributionNetwork,
+    cores: Vec<JoinCore>,
+    gather: GatheringNetwork,
+    collected: Vec<MatchPair>,
+    accepted_tuples: u64,
+    pending_program: Vec<Frame>,
+}
+
+impl UniFlowJoin {
+    /// Instantiates the design described by `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.flow` is not [`FlowModel::UniFlow`], or if the
+    /// scalable network is requested with a core count that is not a power
+    /// of two.
+    pub fn new(params: &DesignParams) -> Self {
+        assert_eq!(
+            params.flow,
+            FlowModel::UniFlow,
+            "UniFlowJoin requires uni-flow design parameters"
+        );
+        let n = params.num_cores as usize;
+        let k = params.tree_fanout as usize;
+        let sub = params.sub_window();
+        Self {
+            params: *params,
+            dist: DistributionNetwork::new(params.network, n, k),
+            cores: (0..n)
+                .map(|i| JoinCore::with_algorithm(i as u32, sub, params.algorithm))
+                .collect(),
+            gather: GatheringNetwork::new(params.network, n, k),
+            collected: Vec::new(),
+            accepted_tuples: 0,
+            pending_program: Vec::new(),
+        }
+    }
+
+    /// The design parameters.
+    pub fn params(&self) -> &DesignParams {
+        &self.params
+    }
+
+    /// Queues the two operator-instruction frames for broadcast; they are
+    /// injected ahead of data tuples as input slots free up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator's core count disagrees with the design's.
+    pub fn program(&mut self, operator: JoinOperator) {
+        assert_eq!(
+            operator.num_cores, self.params.num_cores,
+            "operator core count must match the design"
+        );
+        assert!(
+            self.cores
+                .iter()
+                .all(|c| c.supports(operator.predicate)),
+            "hash join cores only support equi-join operators"
+        );
+        let words = operator.encode();
+        self.pending_program.push(Frame::Operator(words[0]));
+        self.pending_program.push(Frame::Operator(words[1]));
+    }
+
+    /// Offers one tuple to the input port. Returns `false` when
+    /// back-pressured (or while operator frames are still queued).
+    pub fn offer(&mut self, tag: StreamTag, tuple: Tuple) -> bool {
+        if !self.pending_program.is_empty() || !self.dist.can_accept() {
+            return false;
+        }
+        let ok = self.dist.offer(Frame::tuple(tag, tuple));
+        if ok {
+            self.accepted_tuples += 1;
+        }
+        ok
+    }
+
+    /// Number of data tuples accepted by the input port so far.
+    pub fn accepted_tuples(&self) -> u64 {
+        self.accepted_tuples
+    }
+
+    /// Removes and returns all results collected so far.
+    pub fn drain_results(&mut self) -> Vec<MatchPair> {
+        std::mem::take(&mut self.collected)
+    }
+
+    /// Results collected and not yet drained.
+    pub fn pending_results(&self) -> usize {
+        self.collected.len()
+    }
+
+    /// `true` when every queue, core, and network in the design is empty.
+    pub fn quiescent(&self) -> bool {
+        self.pending_program.is_empty()
+            && self.dist.is_empty()
+            && self.gather.is_empty()
+            && self.cores.iter().all(JoinCore::quiescent)
+    }
+
+    /// Direct pre-fill of the sliding windows (bypasses the clocked data
+    /// path): `r` and `s` are distributed round-robin exactly as the
+    /// storage cores would, and the storage counters are advanced so
+    /// subsequent live tuples continue the rotation seamlessly.
+    pub fn prefill(&mut self, r: &[Tuple], s: &[Tuple]) {
+        let n = self.cores.len();
+        for (i, &t) in r.iter().enumerate() {
+            self.cores[i % n].prefill(StreamTag::R, t);
+        }
+        for (i, &t) in s.iter().enumerate() {
+            self.cores[i % n].prefill(StreamTag::S, t);
+        }
+        for core in &mut self.cores {
+            core.set_counts(r.len() as u64, s.len() as u64);
+        }
+    }
+
+    /// Aggregated per-core statistics.
+    pub fn core_stats(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.cores {
+            let s = c.stats();
+            total.tuples_processed += s.tuples_processed;
+            total.comparisons += s.comparisons;
+            total.matches += s.matches;
+            total.stored += s.stored;
+        }
+        total
+    }
+
+    /// Access to an individual join core (verification).
+    pub fn core_mut(&mut self, index: usize) -> &mut JoinCore {
+        &mut self.cores[index]
+    }
+}
+
+impl Component for UniFlowJoin {
+    fn begin_cycle(&mut self) {
+        self.dist.begin_cycle();
+        for c in &mut self.cores {
+            c.begin_cycle();
+        }
+        self.gather.begin_cycle();
+    }
+
+    fn eval(&mut self) {
+        // Inject queued operator frames at the input port.
+        if !self.pending_program.is_empty() && self.dist.can_accept() {
+            let frame = self.pending_program.remove(0);
+            self.dist.offer(frame);
+        }
+        self.dist.eval(&mut self.cores);
+        for c in &mut self.cores {
+            c.eval();
+        }
+        self.gather.eval(&mut self.cores, &mut self.collected);
+    }
+
+    fn commit(&mut self) {
+        self.dist.commit();
+        for c in &mut self.cores {
+            c.commit();
+        }
+        self.gather.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkKind;
+    use hwsim::Simulator;
+    use std::collections::HashMap;
+
+    fn drive(
+        join: &mut UniFlowJoin,
+        inputs: &[(StreamTag, Tuple)],
+        max_cycles: u64,
+    ) -> Vec<MatchPair> {
+        let mut sim = Simulator::new();
+        let mut idx = 0;
+        while idx < inputs.len() {
+            let (tag, t) = inputs[idx];
+            if join.offer(tag, t) {
+                idx += 1;
+            }
+            sim.step(join);
+            assert!(sim.cycle() < max_cycles, "inputs not accepted in time");
+        }
+        let ok = sim.run_until(join, max_cycles, |j| j.quiescent());
+        assert!(ok, "design did not quiesce");
+        join.drain_results()
+    }
+
+    /// Reference strict-semantics nested-loop join over global windows.
+    fn reference_join(inputs: &[(StreamTag, Tuple)], window: usize) -> Vec<MatchPair> {
+        let mut wr: Vec<Tuple> = Vec::new();
+        let mut ws: Vec<Tuple> = Vec::new();
+        let mut out = Vec::new();
+        for &(tag, t) in inputs {
+            match tag {
+                StreamTag::R => {
+                    for &s in &ws {
+                        if t.key() == s.key() {
+                            out.push(MatchPair { r: t, s });
+                        }
+                    }
+                    wr.push(t);
+                    if wr.len() > window {
+                        wr.remove(0);
+                    }
+                }
+                StreamTag::S => {
+                    for &r in &wr {
+                        if r.key() == t.key() {
+                            out.push(MatchPair { r, s: t });
+                        }
+                    }
+                    ws.push(t);
+                    if ws.len() > window {
+                        ws.remove(0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn as_multiset(results: &[MatchPair]) -> HashMap<(u64, u64), u32> {
+        let mut m = HashMap::new();
+        for p in results {
+            *m.entry((p.r.raw(), p.s.raw())).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn workload(n: usize, domain: u32) -> Vec<(StreamTag, Tuple)> {
+        streamcore::workload::WorkloadSpec::new(
+            n,
+            streamcore::workload::KeyDist::Uniform { domain },
+        )
+        .generate()
+        .collect()
+    }
+
+    #[test]
+    fn matches_reference_join_exactly_small_config() {
+        let inputs = workload(200, 8);
+        for cores in [1u32, 2, 4] {
+            let params = DesignParams::new(FlowModel::UniFlow, cores, 64);
+            let mut join = UniFlowJoin::new(&params);
+            join.program(JoinOperator::equi(cores));
+            let got = drive(&mut join, &inputs, 200_000);
+            let want = reference_join(&inputs, 64);
+            assert_eq!(
+                as_multiset(&got),
+                as_multiset(&want),
+                "mismatch with {cores} cores"
+            );
+            assert!(!want.is_empty(), "test should exercise matches");
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_window_expiry() {
+        // Window smaller than input count: expiry paths exercised.
+        let inputs = workload(400, 4);
+        let params = DesignParams::new(FlowModel::UniFlow, 4, 16);
+        let mut join = UniFlowJoin::new(&params);
+        join.program(JoinOperator::equi(4));
+        let got = drive(&mut join, &inputs, 400_000);
+        let want = reference_join(&inputs, 16);
+        assert_eq!(as_multiset(&got), as_multiset(&want));
+    }
+
+    #[test]
+    fn scalable_network_produces_identical_results() {
+        let inputs = workload(300, 8);
+        let lw = DesignParams::new(FlowModel::UniFlow, 8, 64);
+        let sc = lw.with_network(NetworkKind::Scalable);
+        let mut a = UniFlowJoin::new(&lw);
+        let mut b = UniFlowJoin::new(&sc);
+        a.program(JoinOperator::equi(8));
+        b.program(JoinOperator::equi(8));
+        let ra = drive(&mut a, &inputs, 400_000);
+        let rb = drive(&mut b, &inputs, 400_000);
+        assert_eq!(as_multiset(&ra), as_multiset(&rb));
+    }
+
+    #[test]
+    fn operator_reprogramming_mid_stream_loses_nothing() {
+        // "This makes it possible to update the current join operator in
+        // real-time": stream tuples, switch the equi-join to a band join
+        // through the same broadcast path the data uses, keep streaming.
+        // Every tuple is processed under exactly one operator; none drop.
+        let cores = 4u32;
+        let params = DesignParams::new(FlowModel::UniFlow, cores, 32);
+        let mut join = UniFlowJoin::new(&params);
+        join.program(JoinOperator::equi(cores));
+        let mut sim = Simulator::new();
+
+        let offer_all = |join: &mut UniFlowJoin,
+                             sim: &mut Simulator,
+                             inputs: &[(StreamTag, Tuple)]| {
+            let mut idx = 0;
+            while idx < inputs.len() {
+                let (tag, t) = inputs[idx];
+                if join.offer(tag, t) {
+                    idx += 1;
+                }
+                sim.step(join);
+            }
+        };
+
+        // Phase 1 under equi: store S keys 10, 20; probe with 11 (miss).
+        let phase1: Vec<(StreamTag, Tuple)> = vec![
+            (StreamTag::S, Tuple::new(10, 0)),
+            (StreamTag::S, Tuple::new(20, 1)),
+            (StreamTag::R, Tuple::new(11, 2)),
+        ];
+        offer_all(&mut join, &mut sim, &phase1);
+        sim.run_until(&mut join, 10_000, |j| j.quiescent());
+        assert!(join.drain_results().is_empty(), "equi: 11 matches nothing");
+
+        // Live re-program to a band join (|Δkey| <= 1), then re-probe.
+        join.program(JoinOperator {
+            num_cores: cores,
+            predicate: crate::JoinPredicate::Band { delta: 1 },
+        });
+        let phase2 = vec![(StreamTag::R, Tuple::new(11, 3))];
+        offer_all(&mut join, &mut sim, &phase2);
+        assert!(sim.run_until(&mut join, 10_000, |j| j.quiescent()));
+        let results = join.drain_results();
+        assert_eq!(results.len(), 1, "band: 11 matches stored 10");
+        assert_eq!(results[0].s, Tuple::new(10, 0));
+        // Re-programming resets the round-robin counters but the windows
+        // survive: the stored S tuples were still probed. All four tuples
+        // were accepted and processed.
+        assert_eq!(join.accepted_tuples(), 4);
+    }
+
+    #[test]
+    fn hash_cores_produce_identical_results_to_nested_loop() {
+        let inputs = workload(400, 8);
+        let nested = DesignParams::new(FlowModel::UniFlow, 4, 32);
+        let hashed = nested.with_algorithm(crate::JoinAlgorithm::Hash);
+        let mut a = UniFlowJoin::new(&nested);
+        let mut b = UniFlowJoin::new(&hashed);
+        a.program(JoinOperator::equi(4));
+        b.program(JoinOperator::equi(4));
+        let ra = drive(&mut a, &inputs, 400_000);
+        let rb = drive(&mut b, &inputs, 400_000);
+        assert_eq!(as_multiset(&ra), as_multiset(&rb));
+        assert!(!ra.is_empty());
+    }
+
+    #[test]
+    fn hash_cores_probe_fewer_tuples() {
+        // Same workload: the hash design's comparison count collapses to
+        // the matching tuples only.
+        let inputs = workload(400, 8);
+        let mut counts = Vec::new();
+        for algorithm in [crate::JoinAlgorithm::NestedLoop, crate::JoinAlgorithm::Hash] {
+            let params =
+                DesignParams::new(FlowModel::UniFlow, 4, 32).with_algorithm(algorithm);
+            let mut join = UniFlowJoin::new(&params);
+            join.program(JoinOperator::equi(4));
+            drive(&mut join, &inputs, 400_000);
+            let stats = join.core_stats();
+            counts.push((stats.comparisons, stats.matches));
+        }
+        let (nested, hash) = (counts[0], counts[1]);
+        assert_eq!(nested.1, hash.1, "same matches");
+        assert_eq!(hash.0, hash.1, "hash compares only matching tuples");
+        assert!(nested.0 > 4 * hash.0, "nested scans far more: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hash join cores only support equi-join")]
+    fn hash_cores_reject_non_equi_operators() {
+        let params = DesignParams::new(FlowModel::UniFlow, 2, 16)
+            .with_algorithm(crate::JoinAlgorithm::Hash);
+        let mut join = UniFlowJoin::new(&params);
+        join.program(JoinOperator {
+            num_cores: 2,
+            predicate: crate::JoinPredicate::Band { delta: 1 },
+        });
+    }
+
+    #[test]
+    fn wider_tree_fanout_produces_identical_results() {
+        let inputs = workload(300, 8);
+        let base = DesignParams::new(FlowModel::UniFlow, 16, 64)
+            .with_network(NetworkKind::Scalable);
+        let mut reference = None;
+        for fanout in [2u32, 4, 16] {
+            let params = base.with_fanout(fanout);
+            let mut join = UniFlowJoin::new(&params);
+            join.program(JoinOperator::equi(16));
+            let results = as_multiset(&drive(&mut join, &inputs, 400_000));
+            match &reference {
+                None => reference = Some(results),
+                Some(want) => assert_eq!(&results, want, "fan-out {fanout}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_matches_streamed_fill() {
+        let fill = workload(64, 8);
+        let probe = (StreamTag::R, Tuple::new(3, 999));
+
+        // Variant A: stream everything.
+        let params = DesignParams::new(FlowModel::UniFlow, 4, 32);
+        let mut a = UniFlowJoin::new(&params);
+        a.program(JoinOperator::equi(4));
+        let mut inputs = fill.clone();
+        inputs.push(probe);
+        let ra = drive(&mut a, &inputs, 400_000);
+
+        // Variant B: prefill directly, then stream only the probe.
+        let mut b = UniFlowJoin::new(&params);
+        b.program(JoinOperator::equi(4));
+        let r: Vec<Tuple> = fill
+            .iter()
+            .filter(|(t, _)| *t == StreamTag::R)
+            .map(|&(_, t)| t)
+            .collect();
+        let s: Vec<Tuple> = fill
+            .iter()
+            .filter(|(t, _)| *t == StreamTag::S)
+            .map(|&(_, t)| t)
+            .collect();
+        b.prefill(&r, &s);
+        let rb = drive(&mut b, &[probe], 10_000);
+
+        // A's results include fill-phase matches; B's only the probe's.
+        let probe_matches_a: Vec<_> = ra
+            .into_iter()
+            .filter(|m| m.r == Tuple::new(3, 999))
+            .collect();
+        assert_eq!(as_multiset(&probe_matches_a), as_multiset(&rb));
+        assert!(!rb.is_empty());
+    }
+
+    #[test]
+    fn accepted_tuple_count_tracks_offers() {
+        let params = DesignParams::new(FlowModel::UniFlow, 2, 16);
+        let mut join = UniFlowJoin::new(&params);
+        join.program(JoinOperator::equi(2));
+        let inputs = workload(50, 4);
+        drive(&mut join, &inputs, 100_000);
+        assert_eq!(join.accepted_tuples(), 50);
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_cores() {
+        // The headline uni-flow property (Fig. 14a): doubling cores halves
+        // the cycles needed to absorb the same stream at full windows.
+        let window = 256;
+        let mut cycles_by_cores = Vec::new();
+        for cores in [2u32, 4, 8] {
+            let params = DesignParams::new(FlowModel::UniFlow, cores, window);
+            let mut join = UniFlowJoin::new(&params);
+            join.program(JoinOperator::equi(cores));
+            // Pre-fill to steady state: full windows, unique keys.
+            let r: Vec<Tuple> = (0..window as u32).map(|i| Tuple::new(i, i)).collect();
+            let s: Vec<Tuple> = (0..window as u32)
+                .map(|i| Tuple::new(i + window as u32, i))
+                .collect();
+            join.prefill(&r, &s);
+            let mut sim = Simulator::new();
+            // Push 64 more tuples at max rate.
+            let mut sent = 0u32;
+            while sent < 64 {
+                if join.offer(StreamTag::R, Tuple::new(1 << 20, sent)) {
+                    sent += 1;
+                }
+                sim.step(&mut join);
+            }
+            sim.run_until(&mut join, 1_000_000, |j| j.quiescent());
+            cycles_by_cores.push(sim.cycle());
+        }
+        // Halving ratio within tolerance.
+        for w in cycles_by_cores.windows(2) {
+            let ratio = w[0] as f64 / w[1] as f64;
+            assert!(
+                (1.5..2.5).contains(&ratio),
+                "expected ~2x speedup, got {ratio:.2} ({cycles_by_cores:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "operator core count must match")]
+    fn mismatched_operator_panics() {
+        let params = DesignParams::new(FlowModel::UniFlow, 2, 16);
+        let mut join = UniFlowJoin::new(&params);
+        join.program(JoinOperator::equi(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires uni-flow")]
+    fn biflow_params_rejected() {
+        let params = DesignParams::new(FlowModel::BiFlow, 2, 16);
+        let _ = UniFlowJoin::new(&params);
+    }
+}

@@ -1,0 +1,459 @@
+//! Multithreaded bi-flow stream join: a software low-latency handshake
+//! join.
+//!
+//! Join cores form a chain of threads; R tuples enter at the left end and
+//! travel right, S tuples enter at the right end and travel left. Each
+//! arriving tuple is fast-forwarded along the whole chain (low-latency
+//! handshake join), probing every core's opposite-stream segment, while a
+//! storage cascade parks it and shifts displaced tuples toward the exit.
+//!
+//! Unlike the hardware model in `joinhw::biflow` — where a central
+//! coordinator admits one wave at a time and therefore preserves strict
+//! semantics — the software chain lets waves from both ends pipeline
+//! through the cores concurrently. Tuples travelling in opposite
+//! directions can race past each other between segments, so results follow
+//! the *overlap* semantics of the handshake-join literature: matches whose
+//! windows overlap by a margin are always found, but pairs that cross
+//! right at a window boundary may be missed or observed with slightly
+//! different window contents. The tests pin down both regimes: exactness
+//! under serialized feeding, statistical agreement under pipelining.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+
+/// Configuration of a [`HandshakeJoin`] chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandshakeConfig {
+    /// Number of join cores (threads) in the chain.
+    pub num_cores: usize,
+    /// Sliding-window size per stream (tuples), divided across cores.
+    pub window_size: usize,
+    /// Join condition.
+    pub predicate: JoinPredicate,
+    /// Per-link channel capacity.
+    pub channel_capacity: usize,
+    /// Retain results (`true`) or only count them.
+    pub collect_results: bool,
+}
+
+impl HandshakeConfig {
+    /// An equi-join chain with default channel sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` or `window_size` is zero.
+    pub fn new(num_cores: usize, window_size: usize) -> Self {
+        assert!(num_cores > 0, "need at least one join core");
+        assert!(window_size > 0, "window size must be positive");
+        Self {
+            num_cores,
+            window_size,
+            predicate: JoinPredicate::Equi,
+            channel_capacity: 256,
+            collect_results: true,
+        }
+    }
+
+    /// Replaces the join predicate.
+    pub fn with_predicate(mut self, predicate: JoinPredicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Sets the entry channel capacity. This is the chain's *ordering
+    /// precision* knob: it bounds how many waves can be in flight, and
+    /// therefore how far result semantics can drift from strict
+    /// arrival-order semantics under pipelining.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Per-core segment capacity.
+    pub fn sub_window(&self) -> usize {
+        self.window_size.div_ceil(self.num_cores)
+    }
+}
+
+enum ChainMsg {
+    /// A tuple wave: the probe replica plus the storage cascade payload.
+    Wave {
+        tag: StreamTag,
+        probe: Tuple,
+        store: Option<Tuple>,
+    },
+    /// Flush token: forwarded to the end of the chain, then acknowledged.
+    Flush(Sender<()>),
+    Stop,
+}
+
+/// A running software handshake join.
+///
+/// # Example
+///
+/// ```
+/// use joinsw::handshake::{HandshakeConfig, HandshakeJoin};
+/// use streamcore::{StreamTag, Tuple};
+///
+/// let join = HandshakeJoin::spawn(HandshakeConfig::new(3, 12));
+/// join.process(StreamTag::S, Tuple::new(4, 0));
+/// join.flush();
+/// join.process(StreamTag::R, Tuple::new(4, 1));
+/// join.flush();
+/// let outcome = join.shutdown();
+/// assert_eq!(outcome.result_count, 1);
+/// ```
+#[derive(Debug)]
+pub struct HandshakeJoin {
+    /// Entry of the rightward (R) lane: core 0.
+    entry_r: Sender<ChainMsg>,
+    /// Entry of the leftward (S) lane: core N-1.
+    entry_s: Sender<ChainMsg>,
+    workers: Vec<JoinHandle<()>>,
+    collector: JoinHandle<(u64, Vec<MatchPair>)>,
+}
+
+/// Shutdown outcome of a [`HandshakeJoin`].
+#[derive(Debug, Clone, Default)]
+pub struct HandshakeOutcome {
+    /// All collected results (empty when counting only).
+    pub results: Vec<MatchPair>,
+    /// Total results observed.
+    pub result_count: u64,
+}
+
+impl HandshakeJoin {
+    /// Spawns the chain and collector threads.
+    pub fn spawn(config: HandshakeConfig) -> Self {
+        let n = config.num_cores;
+        let (result_tx, result_rx) = bounded::<MatchPair>(8_192);
+        let collect = config.collect_results;
+        let collector = std::thread::spawn(move || {
+            let mut count = 0u64;
+            let mut kept = Vec::new();
+            for m in result_rx.iter() {
+                count += 1;
+                if collect {
+                    kept.push(m);
+                }
+            }
+            (count, kept)
+        });
+
+        // Each core has one inbox per direction lane. Only the two entry
+        // channels are bounded (caller back-pressure); interior links are
+        // unbounded so opposite-direction sends can never form a blocking
+        // cycle between neighbouring cores. The pipeline is work-balanced
+        // (every wave does the same work at every core), so interior
+        // queues stay shallow in practice.
+        let mut r_lane: Vec<(Sender<ChainMsg>, Receiver<ChainMsg>)> = Vec::new();
+        let mut s_lane: Vec<(Sender<ChainMsg>, Receiver<ChainMsg>)> = Vec::new();
+        for i in 0..n {
+            r_lane.push(if i == 0 {
+                bounded(config.channel_capacity)
+            } else {
+                crossbeam::channel::unbounded()
+            });
+            s_lane.push(if i == n - 1 {
+                bounded(config.channel_capacity)
+            } else {
+                crossbeam::channel::unbounded()
+            });
+        }
+        let entry_r = r_lane[0].0.clone();
+        let entry_s = s_lane[n - 1].0.clone();
+
+        let mut workers = Vec::with_capacity(n);
+        for position in 0..n {
+            let cfg = config.clone();
+            let r_rx = r_lane[position].1.clone();
+            let s_rx = s_lane[position].1.clone();
+            let r_next = (position + 1 < n).then(|| r_lane[position + 1].0.clone());
+            let s_next = position.checked_sub(1).map(|p| s_lane[p].0.clone());
+            let results = result_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                core_loop(position, &cfg, &r_rx, &s_rx, r_next, s_next, &results);
+            }));
+        }
+        drop(result_tx);
+        Self {
+            entry_r,
+            entry_s,
+            workers,
+            collector,
+        }
+    }
+
+    /// Injects one tuple at the chain end of its stream.
+    pub fn process(&self, tag: StreamTag, tuple: Tuple) {
+        let msg = ChainMsg::Wave {
+            tag,
+            probe: tuple,
+            store: Some(tuple),
+        };
+        match tag {
+            StreamTag::R => self.entry_r.send(msg).expect("chain alive"),
+            StreamTag::S => self.entry_s.send(msg).expect("chain alive"),
+        }
+    }
+
+    /// Blocks until everything submitted before this call has traversed
+    /// the whole chain (both lanes).
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = bounded::<()>(2);
+        self.entry_r
+            .send(ChainMsg::Flush(ack_tx.clone()))
+            .expect("chain alive");
+        self.entry_s
+            .send(ChainMsg::Flush(ack_tx))
+            .expect("chain alive");
+        for _ in 0..2 {
+            ack_rx.recv().expect("flush ack");
+        }
+    }
+
+    /// Stops the chain and returns the accumulated outcome.
+    pub fn shutdown(self) -> HandshakeOutcome {
+        self.entry_r.send(ChainMsg::Stop).expect("chain alive");
+        self.entry_s.send(ChainMsg::Stop).expect("chain alive");
+        drop(self.entry_r);
+        drop(self.entry_s);
+        for w in self.workers {
+            w.join().expect("core thread panicked");
+        }
+        let (result_count, results) =
+            self.collector.join().expect("collector thread panicked");
+        HandshakeOutcome {
+            results,
+            result_count,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn core_loop(
+    position: usize,
+    config: &HandshakeConfig,
+    r_rx: &Receiver<ChainMsg>,
+    s_rx: &Receiver<ChainMsg>,
+    r_next: Option<Sender<ChainMsg>>,
+    s_next: Option<Sender<ChainMsg>>,
+    results: &Sender<MatchPair>,
+) {
+    let sub = config.sub_window();
+    let n = config.num_cores;
+    let mut window_r: SlidingWindow<Tuple> = SlidingWindow::new(sub);
+    let mut window_s: SlidingWindow<Tuple> = SlidingWindow::new(sub);
+    // Capacity of the chain beyond this core, per lane; while the
+    // downstream still has room the storage cascade forwards tuples
+    // unparked, so the chain fills from the exit end.
+    let r_downstream = (n - 1 - position) * sub;
+    let s_downstream = position * sub;
+    let mut r_forwarded = 0usize;
+    let mut s_forwarded = 0usize;
+    let mut r_open = true;
+    let mut s_open = true;
+
+    while r_open || s_open {
+        // Alternate lanes fairly; block on select when both lanes open.
+        let (msg, from_r) = if r_open && s_open {
+            crossbeam::channel::select! {
+                recv(r_rx) -> m => (m.ok(), true),
+                recv(s_rx) -> m => (m.ok(), false),
+            }
+        } else if r_open {
+            (r_rx.recv().ok(), true)
+        } else {
+            (s_rx.recv().ok(), false)
+        };
+        let Some(msg) = msg else {
+            if from_r {
+                r_open = false;
+            } else {
+                s_open = false;
+            }
+            continue;
+        };
+        match msg {
+            ChainMsg::Wave { tag, probe, store } => {
+                // Probe this core's opposite segment.
+                let opposite = match tag {
+                    StreamTag::R => &window_s,
+                    StreamTag::S => &window_r,
+                };
+                for &stored in opposite.iter() {
+                    let (r, s) = match tag {
+                        StreamTag::R => (probe, stored),
+                        StreamTag::S => (stored, probe),
+                    };
+                    if config.predicate.matches(r, s) {
+                        results.send(MatchPair { r, s }).expect("collector alive");
+                    }
+                }
+                // Storage cascade.
+                let (own, downstream, forwarded) = match tag {
+                    StreamTag::R => (&mut window_r, r_downstream, &mut r_forwarded),
+                    StreamTag::S => (&mut window_s, s_downstream, &mut s_forwarded),
+                };
+                let store = match store {
+                    Some(t) if *forwarded < downstream => {
+                        // Chain still filling beyond us: pass it on.
+                        *forwarded += 1;
+                        Some(t)
+                    }
+                    Some(t) => own.insert(t),
+                    None => None,
+                };
+                // Fast-forward the probe (and cascade payload) onward.
+                let next = match tag {
+                    StreamTag::R => &r_next,
+                    StreamTag::S => &s_next,
+                };
+                if let Some(next) = next {
+                    next.send(ChainMsg::Wave { tag, probe, store })
+                        .expect("chain alive");
+                }
+                // At the exit end, any carried tuple has expired.
+            }
+            ChainMsg::Flush(ack) => {
+                let next = if from_r { &r_next } else { &s_next };
+                match next {
+                    Some(next) => next.send(ChainMsg::Flush(ack)).expect("chain alive"),
+                    None => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            ChainMsg::Stop => {
+                let next = if from_r { &r_next } else { &s_next };
+                if let Some(next) = next {
+                    next.send(ChainMsg::Stop).expect("chain alive");
+                }
+                if from_r {
+                    r_open = false;
+                } else {
+                    s_open = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::reference_join;
+    use std::collections::HashMap;
+    use streamcore::workload::{KeyDist, WorkloadSpec};
+
+    fn as_multiset(results: &[MatchPair]) -> HashMap<(u64, u64), u32> {
+        let mut m = HashMap::new();
+        for p in results {
+            *m.entry((p.r.raw(), p.s.raw())).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn serialized_feeding_matches_reference_exactly() {
+        // Flushing after every tuple serializes the waves: the chain then
+        // implements strict semantics, like the hardware single-wave model.
+        let inputs: Vec<_> = WorkloadSpec::new(120, KeyDist::Uniform { domain: 6 })
+            .generate()
+            .collect();
+        for cores in [1usize, 2, 4] {
+            let join = HandshakeJoin::spawn(HandshakeConfig::new(cores, 32));
+            for &(tag, t) in &inputs {
+                join.process(tag, t);
+                join.flush();
+            }
+            let outcome = join.shutdown();
+            let want = reference_join(&inputs, 32, JoinPredicate::Equi);
+            assert_eq!(
+                as_multiset(&outcome.results),
+                as_multiset(&want),
+                "mismatch with {cores} cores"
+            );
+        }
+    }
+
+    #[test]
+    fn serialized_feeding_with_expiry_matches_reference() {
+        let inputs: Vec<_> = WorkloadSpec::new(300, KeyDist::Uniform { domain: 4 })
+            .generate()
+            .collect();
+        let join = HandshakeJoin::spawn(HandshakeConfig::new(4, 16));
+        for &(tag, t) in &inputs {
+            join.process(tag, t);
+            join.flush();
+        }
+        let outcome = join.shutdown();
+        let want = reference_join(&inputs, 16, JoinPredicate::Equi);
+        assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
+    }
+
+    #[test]
+    fn pipelined_feeding_agrees_statistically() {
+        // Without per-tuple flushes, waves pipeline; the in-flight depth
+        // (channel capacity) bounds how far results drift from strict
+        // semantics at window boundaries.
+        let inputs: Vec<_> = WorkloadSpec::new(4_000, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(4, 256).with_channel_capacity(8),
+        );
+        for &(tag, t) in &inputs {
+            join.process(tag, t);
+        }
+        join.flush();
+        let outcome = join.shutdown();
+        let want = reference_join(&inputs, 256, JoinPredicate::Equi).len() as f64;
+        let got = outcome.result_count as f64;
+        let err = (got - want).abs() / want;
+        assert!(
+            err < 0.10,
+            "pipelined result count {got} deviates {:.1}% from {want}",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn tighter_ordering_precision_reduces_drift() {
+        let inputs: Vec<_> = WorkloadSpec::new(4_000, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let want = reference_join(&inputs, 128, JoinPredicate::Equi).len() as f64;
+        let mut errs = Vec::new();
+        for capacity in [64usize, 2] {
+            let join = HandshakeJoin::spawn(
+                HandshakeConfig::new(4, 128).with_channel_capacity(capacity),
+            );
+            for &(tag, t) in &inputs {
+                join.process(tag, t);
+            }
+            join.flush();
+            let got = join.shutdown().result_count as f64;
+            errs.push((got - want).abs() / want);
+        }
+        assert!(
+            errs[1] <= errs[0] + 0.01,
+            "capacity 2 drift {:.3} should not exceed capacity 64 drift {:.3}",
+            errs[1],
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn no_matches_before_windows_overlap() {
+        let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8));
+        join.process(StreamTag::R, Tuple::new(1, 0));
+        join.process(StreamTag::R, Tuple::new(2, 1));
+        join.flush();
+        let outcome = join.shutdown();
+        assert_eq!(outcome.result_count, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Measurement harness for the software joins (Figs. 14d and 16).
+
+use std::time::Instant;
+
+use streamcore::metrics::{LatencyRecorder, LatencySummary, Throughput};
+use streamcore::{StreamTag, Tuple};
+
+use crate::handshake::{HandshakeConfig, HandshakeJoin};
+use crate::splitjoin::{SplitJoin, SplitJoinConfig};
+
+/// Parallel efficiency of the software SplitJoin when one thread per join
+/// core actually gets its own hardware core. Calibrated to the paper's
+/// observation that throughput peaked at 28 of 32 cores because "the
+/// distribution and result gathering network also consume a portion of
+/// the processors' capacity".
+pub const PARALLEL_EFFICIENCY: f64 = 0.875;
+
+/// Number of hardware threads available on this host.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Models N-core SplitJoin throughput from a measured single-core rate.
+///
+/// On hosts with fewer hardware threads than join cores (this
+/// reproduction's default environment is a 1-CPU container, unlike the
+/// paper's 32-core Dell R820), wall-clock multi-thread runs measure the
+/// scheduler, not the algorithm. The bench harness therefore measures the
+/// single-core comparison rate for the exact window size and predicts the
+/// N-core rate as `N × efficiency × single_core_rate` — the linear-scaling
+/// shape the paper reports, with the efficiency anchor above.
+pub fn modeled_throughput(single_core: Throughput, num_cores: usize) -> f64 {
+    single_core.per_second() * num_cores as f64 * PARALLEL_EFFICIENCY
+}
+
+/// Pre-fills both windows of a running [`SplitJoin`] to capacity with
+/// non-matching keys, leaving it in steady state.
+pub fn prefill_steady_state(join: &SplitJoin, window_size: usize) {
+    let r: Vec<Tuple> = (0..window_size as u32).map(|i| Tuple::new(i, i)).collect();
+    let s: Vec<Tuple> = (0..window_size as u32)
+        .map(|i| Tuple::new(i + window_size as u32, i))
+        .collect();
+    join.prefill(StreamTag::R, &r);
+    join.prefill(StreamTag::S, &s);
+    join.flush();
+}
+
+/// Measures steady-state input throughput of the software SplitJoin: the
+/// windows are pre-filled, then `tuples` inputs (alternating R/S, keys
+/// hashed over `key_domain`) are pushed as fast as the workers absorb
+/// them.
+///
+/// This is the experiment behind Fig. 14d.
+pub fn measure_throughput(
+    config: SplitJoinConfig,
+    tuples: u64,
+    key_domain: u32,
+) -> Throughput {
+    let window = config.window_size;
+    let join = SplitJoin::spawn(config.counting_only());
+    prefill_steady_state(&join, window);
+    // Distribute in batches: per-tuple cross-thread wake-ups would measure
+    // the channel implementation, not the join.
+    const BATCH: u64 = 256;
+    let start = Instant::now();
+    let mut batch = Vec::with_capacity(BATCH as usize);
+    for seq in 0..tuples {
+        let tag = if seq % 2 == 0 { StreamTag::R } else { StreamTag::S };
+        let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
+        batch.push((tag, Tuple::new(key, seq as u32)));
+        if batch.len() == BATCH as usize {
+            join.process_batch(&batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        join.process_batch(&batch);
+    }
+    join.flush();
+    let elapsed = start.elapsed();
+    join.shutdown();
+    Throughput::over_duration(tuples, elapsed)
+}
+
+/// Measures steady-state input throughput of the software handshake join
+/// (bi-flow) — the uni-flow/bi-flow comparison of Fig. 14b, in software.
+/// The chain has no direct pre-fill path (window placement *is* the
+/// flow), so a warm-up of `2 × window` tuples fills both windows before
+/// the timed segment starts.
+pub fn measure_handshake_throughput(
+    config: HandshakeConfig,
+    tuples: u64,
+    key_domain: u32,
+) -> Throughput {
+    let window = config.window_size;
+    let join = HandshakeJoin::spawn(HandshakeConfig {
+        collect_results: false,
+        ..config
+    });
+    let mut seq = 0u64;
+    let mut feed = |join: &HandshakeJoin, n: u64| {
+        for _ in 0..n {
+            let tag = if seq.is_multiple_of(2) {
+                StreamTag::R
+            } else {
+                StreamTag::S
+            };
+            let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
+            join.process(tag, Tuple::new(key, seq as u32));
+            seq += 1;
+        }
+        join.flush();
+    };
+    feed(&join, 2 * window as u64); // warm-up: fill both windows
+    let start = Instant::now();
+    feed(&join, tuples);
+    let elapsed = start.elapsed();
+    join.shutdown();
+    Throughput::over_duration(tuples, elapsed)
+}
+
+/// Measures per-tuple latency of the software SplitJoin: with pre-filled
+/// windows, each sample submits one tuple and waits until every worker
+/// has processed it and emitted its results (flush barrier) — the paper's
+/// definition of latency ("time to process and emit all results for a
+/// newly inserted tuple").
+///
+/// This is the experiment behind Fig. 16.
+pub fn measure_latency(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> LatencySummary {
+    let window = config.window_size;
+    let join = SplitJoin::spawn(config.counting_only());
+    prefill_steady_state(&join, window);
+    let mut recorder = LatencyRecorder::new();
+    for i in 0..samples {
+        let tag = if i % 2 == 0 { StreamTag::R } else { StreamTag::S };
+        let key = ((i as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
+        let start = Instant::now();
+        join.process(tag, Tuple::new(key, i as u32));
+        join.flush();
+        recorder.record(start.elapsed());
+    }
+    join.shutdown();
+    recorder.summary().expect("samples recorded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_decreases_with_window_size() {
+        // Fig. 14d shape: 1/W scaling of the nested-loop probe.
+        let small = measure_throughput(SplitJoinConfig::new(2, 1 << 8), 2_000, 1 << 20);
+        let large = measure_throughput(SplitJoinConfig::new(2, 1 << 12), 2_000, 1 << 20);
+        assert!(
+            small.per_second() > 2.0 * large.per_second(),
+            "16x window should cost well over 2x throughput: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn throughput_improves_with_cores() {
+        // Fig. 14d: more cores help. On a host with real parallelism this
+        // shows up in wall-clock throughput; on a single-CPU host (this
+        // repo's default container) wall-clock cannot improve, so we
+        // verify the property that *produces* the speedup — each core does
+        // only 1/N of the probe work — plus the calibrated model.
+        if host_parallelism() >= 4 {
+            let one =
+                measure_throughput(SplitJoinConfig::new(1, 1 << 12), 4_000, 1 << 20);
+            let four =
+                measure_throughput(SplitJoinConfig::new(4, 1 << 12), 4_000, 1 << 20);
+            assert!(
+                four.per_second() > 1.5 * one.per_second(),
+                "4 cores should beat 1 core clearly: {four} vs {one}"
+            );
+        } else {
+            let join = SplitJoin::spawn(SplitJoinConfig::new(4, 1 << 8));
+            prefill_steady_state(&join, 1 << 8);
+            for i in 0..100u32 {
+                join.process(StreamTag::R, Tuple::new(1 << 30, i));
+            }
+            join.flush();
+            let outcome = join.shutdown();
+            for ws in &outcome.worker_stats {
+                // Each probe scans only the 64-tuple sub-window, not 256.
+                assert_eq!(ws.comparisons, 100 * 64);
+            }
+            let one = Throughput::over_duration(
+                1_000,
+                std::time::Duration::from_secs(1),
+            );
+            assert_eq!(modeled_throughput(one, 4), 3_500.0);
+        }
+    }
+
+    #[test]
+    fn handshake_throughput_is_measurable() {
+        let t = measure_handshake_throughput(
+            crate::handshake::HandshakeConfig::new(2, 1 << 8),
+            2_000,
+            1 << 20,
+        );
+        assert!(t.per_second() > 0.0);
+        assert_eq!(t.events(), 2_000);
+    }
+
+    #[test]
+    fn latency_summary_is_populated() {
+        let s = measure_latency(SplitJoinConfig::new(2, 1 << 10), 50, 1 << 20);
+        assert_eq!(s.samples, 50);
+        assert!(s.mean.as_nanos() > 0);
+        assert!(s.max >= s.p50);
+    }
+
+    #[test]
+    fn latency_grows_with_window() {
+        // Fig. 16 shape: larger windows -> longer scans -> higher latency.
+        let small = measure_latency(SplitJoinConfig::new(2, 1 << 10), 40, 1 << 20);
+        let large = measure_latency(SplitJoinConfig::new(2, 1 << 15), 40, 1 << 20);
+        assert!(
+            large.p50 > small.p50,
+            "latency should grow with window: {small} vs {large}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Software realizations of flow-based parallel stream joins.
+//!
+//! This crate is the "software" column of the paper's evaluation: the
+//! multithreaded SplitJoin (uni-flow) whose measurements appear in
+//! Figs. 14d and 16, a software handshake join (bi-flow) chain, and a
+//! single-threaded nested-loop baseline that doubles as the strict-
+//! semantics reference implementation used by tests across the workspace.
+//!
+//! * [`splitjoin`] — uni-flow: a distributor broadcasts every tuple to N
+//!   independent join-core threads; each thread stores round-robin into
+//!   its sub-window and probes its share of the opposite window; results
+//!   converge on a collector thread. The thread structure mirrors the
+//!   SplitJoin paper's software implementation, including the observation
+//!   that the distribution and result-gathering work "consume a portion
+//!   of the processors' capacity".
+//! * [`handshake`] — bi-flow: a chain of threads through which R flows
+//!   left-to-right and S right-to-left with low-latency fast-forwarding.
+//! * [`baseline`] — the strict-semantics reference join.
+//!
+//! # Example
+//!
+//! ```
+//! use joinsw::splitjoin::{SplitJoin, SplitJoinConfig};
+//! use streamcore::{StreamTag, Tuple};
+//!
+//! let config = SplitJoinConfig::new(4, 1024);
+//! let join = SplitJoin::spawn(config);
+//! join.process(StreamTag::S, Tuple::new(7, 0));
+//! join.process(StreamTag::R, Tuple::new(7, 1));
+//! join.flush();
+//! let outcome = join.shutdown();
+//! assert_eq!(outcome.results.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod handshake;
+pub mod harness;
+pub mod splitjoin;

@@ -1,0 +1,618 @@
+//! Multithreaded uni-flow stream join (SplitJoin) — the software system
+//! measured in Figs. 14d and 16 of the paper.
+//!
+//! Architecture (mirroring the hardware design of Fig. 9 in threads):
+//!
+//! ```text
+//!            caller thread (distribution network)
+//!           /         |          \
+//!      join core   join core   join core      (N worker threads)
+//!           \         |          /
+//!             collector thread (result gathering network)
+//! ```
+//!
+//! Each worker owns one sub-window per stream and receives *every* tuple:
+//! it probes the tuple against its share of the opposite window and stores
+//! it round-robin ("each join core independently counts the number of
+//! tuples received and, based on its position among other join cores,
+//! determines its turn to store") — no central coordination.
+
+use std::collections::{HashMap, VecDeque};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+
+/// Join algorithm inside each worker (mirrors `joinhw::JoinAlgorithm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwJoinAlgorithm {
+    /// Scan the whole opposite sub-window per probe — any predicate.
+    NestedLoop,
+    /// Probe a per-key hash index — equi-joins only, O(matches) probes.
+    Hash,
+}
+
+/// Configuration of a [`SplitJoin`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitJoinConfig {
+    /// Number of join-core threads.
+    pub num_cores: usize,
+    /// Sliding-window size per stream (tuples), divided across cores.
+    pub window_size: usize,
+    /// Join condition.
+    pub predicate: JoinPredicate,
+    /// Join algorithm (default nested-loop, as the paper measures).
+    pub algorithm: SwJoinAlgorithm,
+    /// Per-worker input channel capacity (back-pressure depth).
+    pub channel_capacity: usize,
+    /// If `false`, the collector counts results but does not retain them
+    /// (throughput runs over long streams).
+    pub collect_results: bool,
+}
+
+impl SplitJoinConfig {
+    /// An equi-join configuration with default channel sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` or `window_size` is zero.
+    pub fn new(num_cores: usize, window_size: usize) -> Self {
+        assert!(num_cores > 0, "need at least one join core");
+        assert!(window_size > 0, "window size must be positive");
+        Self {
+            num_cores,
+            window_size,
+            predicate: JoinPredicate::Equi,
+            algorithm: SwJoinAlgorithm::NestedLoop,
+            channel_capacity: 1_024,
+            collect_results: true,
+        }
+    }
+
+    /// Replaces the join predicate.
+    pub fn with_predicate(mut self, predicate: JoinPredicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Selects the join algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SwJoinAlgorithm::Hash`] is combined with a non-equi
+    /// predicate.
+    pub fn with_algorithm(mut self, algorithm: SwJoinAlgorithm) -> Self {
+        assert!(
+            algorithm != SwJoinAlgorithm::Hash || self.predicate == JoinPredicate::Equi,
+            "hash join requires an equi-join predicate"
+        );
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Disables result retention (counting only).
+    pub fn counting_only(mut self) -> Self {
+        self.collect_results = false;
+        self
+    }
+
+    /// Per-core sub-window capacity.
+    pub fn sub_window(&self) -> usize {
+        self.window_size.div_ceil(self.num_cores)
+    }
+
+    /// The window size actually realized: `num_cores × sub_window()`.
+    /// Equals `window_size` whenever it divides evenly by the core count.
+    pub fn effective_window(&self) -> usize {
+        self.sub_window() * self.num_cores
+    }
+}
+
+enum Msg {
+    Tuple(StreamTag, Tuple),
+    Batch(Vec<(StreamTag, Tuple)>),
+    Prefill(StreamTag, Vec<Tuple>),
+    Flush(Sender<()>),
+    Stop,
+}
+
+/// Statistics reported by each worker at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tuples this worker received.
+    pub tuples_seen: u64,
+    /// Tuples this worker stored into a sub-window.
+    pub stored: u64,
+    /// Window comparisons performed.
+    pub comparisons: u64,
+    /// Matches emitted.
+    pub matches: u64,
+}
+
+/// Everything a [`SplitJoin`] leaves behind at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// All collected results (empty when configured counting-only).
+    pub results: Vec<MatchPair>,
+    /// Total results observed by the collector.
+    pub result_count: u64,
+    /// Per-worker statistics, indexed by core position.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// A running SplitJoin: N join-core threads plus a collector thread.
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct SplitJoin {
+    senders: Vec<Sender<Msg>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    collector: JoinHandle<(u64, Vec<MatchPair>)>,
+}
+
+impl SplitJoin {
+    /// Spawns the worker and collector threads.
+    pub fn spawn(config: SplitJoinConfig) -> Self {
+        let (result_tx, result_rx) = bounded::<MatchPair>(8_192);
+        let collect = config.collect_results;
+        let collector = std::thread::spawn(move || collector_loop(result_rx, collect));
+
+        let mut senders = Vec::with_capacity(config.num_cores);
+        let mut workers = Vec::with_capacity(config.num_cores);
+        for position in 0..config.num_cores {
+            let (tx, rx) = bounded::<Msg>(config.channel_capacity);
+            senders.push(tx);
+            let cfg = config.clone();
+            let results = result_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(position, &cfg, &rx, &results)
+            }));
+        }
+        drop(result_tx); // collector exits once every worker has stopped
+        Self {
+            senders,
+            workers,
+            collector,
+        }
+    }
+
+    /// Broadcasts one tuple to every join core (the distribution step).
+    /// Blocks when worker queues are full — natural back-pressure.
+    pub fn process(&self, tag: StreamTag, tuple: Tuple) {
+        for tx in &self.senders {
+            tx.send(Msg::Tuple(tag, tuple)).expect("worker alive");
+        }
+    }
+
+    /// Broadcasts a batch of tuples in one message per worker. Amortizes
+    /// the cross-thread wake-up cost of the distribution step, which
+    /// otherwise dominates when the per-tuple probe is short — the
+    /// "distribution network consumes a portion of the processors'
+    /// capacity" effect the paper observes in software.
+    pub fn process_batch(&self, batch: &[(StreamTag, Tuple)]) {
+        for tx in &self.senders {
+            tx.send(Msg::Batch(batch.to_vec())).expect("worker alive");
+        }
+    }
+
+    /// Loads `tuples` directly into the sliding windows without probing —
+    /// measurement setup, mirroring the hardware pre-fill path.
+    pub fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) {
+        for tx in &self.senders {
+            tx.send(Msg::Prefill(tag, tuples.to_vec()))
+                .expect("worker alive");
+        }
+    }
+
+    /// Blocks until every worker has drained its queue and processed
+    /// everything submitted before this call.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = bounded::<()>(self.senders.len());
+        for tx in &self.senders {
+            tx.send(Msg::Flush(ack_tx.clone())).expect("worker alive");
+        }
+        drop(ack_tx);
+        // One ack per worker; channel closes afterwards.
+        let acks = ack_rx.iter().count();
+        assert_eq!(acks, self.senders.len(), "missing flush acks");
+    }
+
+    /// Stops all threads and returns the accumulated outcome.
+    pub fn shutdown(self) -> JoinOutcome {
+        for tx in &self.senders {
+            tx.send(Msg::Stop).expect("worker alive");
+        }
+        drop(self.senders);
+        let mut worker_stats = Vec::with_capacity(self.workers.len());
+        for w in self.workers {
+            worker_stats.push(w.join().expect("worker thread panicked"));
+        }
+        let (result_count, results) =
+            self.collector.join().expect("collector thread panicked");
+        JoinOutcome {
+            results,
+            result_count,
+            worker_stats,
+        }
+    }
+}
+
+fn collector_loop(rx: Receiver<MatchPair>, collect: bool) -> (u64, Vec<MatchPair>) {
+    let mut count = 0u64;
+    let mut kept = Vec::new();
+    for m in rx.iter() {
+        count += 1;
+        if collect {
+            kept.push(m);
+        }
+    }
+    (count, kept)
+}
+
+/// Worker-local sub-window storage, specialized per algorithm.
+#[derive(Debug, Clone)]
+enum SwWindow {
+    Nested(SlidingWindow<Tuple>),
+    Hash {
+        slots: VecDeque<Tuple>,
+        index: HashMap<u32, VecDeque<Tuple>>,
+        capacity: usize,
+    },
+}
+
+impl SwWindow {
+    fn new(algorithm: SwJoinAlgorithm, capacity: usize) -> Self {
+        match algorithm {
+            SwJoinAlgorithm::NestedLoop => SwWindow::Nested(SlidingWindow::new(capacity)),
+            SwJoinAlgorithm::Hash => SwWindow::Hash {
+                slots: VecDeque::with_capacity(capacity),
+                index: HashMap::new(),
+                capacity,
+            },
+        }
+    }
+
+    fn insert(&mut self, tuple: Tuple) {
+        match self {
+            SwWindow::Nested(w) => {
+                w.insert(tuple);
+            }
+            SwWindow::Hash {
+                slots,
+                index,
+                capacity,
+            } => {
+                if slots.len() == *capacity {
+                    let old = slots.pop_front().expect("full window");
+                    let bucket = index.get_mut(&old.key()).expect("indexed");
+                    bucket.pop_front();
+                    if bucket.is_empty() {
+                        index.remove(&old.key());
+                    }
+                }
+                slots.push_back(tuple);
+                index.entry(tuple.key()).or_default().push_back(tuple);
+            }
+        }
+    }
+
+    /// Visits the probe candidates for `key`: the whole window for
+    /// nested-loop, the matching bucket for hash. Returns a concrete
+    /// iterator — this is the innermost loop of the whole crate, and a
+    /// boxed iterator's virtual dispatch costs ~3× per comparison.
+    fn probe(&self, key: u32) -> ProbeIter<'_> {
+        match self {
+            SwWindow::Nested(w) => ProbeIter::Nested(w.into_iter()),
+            SwWindow::Hash { index, .. } => {
+                ProbeIter::Hash(index.get(&key).map(|b| b.iter()))
+            }
+        }
+    }
+}
+
+/// Concrete probe iterator over a [`SwWindow`].
+enum ProbeIter<'a> {
+    Nested(std::collections::vec_deque::Iter<'a, Tuple>),
+    Hash(Option<std::collections::vec_deque::Iter<'a, Tuple>>),
+}
+
+impl Iterator for ProbeIter<'_> {
+    type Item = Tuple;
+
+    #[inline]
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            ProbeIter::Nested(it) => it.next().copied(),
+            ProbeIter::Hash(Some(it)) => it.next().copied(),
+            ProbeIter::Hash(None) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ProbeIter::Nested(it) => it.size_hint(),
+            ProbeIter::Hash(Some(it)) => it.size_hint(),
+            ProbeIter::Hash(None) => (0, Some(0)),
+        }
+    }
+}
+
+struct WorkerState<'a> {
+    position: u64,
+    n: u64,
+    predicate: JoinPredicate,
+    window_r: SwWindow,
+    window_s: SwWindow,
+    r_count: u64,
+    s_count: u64,
+    stats: WorkerStats,
+    results: &'a Sender<MatchPair>,
+}
+
+impl WorkerState<'_> {
+    fn handle_tuple(&mut self, tag: StreamTag, tuple: Tuple) {
+        self.stats.tuples_seen += 1;
+        // Probe the opposite sub-window.
+        let opposite = match tag {
+            StreamTag::R => &self.window_s,
+            StreamTag::S => &self.window_r,
+        };
+        for stored in opposite.probe(tuple.key()) {
+            self.stats.comparisons += 1;
+            let (r, s) = match tag {
+                StreamTag::R => (tuple, stored),
+                StreamTag::S => (stored, tuple),
+            };
+            if self.predicate.matches(r, s) {
+                self.stats.matches += 1;
+                self.results.send(MatchPair { r, s }).expect("collector alive");
+            }
+        }
+        self.store(tag, tuple, true);
+    }
+
+    /// Round-robin storage without central coordination.
+    fn store(&mut self, tag: StreamTag, tuple: Tuple, count_stat: bool) {
+        let count = match tag {
+            StreamTag::R => &mut self.r_count,
+            StreamTag::S => &mut self.s_count,
+        };
+        let my_turn = *count % self.n == self.position;
+        *count += 1;
+        if my_turn {
+            if count_stat {
+                self.stats.stored += 1;
+            }
+            match tag {
+                StreamTag::R => self.window_r.insert(tuple),
+                StreamTag::S => self.window_s.insert(tuple),
+            };
+        }
+    }
+}
+
+fn worker_loop(
+    position: usize,
+    config: &SplitJoinConfig,
+    rx: &Receiver<Msg>,
+    results: &Sender<MatchPair>,
+) -> WorkerStats {
+    let sub = config.sub_window();
+    let mut w = WorkerState {
+        position: position as u64,
+        n: config.num_cores as u64,
+        predicate: config.predicate,
+        window_r: SwWindow::new(config.algorithm, sub),
+        window_s: SwWindow::new(config.algorithm, sub),
+        r_count: 0,
+        s_count: 0,
+        stats: WorkerStats::default(),
+        results,
+    };
+
+    for msg in rx.iter() {
+        match msg {
+            Msg::Tuple(tag, tuple) => w.handle_tuple(tag, tuple),
+            Msg::Batch(batch) => {
+                for (tag, tuple) in batch {
+                    w.handle_tuple(tag, tuple);
+                }
+            }
+            Msg::Prefill(tag, tuples) => {
+                // Same round-robin discipline, no probing.
+                for t in tuples {
+                    w.store(tag, t, false);
+                }
+            }
+            Msg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            Msg::Stop => break,
+        }
+    }
+    w.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::reference_join;
+    use std::collections::HashMap;
+    use streamcore::workload::{KeyDist, WorkloadSpec};
+
+    fn as_multiset(results: &[MatchPair]) -> HashMap<(u64, u64), u32> {
+        let mut m = HashMap::new();
+        for p in results {
+            *m.entry((p.r.raw(), p.s.raw())).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn run_workload(config: SplitJoinConfig, inputs: &[(StreamTag, Tuple)]) -> JoinOutcome {
+        let join = SplitJoin::spawn(config);
+        for &(tag, t) in inputs {
+            join.process(tag, t);
+        }
+        join.flush();
+        join.shutdown()
+    }
+
+    #[test]
+    fn matches_reference_exactly() {
+        let inputs: Vec<_> = WorkloadSpec::new(500, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        // Core counts dividing the window: the effective window equals the
+        // nominal one (see `effective_window`).
+        for cores in [1usize, 2, 4, 8] {
+            let outcome = run_workload(SplitJoinConfig::new(cores, 64), &inputs);
+            let want = reference_join(&inputs, 64, JoinPredicate::Equi);
+            assert_eq!(
+                as_multiset(&outcome.results),
+                as_multiset(&want),
+                "mismatch with {cores} cores"
+            );
+            assert!(!want.is_empty());
+        }
+    }
+
+    #[test]
+    fn uneven_core_count_rounds_the_window_up() {
+        let config = SplitJoinConfig::new(7, 64);
+        assert_eq!(config.sub_window(), 10);
+        assert_eq!(config.effective_window(), 70);
+        // Against a reference with the *effective* window, results match.
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let outcome = run_workload(config, &inputs);
+        let want = reference_join(&inputs, 70, JoinPredicate::Equi);
+        assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
+    }
+
+    #[test]
+    fn batch_processing_matches_per_tuple_processing() {
+        let inputs: Vec<_> = WorkloadSpec::new(300, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let per_tuple = run_workload(SplitJoinConfig::new(4, 32), &inputs);
+        let join = SplitJoin::spawn(SplitJoinConfig::new(4, 32));
+        for chunk in inputs.chunks(37) {
+            join.process_batch(chunk);
+        }
+        join.flush();
+        let batched = join.shutdown();
+        assert_eq!(
+            as_multiset(&batched.results),
+            as_multiset(&per_tuple.results)
+        );
+    }
+
+    #[test]
+    fn matches_reference_with_expiry() {
+        let inputs: Vec<_> = WorkloadSpec::new(2_000, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let outcome = run_workload(SplitJoinConfig::new(4, 32), &inputs);
+        let want = reference_join(&inputs, 32, JoinPredicate::Equi);
+        assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
+    }
+
+    #[test]
+    fn every_worker_sees_every_tuple_but_stores_its_share() {
+        let inputs: Vec<_> = WorkloadSpec::new(400, KeyDist::Uniform { domain: 1 << 20 })
+            .generate()
+            .collect();
+        let outcome = run_workload(SplitJoinConfig::new(4, 80), &inputs);
+        for (i, ws) in outcome.worker_stats.iter().enumerate() {
+            assert_eq!(ws.tuples_seen, 400, "worker {i}");
+            assert_eq!(ws.stored, 100, "worker {i}");
+        }
+    }
+
+    #[test]
+    fn prefill_skips_probing_but_keeps_rotation() {
+        let config = SplitJoinConfig::new(2, 8);
+        let join = SplitJoin::spawn(config);
+        let fill: Vec<Tuple> = (0..4u32).map(|i| Tuple::new(i, i)).collect();
+        join.prefill(StreamTag::S, &fill);
+        // Probe matches exactly one prefilled tuple.
+        join.process(StreamTag::R, Tuple::new(2, 99));
+        join.flush();
+        let outcome = join.shutdown();
+        assert_eq!(outcome.result_count, 1);
+        let total_comparisons: u64 =
+            outcome.worker_stats.iter().map(|w| w.comparisons).sum();
+        assert_eq!(total_comparisons, 4, "prefill must not probe");
+    }
+
+    #[test]
+    fn counting_only_discards_results() {
+        let config = SplitJoinConfig::new(2, 16).counting_only();
+        let join = SplitJoin::spawn(config);
+        join.process(StreamTag::S, Tuple::new(1, 0));
+        join.process(StreamTag::R, Tuple::new(1, 1));
+        join.flush();
+        let outcome = join.shutdown();
+        assert_eq!(outcome.result_count, 1);
+        assert!(outcome.results.is_empty());
+    }
+
+    #[test]
+    fn band_predicate_propagates_to_workers() {
+        let config =
+            SplitJoinConfig::new(3, 9).with_predicate(JoinPredicate::Band { delta: 5 });
+        let join = SplitJoin::spawn(config);
+        join.process(StreamTag::S, Tuple::new(100, 0));
+        join.process(StreamTag::R, Tuple::new(104, 1));
+        join.process(StreamTag::R, Tuple::new(106, 2));
+        join.flush();
+        let outcome = join.shutdown();
+        assert_eq!(outcome.result_count, 1);
+    }
+
+    #[test]
+    fn hash_algorithm_matches_nested_loop_exactly() {
+        let inputs: Vec<_> = WorkloadSpec::new(800, KeyDist::Uniform { domain: 12 })
+            .generate()
+            .collect();
+        let nested = run_workload(SplitJoinConfig::new(4, 32), &inputs);
+        let hashed = run_workload(
+            SplitJoinConfig::new(4, 32).with_algorithm(SwJoinAlgorithm::Hash),
+            &inputs,
+        );
+        assert_eq!(
+            as_multiset(&hashed.results),
+            as_multiset(&nested.results)
+        );
+        // Hash workers compare only matching tuples.
+        let nested_cmp: u64 = nested.worker_stats.iter().map(|w| w.comparisons).sum();
+        let hashed_cmp: u64 = hashed.worker_stats.iter().map(|w| w.comparisons).sum();
+        let matches: u64 = hashed.worker_stats.iter().map(|w| w.matches).sum();
+        assert_eq!(hashed_cmp, matches);
+        assert!(nested_cmp > 2 * hashed_cmp);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash join requires an equi-join")]
+    fn hash_with_band_predicate_is_rejected() {
+        let _ = SplitJoinConfig::new(2, 8)
+            .with_predicate(JoinPredicate::Band { delta: 2 })
+            .with_algorithm(SwJoinAlgorithm::Hash);
+    }
+
+    #[test]
+    fn flush_is_a_real_barrier() {
+        let config = SplitJoinConfig::new(4, 4_096);
+        let join = SplitJoin::spawn(config);
+        let fill: Vec<Tuple> = (0..4_096u32).map(|i| Tuple::new(i, i)).collect();
+        join.prefill(StreamTag::S, &fill);
+        for i in 0..64u32 {
+            join.process(StreamTag::R, Tuple::new(i, 1 << 20 | i));
+        }
+        join.flush();
+        // After flush all probes are done: every R probed its key once.
+        let outcome = join.shutdown();
+        assert_eq!(outcome.result_count, 64);
+    }
+}

@@ -1,0 +1,45 @@
+//! Stream-processing substrate shared by the hardware and software paths of
+//! the acceleration-landscape reproduction.
+//!
+//! The paper's case study joins two unbounded streams, *R* and *S*, of
+//! 64-bit tuples under count-based sliding windows. This crate provides the
+//! domain vocabulary both realizations share:
+//!
+//! * [`Tuple`], [`StreamTag`], [`Frame`], [`MatchPair`] — the 64-bit tuple
+//!   model with the 2-bit bus header of the hardware design;
+//! * [`Record`], [`Schema`] — wider, schema-described records for the
+//!   Flexible Query Processor;
+//! * [`SlidingWindow`] — count-based sliding window semantics;
+//! * [`workload`] — reproducible stream generators with controllable key
+//!   domains and match selectivity;
+//! * [`metrics`] — throughput and latency recorders used by every
+//!   experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use streamcore::{SlidingWindow, Tuple};
+//!
+//! let mut window: SlidingWindow<Tuple> = SlidingWindow::new(3);
+//! for k in 0..5u32 {
+//!     window.insert(Tuple::new(k, 0));
+//! }
+//! // Capacity 3: only the last three tuples remain.
+//! let keys: Vec<u32> = window.iter().map(|t| t.key()).collect();
+//! assert_eq!(keys, vec![2, 3, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+mod predicate;
+mod record;
+mod tuple;
+mod window;
+pub mod workload;
+
+pub use predicate::JoinPredicate;
+pub use record::{Field, Record, Schema, SchemaError};
+pub use tuple::{Frame, MatchPair, StreamTag, Tuple};
+pub use window::SlidingWindow;

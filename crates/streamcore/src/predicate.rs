@@ -1,0 +1,75 @@
+//! Join predicates shared by the hardware and software join realizations.
+
+use crate::Tuple;
+
+/// The join condition evaluated between an R tuple and an S tuple.
+///
+/// The paper's experiments use an equi-join "though there is no limitation
+/// on the condition(s) used"; the other variants exercise that freedom.
+///
+/// ```
+/// use streamcore::{JoinPredicate, Tuple};
+///
+/// let r = Tuple::new(10, 0);
+/// let s = Tuple::new(12, 0);
+/// assert!(!JoinPredicate::Equi.matches(r, s));
+/// assert!(JoinPredicate::Band { delta: 2 }.matches(r, s));
+/// assert!(JoinPredicate::LessThan.matches(r, s));
+/// assert!(JoinPredicate::All.matches(r, s));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinPredicate {
+    /// Keys are equal: `r.key == s.key`.
+    Equi,
+    /// Band join: `|r.key - s.key| <= delta`.
+    Band {
+        /// Half-width of the band.
+        delta: u32,
+    },
+    /// Inequality join: `r.key < s.key`.
+    LessThan,
+    /// Cross product: every pair matches (useful for calibration).
+    All,
+}
+
+impl JoinPredicate {
+    /// Evaluates the predicate on an (R, S) tuple pair.
+    pub fn matches(&self, r: Tuple, s: Tuple) -> bool {
+        match *self {
+            JoinPredicate::Equi => r.key() == s.key(),
+            JoinPredicate::Band { delta } => r.key().abs_diff(s.key()) <= delta,
+            JoinPredicate::LessThan => r.key() < s.key(),
+            JoinPredicate::All => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_matches_only_equal_keys() {
+        assert!(JoinPredicate::Equi.matches(Tuple::new(5, 0), Tuple::new(5, 9)));
+        assert!(!JoinPredicate::Equi.matches(Tuple::new(5, 0), Tuple::new(6, 0)));
+    }
+
+    #[test]
+    fn band_is_symmetric_and_inclusive() {
+        let p = JoinPredicate::Band { delta: 3 };
+        assert!(p.matches(Tuple::new(10, 0), Tuple::new(13, 0)));
+        assert!(p.matches(Tuple::new(13, 0), Tuple::new(10, 0)));
+        assert!(!p.matches(Tuple::new(10, 0), Tuple::new(14, 0)));
+    }
+
+    #[test]
+    fn less_than_is_directional() {
+        assert!(JoinPredicate::LessThan.matches(Tuple::new(1, 0), Tuple::new(2, 0)));
+        assert!(!JoinPredicate::LessThan.matches(Tuple::new(2, 0), Tuple::new(2, 0)));
+    }
+
+    #[test]
+    fn all_matches_everything() {
+        assert!(JoinPredicate::All.matches(Tuple::new(0, 0), Tuple::new(u32::MAX, 0)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Count-based sliding windows.
+
+use std::collections::VecDeque;
+
+/// A count-based sliding window of capacity `W`.
+///
+/// Inserting into a full window expires the oldest element — the semantics
+/// the paper inherits from Kang's three-step procedure: a new tuple is
+/// (1) probed against the other stream's window, (2) inserted into its own
+/// window, (3) the oldest tuple is expired.
+///
+/// # Example
+///
+/// ```
+/// use streamcore::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(2);
+/// assert_eq!(w.insert(1), None);
+/// assert_eq!(w.insert(2), None);
+/// assert_eq!(w.insert(3), Some(1)); // capacity reached: 1 expires
+/// assert_eq!(w.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SlidingWindow<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> SlidingWindow<T> {
+    /// Creates an empty window of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be at least 1");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of tuples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of tuples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the window holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` once the window has filled to capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Inserts `value`, returning the expired oldest element if the window
+    /// was full.
+    pub fn insert(&mut self, value: T) -> Option<T> {
+        let expired = if self.is_full() {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(value);
+        expired
+    }
+
+    /// Iterates from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The most recently inserted element.
+    pub fn newest(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// The oldest retained element (the next to expire).
+    pub fn oldest(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SlidingWindow<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T> Extend<T> for SlidingWindow<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_until_capacity_then_slides() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        for i in 0..3 {
+            assert_eq!(w.insert(i), None);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.insert(3), Some(0));
+        assert_eq!(w.insert(4), Some(1));
+        let v: Vec<_> = w.iter().copied().collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn oldest_and_newest() {
+        let mut w = SlidingWindow::new(2);
+        assert_eq!(w.oldest(), None);
+        assert_eq!(w.newest(), None);
+        w.insert(10);
+        w.insert(20);
+        assert_eq!(w.oldest(), Some(&10));
+        assert_eq!(w.newest(), Some(&20));
+    }
+
+    #[test]
+    fn extend_applies_sliding_semantics() {
+        let mut w = SlidingWindow::new(2);
+        w.extend(0..5);
+        let v: Vec<_> = (&w).into_iter().copied().collect();
+        assert_eq!(v, vec![3, 4]);
+    }
+
+    #[test]
+    fn clear_empties_window() {
+        let mut w = SlidingWindow::new(2);
+        w.insert(1);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = SlidingWindow::<u8>::new(0);
+    }
+
+    #[test]
+    fn window_of_one_always_keeps_latest() {
+        let mut w = SlidingWindow::new(1);
+        for i in 0..10 {
+            w.insert(i);
+            assert_eq!(w.newest(), Some(&i));
+            assert_eq!(w.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the stream substrate.
+
+use proptest::prelude::*;
+use streamcore::workload::{ArrivalPattern, KeyDist, WorkloadSpec};
+use streamcore::{Field, JoinPredicate, Record, Schema, SlidingWindow, StreamTag, Tuple};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tuple key/payload packing round-trips through the wire format.
+    #[test]
+    fn tuple_wire_round_trip(key in any::<u32>(), payload in any::<u32>()) {
+        let t = Tuple::new(key, payload);
+        prop_assert_eq!(t.key(), key);
+        prop_assert_eq!(t.payload(), payload);
+        prop_assert_eq!(Tuple::from_raw(t.raw()), t);
+    }
+
+    /// Band predicates are symmetric; equi implies band for any delta.
+    #[test]
+    fn predicate_relationships(a in any::<u32>(), b in any::<u32>(), delta in any::<u32>()) {
+        let (r, s) = (Tuple::new(a, 0), Tuple::new(b, 1));
+        let band = JoinPredicate::Band { delta };
+        prop_assert_eq!(band.matches(r, s), band.matches(Tuple::new(b, 0), Tuple::new(a, 1)));
+        if JoinPredicate::Equi.matches(r, s) {
+            prop_assert!(band.matches(r, s));
+        }
+        prop_assert!(JoinPredicate::All.matches(r, s));
+    }
+
+    /// Sliding windows never exceed capacity and always contain a suffix
+    /// of the inserted sequence.
+    #[test]
+    fn window_is_a_suffix(cap in 1usize..32, n in 0usize..200) {
+        let mut w = SlidingWindow::new(cap);
+        for i in 0..n {
+            w.insert(i);
+        }
+        prop_assert!(w.len() <= cap);
+        let kept: Vec<usize> = w.iter().copied().collect();
+        let expect: Vec<usize> = (n.saturating_sub(cap)..n).collect();
+        prop_assert_eq!(kept, expect);
+    }
+
+    /// Every arrival pattern yields exactly the requested tuple count with
+    /// strictly increasing payloads.
+    #[test]
+    fn arrival_patterns_conserve_tuples(n in 0usize..300, burst in 1usize..40, seed in any::<u64>()) {
+        for arrivals in [
+            ArrivalPattern::Alternating,
+            ArrivalPattern::RandomOrigin,
+            ArrivalPattern::Bursty { burst },
+        ] {
+            let spec = WorkloadSpec::new(n, KeyDist::Uniform { domain: 16 })
+                .with_seed(seed)
+                .with_arrivals(arrivals);
+            let tuples: Vec<(StreamTag, Tuple)> = spec.generate().collect();
+            prop_assert_eq!(tuples.len(), n);
+            for (i, (_, t)) in tuples.iter().enumerate() {
+                prop_assert_eq!(t.payload() as usize, i);
+            }
+        }
+    }
+
+    /// Schema round trip: any record the schema validates fits each
+    /// field's width.
+    #[test]
+    fn schema_check_is_width_accurate(widths in prop::collection::vec(1u8..64, 1..8), raw in prop::collection::vec(any::<u64>(), 1..8)) {
+        let fields: Vec<Field> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Field::new(format!("f{i}"), w).unwrap())
+            .collect();
+        let schema = Schema::new(fields).unwrap();
+        if raw.len() != schema.arity() {
+            prop_assert!(schema.check(&Record::new(raw)).is_err());
+        } else {
+            let clamped: Vec<u64> = raw
+                .iter()
+                .zip(&widths)
+                .map(|(&v, &w)| v & ((1u64 << w) - 1))
+                .collect();
+            prop_assert!(schema.check(&Record::new(clamped)).is_ok());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Dynamic re-query: the property that motivates FQP (paper Fig. 6).
+//! Queries are added, modified, and removed on a *live* fabric — no
+//! synthesis, no halt, no dropped records.
+//!
+//! ```sh
+//! cargo run --example dynamic_requery
+//! ```
+
+use std::time::Instant;
+
+use accel_landscape::fqp::assign::{assign, remove};
+use accel_landscape::fqp::fabric::Fabric;
+use accel_landscape::fqp::opblock::BlockProgram;
+use accel_landscape::fqp::plan::{bind, BoundCondition, Catalog};
+use accel_landscape::fqp::query::{CmpOp, Query};
+use accel_landscape::fqp::reconfig::{measure_fqp_reconfiguration, DeploymentPath};
+use accel_landscape::streamcore::{Field, Record, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "readings",
+        Schema::new(vec![Field::new("sensor", 32)?, Field::new("value", 32)?])?,
+    );
+    let mut fabric = Fabric::new(8);
+
+    // Deploy an alerting query.
+    let plan = bind(
+        &Query::parse("SELECT sensor FROM readings WHERE value > 90")?,
+        &catalog,
+    )?;
+    let t0 = Instant::now();
+    let handle = assign(&plan, &mut fabric)?;
+    println!("deployed alert query in {:?}", t0.elapsed());
+
+    let push_batch = |fabric: &mut Fabric, base: u64| {
+        for i in 0..500u64 {
+            fabric
+                .push("readings", Record::new(vec![i % 16, (base + i) % 120]))
+                .expect("stream bound");
+        }
+    };
+    push_batch(&mut fabric, 0);
+    println!(
+        "alerts at threshold 90: {}",
+        fabric.take_sink(handle.sink)?.len()
+    );
+
+    // Micro change: tighten the threshold on the LIVE block.
+    let d = measure_fqp_reconfiguration(
+        &mut fabric,
+        handle.blocks[0],
+        BlockProgram::Select {
+            conditions: vec![BoundCondition {
+                field: 1,
+                op: CmpOp::Gt,
+                value: 110,
+            }],
+        },
+    )?;
+    println!("\nreprogrammed threshold 90 -> 110 in {d:?} (no halt)");
+    push_batch(&mut fabric, 0);
+    println!(
+        "alerts at threshold 110: {}",
+        fabric.take_sink(handle.sink)?.len()
+    );
+
+    // Remove the query entirely; its blocks return to the pool.
+    remove(&handle, &mut fabric)?;
+    println!("\nquery removed; idle blocks: {}", fabric.idle_blocks());
+
+    // Contrast with the synthesis-based deployment paths of Fig. 6.
+    println!("\ndeployment-path comparison (modeled, Fig. 6):");
+    for (name, path) in [
+        ("hardware redesign", DeploymentPath::HardwareRedesign),
+        ("re-synthesis     ", DeploymentPath::ReSynthesis),
+        ("FQP remap        ", DeploymentPath::FqpRemap),
+    ] {
+        println!(
+            "  {name}: {:?} .. {:?}  halt: {}",
+            path.min_total(),
+            path.max_total(),
+            path.requires_halt()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! End-to-end tests of the `accel` command-line tool.
+
+use std::process::{Command, Output};
+
+fn accel(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_accel"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn landscape_lists_the_catalog() {
+    let out = accel(&["landscape"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("FQP"));
+    assert!(text.contains("SplitJoin"));
+    assert!(text.contains("Handshake join"));
+}
+
+#[test]
+fn synthesize_prints_a_report() {
+    let out = accel(&[
+        "synthesize", "--cores", "16", "--window", "8192", "--device", "v5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("uni-flow join, 16 cores"));
+    assert!(text.contains("clock"));
+    assert!(text.contains("power"));
+}
+
+#[test]
+fn synthesize_reports_infeasible_designs() {
+    let out = accel(&[
+        "synthesize", "--cores", "64", "--window", "8192", "--device", "v5",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("BRAM18"));
+}
+
+#[test]
+fn throughput_measures_a_small_design() {
+    let out = accel(&[
+        "throughput", "--cores", "4", "--window", "256", "--device", "v5",
+        "--clock", "100", "--tuples", "64",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("measured:"), "{text}");
+    assert!(text.contains("M tuples/s"), "{text}");
+}
+
+#[test]
+fn explain_binds_against_cli_schemas() {
+    let out = accel(&[
+        "explain",
+        "SELECT v FROM s WHERE v > 9",
+        "--schema",
+        "s=v:32,w:8",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Source: s"), "{text}");
+    assert!(text.contains("Select [v > 9]"), "{text}");
+    assert!(text.contains("Output: (v:32)"), "{text}");
+}
+
+#[test]
+fn deploy_runs_the_hardware_bridge() {
+    let out = accel(&[
+        "deploy",
+        "SELECT * FROM a JOIN b ON k WINDOW 1024",
+        "--schema",
+        "a=k:32,x:32",
+        "--schema",
+        "b=k:32,y:32",
+        "--cores",
+        "8",
+        "--device",
+        "v7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Join b ON k WINDOW 1024"), "{text}");
+    assert!(text.contains("sustainable input throughput"), "{text}");
+}
+
+#[test]
+fn explain_handles_boolean_where_clauses() {
+    let out = accel(&[
+        "explain",
+        "SELECT * FROM s WHERE (v > 9 OR w < 2) AND NOT v = 5",
+        "--schema",
+        "s=v:32,w:8",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("truth table"), "{text}");
+}
+
+#[test]
+fn bad_invocations_print_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["synthesize", "--cores", "four"][..],
+        &["explain", "SELECT *"][..],
+    ] {
+        let out = accel(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(stderr(&out).contains("USAGE"), "{args:?}");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = accel(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}

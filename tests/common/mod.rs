@@ -1,0 +1,25 @@
+//! Shared helpers for the workspace integration tests.
+
+use std::collections::HashMap;
+
+use accel_landscape::streamcore::workload::{KeyDist, WorkloadSpec};
+use accel_landscape::streamcore::{MatchPair, StreamTag, Tuple};
+
+/// Multiset view of join results (order is realization-specific).
+#[allow(dead_code)]
+pub fn as_multiset(results: &[MatchPair]) -> HashMap<(u64, u64), u32> {
+    let mut m = HashMap::new();
+    for p in results {
+        *m.entry((p.r.raw(), p.s.raw())).or_insert(0) += 1;
+    }
+    m
+}
+
+/// A deterministic alternating R/S workload.
+#[allow(dead_code)]
+pub fn workload(tuples: usize, domain: u32, seed: u64) -> Vec<(StreamTag, Tuple)> {
+    WorkloadSpec::new(tuples, KeyDist::Uniform { domain })
+        .with_seed(seed)
+        .generate()
+        .collect()
+}

@@ -1,0 +1,153 @@
+//! Cross-implementation equivalence: every realization of the windowed
+//! equi-join — uni-flow hardware (both network variants), bi-flow
+//! hardware, multithreaded software SplitJoin, software handshake join
+//! (serialized), and the single-threaded reference — produces the same
+//! result multiset on the same workload.
+
+mod common;
+
+use accel_landscape::hwsim::Simulator;
+use accel_landscape::joinhw::biflow::BiFlowJoin;
+use accel_landscape::joinhw::uniflow::UniFlowJoin;
+use accel_landscape::joinhw::{DesignParams, FlowModel, JoinOperator, NetworkKind};
+use accel_landscape::joinsw::baseline::reference_join;
+use accel_landscape::joinsw::handshake::{HandshakeConfig, HandshakeJoin};
+use accel_landscape::joinsw::splitjoin::{SplitJoin, SplitJoinConfig};
+use accel_landscape::streamcore::{JoinPredicate, MatchPair, StreamTag, Tuple};
+
+use common::{as_multiset, workload};
+
+const CORES: u32 = 4;
+const WINDOW: usize = 32;
+
+fn run_uniflow(inputs: &[(StreamTag, Tuple)], network: NetworkKind) -> Vec<MatchPair> {
+    let params =
+        DesignParams::new(FlowModel::UniFlow, CORES, WINDOW).with_network(network);
+    let mut join = UniFlowJoin::new(&params);
+    join.program(JoinOperator::equi(CORES));
+    drive_hw(&mut join, inputs)
+}
+
+fn run_biflow(inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
+    let params = DesignParams::new(FlowModel::BiFlow, CORES, WINDOW);
+    let mut join = BiFlowJoin::new(&params);
+    join.program(JoinOperator::equi(CORES));
+    let mut sim = Simulator::new();
+    let mut idx = 0;
+    while idx < inputs.len() {
+        let (tag, t) = inputs[idx];
+        if join.offer(tag, t) {
+            idx += 1;
+        }
+        sim.step(&mut join);
+        assert!(sim.cycle() < 50_000_000, "bi-flow stalled");
+    }
+    assert!(sim.run_until(&mut join, 50_000_000, |j| j.quiescent()));
+    join.drain_results()
+}
+
+fn drive_hw(join: &mut UniFlowJoin, inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
+    let mut sim = Simulator::new();
+    let mut idx = 0;
+    while idx < inputs.len() {
+        let (tag, t) = inputs[idx];
+        if join.offer(tag, t) {
+            idx += 1;
+        }
+        sim.step(join);
+        assert!(sim.cycle() < 10_000_000, "uni-flow stalled");
+    }
+    assert!(sim.run_until(join, 10_000_000, |j| j.quiescent()));
+    join.drain_results()
+}
+
+fn run_splitjoin_sw(inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
+    let join = SplitJoin::spawn(SplitJoinConfig::new(CORES as usize, WINDOW));
+    for &(tag, t) in inputs {
+        join.process(tag, t);
+    }
+    join.flush();
+    join.shutdown().results
+}
+
+fn run_handshake_sw(inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
+    let join = HandshakeJoin::spawn(HandshakeConfig::new(CORES as usize, WINDOW));
+    for &(tag, t) in inputs {
+        join.process(tag, t);
+        join.flush(); // serialize waves: strict semantics
+    }
+    join.shutdown().results
+}
+
+#[test]
+fn all_five_realizations_agree_with_the_reference() {
+    let inputs = workload(600, 8, 99);
+    let want = as_multiset(&reference_join(&inputs, WINDOW, JoinPredicate::Equi));
+    assert!(!want.is_empty(), "workload must produce matches");
+
+    assert_eq!(
+        as_multiset(&run_uniflow(&inputs, NetworkKind::Lightweight)),
+        want,
+        "uni-flow hardware (lightweight)"
+    );
+    assert_eq!(
+        as_multiset(&run_uniflow(&inputs, NetworkKind::Scalable)),
+        want,
+        "uni-flow hardware (scalable)"
+    );
+    assert_eq!(as_multiset(&run_biflow(&inputs)), want, "bi-flow hardware");
+    assert_eq!(
+        as_multiset(&run_splitjoin_sw(&inputs)),
+        want,
+        "software SplitJoin"
+    );
+    assert_eq!(
+        as_multiset(&run_handshake_sw(&inputs)),
+        want,
+        "software handshake join"
+    );
+}
+
+#[test]
+fn equivalence_holds_across_seeds_and_selectivities() {
+    for (seed, domain) in [(1u64, 4u32), (2, 16), (3, 64)] {
+        let inputs = workload(300, domain, seed);
+        let want = as_multiset(&reference_join(&inputs, WINDOW, JoinPredicate::Equi));
+        assert_eq!(
+            as_multiset(&run_uniflow(&inputs, NetworkKind::Lightweight)),
+            want,
+            "seed {seed} domain {domain} (hw)"
+        );
+        assert_eq!(
+            as_multiset(&run_splitjoin_sw(&inputs)),
+            want,
+            "seed {seed} domain {domain} (sw)"
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_under_bursty_arrivals() {
+    // Batched sensors: long same-stream runs stress the round-robin
+    // storage and the bi-flow chain's arrival ordering.
+    use accel_landscape::streamcore::workload::{ArrivalPattern, KeyDist, WorkloadSpec};
+    for burst in [5usize, 23, 150] {
+        let inputs: Vec<_> = WorkloadSpec::new(400, KeyDist::Uniform { domain: 8 })
+            .with_arrivals(ArrivalPattern::Bursty { burst })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, WINDOW, JoinPredicate::Equi));
+        assert!(!want.is_empty());
+        assert_eq!(
+            as_multiset(&run_uniflow(&inputs, NetworkKind::Scalable)),
+            want,
+            "burst {burst} (uni-flow hw)"
+        );
+        assert_eq!(as_multiset(&run_biflow(&inputs)), want, "burst {burst} (bi-flow hw)");
+        assert_eq!(
+            as_multiset(&run_splitjoin_sw(&inputs)),
+            want,
+            "burst {burst} (sw)"
+        );
+    }
+}
