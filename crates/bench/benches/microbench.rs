@@ -9,8 +9,8 @@ use fqp::assign::assign;
 use fqp::fabric::Fabric;
 use fqp::plan::{bind, Catalog};
 use fqp::query::Query;
-use hwsim::Simulator;
-use joinhw::harness::{build, prefill_steady_state};
+use hwsim::{ParSimulator, Simulator};
+use joinhw::harness::{build, prefill_steady_state, run_throughput, run_throughput_with};
 use joinhw::{DesignParams, FlowModel};
 use joinsw::baseline::NestedLoopJoin;
 use streamcore::workload::{KeyDist, WorkloadSpec};
@@ -36,6 +36,49 @@ fn hw_simulation(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+/// Sequential vs parallel simulation engines driving the same saturated
+/// 64-core uni-flow design. Thread counts come from `ACCEL_THREADS` (the
+/// CI matrix knob) with 1 and the host width as defaults; the quotient of
+/// the two lines is the parallel layer's wall-clock speedup on this host.
+fn par_simulation(c: &mut Criterion) {
+    const TUPLES: u64 = 64;
+    const KEY_DOMAIN: u32 = 1 << 20;
+    let params = DesignParams::new(FlowModel::UniFlow, 64, 1 << 12)
+        .with_network(joinhw::NetworkKind::Scalable);
+    let mut group = c.benchmark_group("par_simulation");
+    group.bench_function("sequential_64core_burst", |b| {
+        b.iter_batched(
+            || {
+                let mut join = build(&params);
+                prefill_steady_state(join.as_mut(), params.window_size);
+                join
+            },
+            |mut join| black_box(run_throughput(join.as_mut(), TUPLES, KEY_DOMAIN)),
+            BatchSize::PerIteration,
+        );
+    });
+    let threads = ParSimulator::auto().threads();
+    group.bench_function(format!("parallel_64core_burst_{threads}t"), |b| {
+        b.iter_batched(
+            || {
+                let mut join = build(&params);
+                prefill_steady_state(join.as_mut(), params.window_size);
+                join
+            },
+            |mut join| {
+                black_box(run_throughput_with(
+                    &mut ParSimulator::new(threads),
+                    join.as_mut(),
+                    TUPLES,
+                    KEY_DOMAIN,
+                ))
+            },
+            BatchSize::PerIteration,
+        );
+    });
     group.finish();
 }
 
@@ -210,6 +253,7 @@ fn fqp_fabric(c: &mut Criterion) {
 criterion_group!(
     benches,
     hw_simulation,
+    par_simulation,
     synthesis_model,
     sw_probe,
     workload_generation,

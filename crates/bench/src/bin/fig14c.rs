@@ -1,4 +1,11 @@
 //! Regenerates the paper's fig14c experiment. Run with --release.
+//!
+//! Pass `--threads N` to also run every point on an N-wide parallel
+//! simulation pool and report the wall-clock speedup (the measured
+//! throughput itself is engine-invariant).
 fn main() {
-    println!("{}", bench::fig14c());
+    match bench::threads_from_args() {
+        Some(threads) => println!("{}", bench::fig14c_threads(threads)),
+        None => println!("{}", bench::fig14c()),
+    }
 }

@@ -1,4 +1,11 @@
 //! Regenerates the paper's fig15 experiment. Run with --release.
+//!
+//! Pass `--threads N` to also run every point on an N-wide parallel
+//! simulation pool and report the wall-clock speedup (the measured
+//! cycle counts are engine-invariant).
 fn main() {
-    println!("{}", bench::fig15());
+    match bench::threads_from_args() {
+        Some(threads) => println!("{}", bench::fig15_threads(threads)),
+        None => println!("{}", bench::fig15()),
+    }
 }

@@ -1,11 +1,14 @@
 //! Hardware-side figures: 14a, 14b, 14c (throughput), 15 (latency),
 //! 17 (clock frequency), and the Section V power table.
 
+use std::time::Instant;
+
 use hwsim::devices::{XC5VLX50T, XC7VX485T, XCVU9P};
-use hwsim::{estimate_fmax, Device};
+use hwsim::{estimate_fmax, Device, ParSimulator};
 use joinhw::harness::{
     self, biflow_throughput_model, prefill_planted, prefill_steady_state, run_latency,
-    run_throughput, uniflow_throughput_model,
+    run_latency_with, run_throughput, run_throughput_with, uniflow_throughput_model,
+    LatencyRun, ThroughputRun,
 };
 use joinhw::{DesignParams, FlowModel, JoinAlgorithm, NetworkKind};
 use streamcore::{StreamTag, Tuple};
@@ -123,6 +126,38 @@ fn measure_biflow_mtps(params: &DesignParams) -> f64 {
     run.at_clock(100.0).million_per_second()
 }
 
+/// One throughput point timed under both engines: the sequential
+/// [`ThroughputRun`] (with its wall-clock cost), and — when `threads > 1`
+/// — the identical run on a [`ParSimulator`] pool. Panics if the two
+/// engines disagree, which would break the parallel layer's cycle-exact
+/// contract.
+fn measure_run_timed(
+    params: &DesignParams,
+    threads: usize,
+) -> (ThroughputRun, f64, Option<f64>) {
+    let tuples = tuples_for(params.sub_window());
+    let mut join = harness::build(params);
+    prefill_steady_state(join.as_mut(), params.window_size);
+    let seq_start = Instant::now();
+    let seq = run_throughput(join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
+    let seq_wall = seq_start.elapsed().as_secs_f64();
+    if threads <= 1 {
+        return (seq, seq_wall, None);
+    }
+    let mut join = harness::build(params);
+    prefill_steady_state(join.as_mut(), params.window_size);
+    let par_start = Instant::now();
+    let par = run_throughput_with(
+        &mut ParSimulator::new(threads),
+        join.as_mut(),
+        tuples,
+        THROUGHPUT_KEY_DOMAIN,
+    );
+    let par_wall = par_start.elapsed().as_secs_f64();
+    assert_eq!(seq, par, "parallel engine must be cycle-exact");
+    (seq, seq_wall, Some(par_wall))
+}
+
 /// Fig. 14c — uni-flow throughput with 512 join cores on Virtex-7
 /// @300 MHz (scalable networks) across windows 2^11–2^18.
 pub fn fig14c() -> Table {
@@ -149,6 +184,72 @@ pub fn fig14c() -> Table {
         }
     }
     t.note("paper: ~2 orders of magnitude over the Virtex-5 realization at window 2^13");
+    t
+}
+
+/// [`fig14c`] with each point also simulated on a `threads`-wide
+/// [`ParSimulator`] pool: the measured throughput must match the
+/// sequential engine exactly (the runs are cycle-identical); the extra
+/// columns report the simulation's wall-clock cost per engine and the
+/// resulting speedup. Backs the `fig14c` binary's `--threads` knob.
+pub fn fig14c_threads(threads: usize) -> Table {
+    // 0 = host auto (ACCEL_THREADS, else available parallelism), the same
+    // resolution `ParSimulator::new(0)` would apply; resolve it up front so
+    // the `threads <= 1` sequential-only guard sees the real pool width.
+    let threads = if threads == 0 { ParSimulator::auto().threads() } else { threads };
+    let mut t = Table::new(
+        "Fig. 14c — uni-flow, 512 cores, Virtex-7 (300 MHz, scalable networks)",
+        &["window", "model Mt/s", "measured Mt/s", "seq wall s", "par wall s", "speedup"],
+    );
+    let cores = 512u32;
+    let mut seq_total = 0.0f64;
+    let mut par_total = 0.0f64;
+    for exp in 11..=18u32 {
+        let window = 1usize << exp;
+        let params = DesignParams::new(FlowModel::UniFlow, cores, window)
+            .with_network(NetworkKind::Scalable);
+        match params.synthesize_at(&XC7VX485T, 300.0) {
+            Ok(_) => {
+                let model = uniflow_throughput_model(window, cores, 300.0) / 1e6;
+                let (run, seq_wall, par_wall) = measure_run_timed(&params, threads);
+                let measured = run.at_clock(300.0).million_per_second();
+                seq_total += seq_wall;
+                let (par_cell, speedup_cell) = match par_wall {
+                    Some(p) => {
+                        par_total += p;
+                        (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
+                    }
+                    None => ("-".into(), "-".into()),
+                };
+                t.row(vec![
+                    format!("2^{exp}"),
+                    format!("{model:.3}"),
+                    format!("{measured:.3}"),
+                    format!("{seq_wall:.3}"),
+                    par_cell,
+                    speedup_cell,
+                ]);
+            }
+            Err(e) => t.row(vec![
+                format!("2^{exp}"),
+                "n/a".into(),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    if threads > 1 && par_total > 0.0 {
+        t.note(format!(
+            "--threads {threads}: total simulation wall clock {seq_total:.2}s sequential vs \
+             {par_total:.2}s parallel ({:.2}x); throughput columns are engine-invariant \
+             (cycle-exact)",
+            seq_total / par_total
+        ));
+    } else {
+        t.note("run with --threads N to time the parallel simulation engine");
+    }
     t
 }
 
@@ -196,6 +297,98 @@ pub fn fig15() -> Table {
         }
     }
     t.note("paper: cycles similar across networks; lightweight loses in time via clock drop");
+    t
+}
+
+/// One latency point under both engines; panics if the parallel engine
+/// is not cycle-exact. Returns the run, the sequential wall clock, and
+/// the parallel wall clock when `threads > 1`.
+fn measure_latency_timed(
+    params: &DesignParams,
+    threads: usize,
+) -> (LatencyRun, f64, Option<f64>) {
+    const PROBE_KEY: u32 = 7;
+    const MAX_CYCLES: u64 = 20_000_000;
+    let probe = (StreamTag::R, Tuple::new(PROBE_KEY, u32::MAX));
+    let mut join = harness::build(params);
+    prefill_planted(join.as_mut(), params, PROBE_KEY);
+    let seq_start = Instant::now();
+    let seq = run_latency(join.as_mut(), probe, MAX_CYCLES).expect("latency probe quiesces");
+    let seq_wall = seq_start.elapsed().as_secs_f64();
+    if threads <= 1 {
+        return (seq, seq_wall, None);
+    }
+    let mut join = harness::build(params);
+    prefill_planted(join.as_mut(), params, PROBE_KEY);
+    let par_start = Instant::now();
+    let par = run_latency_with(&mut ParSimulator::new(threads), join.as_mut(), probe, MAX_CYCLES)
+        .expect("latency probe quiesces");
+    let par_wall = par_start.elapsed().as_secs_f64();
+    assert_eq!(seq, par, "parallel engine must be cycle-exact");
+    (seq, seq_wall, Some(par_wall))
+}
+
+/// [`fig15`] with each point also simulated on a `threads`-wide
+/// [`ParSimulator`] pool; cycle counts are engine-invariant and the
+/// extra columns report simulation wall clock and speedup. Backs the
+/// `fig15` binary's `--threads` knob.
+pub fn fig15_threads(threads: usize) -> Table {
+    // 0 = host auto; see `fig14c_threads`.
+    let threads = if threads == 0 { ParSimulator::auto().threads() } else { threads };
+    let mut t = Table::new(
+        "Fig. 15 — uni-flow latency (planted match per core)",
+        &["series", "cores", "cycles", "latency us", "seq wall s", "par wall s", "speedup"],
+    );
+    let series: [(&str, &Device, NetworkKind, usize, Option<f64>); 3] = [
+        ("W 2^18 (V7)", &XC7VX485T, NetworkKind::Lightweight, 1 << 18, None),
+        ("W 2^18 (V7s)", &XC7VX485T, NetworkKind::Scalable, 1 << 18, Some(300.0)),
+        ("W 2^13 (V5)", &XC5VLX50T, NetworkKind::Lightweight, 1 << 13, Some(100.0)),
+    ];
+    let mut seq_total = 0.0f64;
+    let mut par_total = 0.0f64;
+    for (name, device, network, window, fixed_clock) in series {
+        for exp in 1..=9u32 {
+            let cores = 1u32 << exp;
+            let params =
+                DesignParams::new(FlowModel::UniFlow, cores, window).with_network(network);
+            let report = match fixed_clock {
+                Some(mhz) => params.synthesize_at(device, mhz),
+                None => params.synthesize(device),
+            };
+            let Ok(report) = report else {
+                continue; // beyond the device's capacity for this series
+            };
+            let (run, seq_wall, par_wall) = measure_latency_timed(&params, threads);
+            seq_total += seq_wall;
+            let (par_cell, speedup_cell) = match par_wall {
+                Some(p) => {
+                    par_total += p;
+                    (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
+                }
+                None => ("-".into(), "-".into()),
+            };
+            let cycles = run.cycles_to_last_result;
+            let mhz = report.clock.mhz();
+            t.row(vec![
+                name.to_string(),
+                cores.to_string(),
+                cycles.to_string(),
+                format!("{:.2}", cycles as f64 / mhz),
+                format!("{seq_wall:.3}"),
+                par_cell,
+                speedup_cell,
+            ]);
+        }
+    }
+    if threads > 1 && par_total > 0.0 {
+        t.note(format!(
+            "--threads {threads}: total simulation wall clock {seq_total:.2}s sequential vs \
+             {par_total:.2}s parallel ({:.2}x); cycle counts are engine-invariant (cycle-exact)",
+            seq_total / par_total
+        ));
+    } else {
+        t.note("run with --threads N to time the parallel simulation engine");
+    }
     t
 }
 

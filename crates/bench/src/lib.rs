@@ -28,7 +28,7 @@ mod table;
 
 pub use hwfigs::{
     cloudscale_projection, deferral_ablation, fanout_ablation, fig14a, fig14b, fig14c,
-    fig15, fig17, hashjoin_ablation, power,
+    fig14c_threads, fig15, fig15_threads, fig17, hashjoin_ablation, power,
 };
 pub use reconfigfig::{deployment_paths, live_requery};
 pub use swfigs::{fig14d, fig14d_windows, fig16, fig16_config};
@@ -69,6 +69,27 @@ pub fn precision_ablation() -> Table {
     }
     t.note("SplitJoin's 'adjustable ordering precision': shallower buffers = stricter semantics");
     t
+}
+
+/// Parses a `--threads N` (or `--threads=N`) flag from the process
+/// arguments. `None` when absent; `Some(0)` means "size from the host"
+/// (`hwsim::ParSimulator::new(0)` resolves it).
+pub fn threads_from_args() -> Option<usize> {
+    fn bad(got: &str) -> ! {
+        eprintln!("error: --threads requires a non-negative integer (0 = host auto), got `{got}`");
+        std::process::exit(2);
+    }
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--threads" {
+            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+            return Some(v.parse().unwrap_or_else(|_| bad(v)));
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return Some(v.parse().unwrap_or_else(|_| bad(v)));
+        }
+    }
+    None
 }
 
 /// Every figure and table, in paper order.

@@ -10,6 +10,11 @@
 //!   stage register updates against the state at the start of the cycle)
 //!   and then *commit* (latch the staged updates). Evaluation order never
 //!   affects results;
+//! * a **parallel scheduling layer** ([`par`]): designs that expose
+//!   independent sub-trees via [`Sharded`] can be driven by a
+//!   [`ParSimulator`] that evaluates shards across a persistent worker
+//!   pool with a barrier per phase — cycle-exact with respect to the
+//!   sequential [`Simulator`];
 //! * **hardware building blocks**: registered FIFOs ([`Fifo`]), registers
 //!   ([`Register`]), fixed delay lines ([`DelayLine`]), and a block-RAM
 //!   model ([`Bram`]) with port accounting and activity counters;
@@ -60,13 +65,17 @@
 //! assert_eq!(p.output.pop(), Some(8));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `par` module's worker pool hands shard
+// pointers across threads and carries the crate's only `unsafe`, behind a
+// module-local allow with documented invariants.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bram;
 mod device;
 mod error;
 mod fifo;
+pub mod par;
 mod power;
 mod reg;
 mod resources;
@@ -78,6 +87,7 @@ pub use bram::{Bram, BramStats};
 pub use device::{devices, Device, Family};
 pub use error::{CapacityError, FifoFullError};
 pub use fifo::Fifo;
+pub use par::{Control, Engine, ParSimulator, Shard, Sharded};
 pub use power::{PowerModel, PowerReport};
 pub use reg::{DelayLine, Register};
 pub use resources::{MemoryMapping, Resources, Utilization};

@@ -1,0 +1,794 @@
+//! Parallel scheduling layer for the two-phase simulation kernel.
+//!
+//! The two-phase discipline ([`Component`]) guarantees that *sibling*
+//! components — components that do not touch each other's state within a
+//! phase — can evaluate in any order. [`ParSimulator`] exploits the
+//! stronger corollary: siblings can evaluate *concurrently*. A design
+//! exposes its independent sub-trees ("shards") through the [`Sharded`]
+//! trait, and the parallel engine partitions them across a pool of worker
+//! threads that stays alive for an entire [`run_driven`](Engine::run_driven)
+//! call, amortizing thread start-up over the whole run.
+//!
+//! # Barrier schedule
+//!
+//! Every simulated cycle executes the same phase sequence, with a
+//! rendezvous (`⊣`) after each parallel region:
+//!
+//! ```text
+//! coord_begin_cycle → [shard begin_cycle ∥ …] ⊣
+//! coord_eval_pre    → [shard eval        ∥ …] ⊣
+//! coord_eval_post   →
+//! coord_commit      → [shard commit      ∥ …] ⊣
+//! ```
+//!
+//! Coordinator phases run exclusively on the driving thread; shard phases
+//! run across the pool (the driving thread processes chunk 0 itself).
+//! Because shards never share state with each other, and the coordinator
+//! only touches shard state in its exclusive phases, every cross-thread
+//! interaction is ordered by a barrier — the schedule is *cycle-exact*:
+//! it produces bit-identical state evolution to the sequential
+//! [`Simulator`] stepping the same design.
+//!
+//! # Why this is safe
+//!
+//! Shard references are re-borrowed from the design (via
+//! [`Sharded::shards`]) immediately before each parallel region and
+//! released at its barrier; the coordinator does not touch the design
+//! while workers hold them. The pointer hand-off to worker threads is the
+//! one place `unsafe` appears (see `SendPtr`), with disjointness
+//! guaranteed by chunked partitioning and ordering guaranteed by the
+//! barrier's release/acquire pairs.
+
+#![allow(unsafe_code)]
+
+use crate::sim::{Component, Simulator};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Driver verdict returned by a [`run_driven`](Engine::run_driven) tick
+/// callback, controlling how the engine proceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Simulate one cycle, then call the tick again.
+    Continue,
+    /// Stop before simulating another cycle.
+    Stop,
+    /// Simulate `n` cycles (at least one) without calling the tick —
+    /// the batched drive mode. Only legal when the driver knows no
+    /// observation or injection is needed inside the gap; per-cycle
+    /// drivers (saturation offers, latency tracking) must use
+    /// [`Control::Continue`] to stay cycle-exact.
+    Skip(u64),
+}
+
+/// A unit of parallel work: an independent sub-tree of a design.
+///
+/// Automatically implemented for every `Component + Send` type. Shards
+/// handed out by one [`Sharded::shards`] call must be mutually disjoint
+/// (the borrow checker enforces this) and independent: a shard's
+/// `begin_cycle`/`eval`/`commit` must not observe any other shard's
+/// state.
+pub trait Shard: Send {
+    /// [`Component::begin_cycle`] for this shard.
+    fn begin_cycle(&mut self);
+    /// [`Component::eval`] for this shard.
+    fn eval(&mut self);
+    /// [`Component::commit`] for this shard.
+    fn commit(&mut self);
+}
+
+impl<T: Component + Send> Shard for T {
+    fn begin_cycle(&mut self) {
+        Component::begin_cycle(self);
+    }
+    fn eval(&mut self) {
+        Component::eval(self);
+    }
+    fn commit(&mut self) {
+        Component::commit(self);
+    }
+}
+
+/// A design that can expose parallel shards to a [`ParSimulator`].
+///
+/// The decomposition must be *exactly equivalent* to the plain
+/// [`Component`] cycle:
+///
+/// * `begin_cycle()` ≡ `coord_begin_cycle()` + every shard's
+///   `begin_cycle()` (any order — the states are disjoint);
+/// * `eval()` ≡ `coord_eval_pre()`, then every shard's `eval()` (any
+///   order), then `coord_eval_post()`;
+/// * `commit()` ≡ `coord_commit()` + every shard's `commit()` (any
+///   order).
+///
+/// Contract for implementors:
+///
+/// * [`coord_begin_cycle`](Sharded::coord_begin_cycle) and
+///   [`coord_commit`](Sharded::coord_commit) must not touch shard state
+///   (they may run while shards are mid-phase on other threads);
+/// * [`coord_eval_pre`](Sharded::coord_eval_pre) and
+///   [`coord_eval_post`](Sharded::coord_eval_post) run exclusively and
+///   *may* touch shard state — this is where networks push into and pop
+///   out of the shards' two-phase FIFOs;
+/// * [`shards`](Sharded::shards) must report the same decomposition on
+///   every call within one run.
+///
+/// Every method has a default forwarding to the sequential [`Component`]
+/// implementation with an empty shard list, so `impl Sharded for T {}`
+/// opts a design out of parallelism (a [`ParSimulator`] then degenerates
+/// to the sequential schedule, still cycle-exact).
+pub trait Sharded: Component {
+    /// Begin-phase work for coordinator-owned state only.
+    fn coord_begin_cycle(&mut self) {
+        Component::begin_cycle(self);
+    }
+
+    /// Eval-phase work that must happen *before* shard evaluation
+    /// (e.g. distribution networks staging pushes into shard FIFOs).
+    fn coord_eval_pre(&mut self) {
+        Component::eval(self);
+    }
+
+    /// Eval-phase work that must happen *after* shard evaluation
+    /// (e.g. gathering networks collecting from shard FIFOs).
+    fn coord_eval_post(&mut self) {}
+
+    /// Commit-phase work for coordinator-owned state only.
+    fn coord_commit(&mut self) {
+        Component::commit(self);
+    }
+
+    /// The design's independent sub-trees. Empty (the default) means the
+    /// design is driven entirely by the coordinator phases.
+    fn shards(&mut self) -> Vec<&mut dyn Shard> {
+        Vec::new()
+    }
+}
+
+/// A simulation engine that can drive a [`Sharded`] design under a
+/// driver callback. Implemented by the sequential [`Simulator`] and the
+/// parallel [`ParSimulator`], so harnesses can be generic over both.
+pub trait Engine {
+    /// Clock cycles simulated so far.
+    fn cycle(&self) -> u64;
+
+    /// Drives `root` for at most `max_cycles` cycles. Before each cycle
+    /// the `tick` callback runs on the driving thread (with every worker
+    /// quiescent, so it may freely inspect and mutate the design) and
+    /// decides how to proceed; see [`Control`]. Returns `true` if the
+    /// tick stopped the run, `false` if the cycle budget ran out.
+    fn run_driven<S: Sharded + ?Sized>(
+        &mut self,
+        root: &mut S,
+        max_cycles: u64,
+        tick: &mut dyn FnMut(&mut S, u64) -> Control,
+    ) -> bool;
+}
+
+impl Engine for Simulator {
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn run_driven<S: Sharded + ?Sized>(
+        &mut self,
+        root: &mut S,
+        max_cycles: u64,
+        tick: &mut dyn FnMut(&mut S, u64) -> Control,
+    ) -> bool {
+        let mut free = 0u64;
+        for _ in 0..max_cycles {
+            if free == 0 {
+                match tick(root, self.cycle()) {
+                    Control::Stop => return true,
+                    Control::Continue => free = 1,
+                    Control::Skip(n) => free = n.max(1),
+                }
+            }
+            self.step(root);
+            free -= 1;
+        }
+        false
+    }
+}
+
+const OP_BEGIN: u64 = 0;
+const OP_EVAL: u64 = 1;
+const OP_COMMIT: u64 = 2;
+const OP_EXIT: u64 = 3;
+
+/// A raw pointer to a shard that may cross a thread boundary.
+///
+/// Safety rests on the pool protocol, not the type: each pointer is
+/// dereferenced by exactly one thread per phase (disjoint chunks), only
+/// between a phase release and that thread's completion signal, while
+/// the `&mut` borrow it was derived from is live on the coordinator.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut dyn Shard);
+
+// SAFETY: see `SendPtr` — exclusivity and ordering are enforced by the
+// phase barriers in `Gate`.
+unsafe impl Send for SendPtr {}
+
+/// Shared state between the coordinator and the worker pool.
+struct Gate {
+    /// Bumped once per phase release; workers wait for it to change.
+    epoch: AtomicU64,
+    /// Which shard operation the current phase runs (`OP_*`).
+    op: AtomicU64,
+    /// Workers that have not finished the current phase.
+    remaining: AtomicUsize,
+    /// Workers that died to a panic (excluded from future phases so the
+    /// run unwinds instead of deadlocking; the panic resurfaces when the
+    /// thread scope joins).
+    dead: AtomicUsize,
+    /// Shard pointers for the current phase, re-staged every phase.
+    jobs: Mutex<Vec<SendPtr>>,
+    /// Pool size including the coordinator.
+    threads: usize,
+}
+
+impl Gate {
+    fn new(threads: usize) -> Self {
+        Gate {
+            epoch: AtomicU64::new(0),
+            op: AtomicU64::new(OP_EXIT),
+            remaining: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+            jobs: Mutex::new(Vec::new()),
+            threads,
+        }
+    }
+
+    /// The job range worker `index` owns when `len` shards are staged.
+    fn chunk(&self, len: usize, index: usize) -> (usize, usize) {
+        (len * index / self.threads, len * (index + 1) / self.threads)
+    }
+
+    /// Stages the shard pointers for the next phase. Callable only while
+    /// every worker is quiescent.
+    fn stage(&self, shards: Vec<&mut dyn Shard>) {
+        let mut jobs = self.jobs.lock().expect("pool poisoned");
+        jobs.clear();
+        jobs.extend(shards.into_iter().map(|s| {
+            let ptr: *mut (dyn Shard + '_) = s;
+            // SAFETY: pure lifetime erasure (identical layout); every use
+            // of the pointer happens before the next exclusive access to
+            // the design, i.e. while the erased borrow is still live.
+            SendPtr(unsafe {
+                std::mem::transmute::<*mut (dyn Shard + '_), *mut (dyn Shard + 'static)>(ptr)
+            })
+        }));
+    }
+
+    /// Releases the pool into a phase running `op` on every shard.
+    fn release(&self, op: u64) {
+        let live = self.threads - 1 - self.dead.load(Ordering::Acquire);
+        self.remaining.store(live, Ordering::Release);
+        self.op.store(op, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Runs worker `index`'s chunk of the current phase on this thread.
+    fn run_chunk(&self, index: usize, op: u64, scratch: &mut Vec<SendPtr>) {
+        scratch.clear();
+        {
+            let jobs = self.jobs.lock().expect("pool poisoned");
+            let (lo, hi) = self.chunk(jobs.len(), index);
+            scratch.extend_from_slice(&jobs[lo..hi]);
+        }
+        for ptr in scratch.iter() {
+            // SAFETY: `ptr` came from a `&mut dyn Shard` staged for this
+            // phase; chunks are disjoint, so this thread has exclusive
+            // access, and the release/acquire pair on `epoch` /
+            // `remaining` orders the access against the coordinator.
+            let shard = unsafe { &mut *ptr.0 };
+            match op {
+                OP_BEGIN => shard.begin_cycle(),
+                OP_EVAL => shard.eval(),
+                _ => shard.commit(),
+            }
+        }
+    }
+
+    /// Spins (then yields) until every worker finished the phase.
+    fn wait_workers(&self) {
+        spin_until(|| self.remaining.load(Ordering::Acquire) == 0);
+    }
+}
+
+fn spin_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            // On oversubscribed hosts (more workers than CPUs) this path
+            // keeps barriers making progress instead of burning a quantum.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Marks the worker dead if its shard work panics, so the coordinator's
+/// barriers keep functioning while the panic propagates to the scope
+/// join.
+struct WorkerPanicGuard<'a> {
+    gate: &'a Gate,
+    in_phase: bool,
+}
+
+impl Drop for WorkerPanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.in_phase {
+            self.gate.dead.fetch_add(1, Ordering::Release);
+            self.gate.remaining.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
+fn worker_loop(gate: &Gate, index: usize) {
+    // The epoch at pool creation is 0; starting from the *current* value
+    // instead would race with an early first release and miss the phase.
+    let mut seen = 0u64;
+    let mut scratch: Vec<SendPtr> = Vec::new();
+    let mut guard = WorkerPanicGuard { gate, in_phase: false };
+    loop {
+        spin_until(|| gate.epoch.load(Ordering::Acquire) != seen);
+        seen = gate.epoch.load(Ordering::Acquire);
+        let op = gate.op.load(Ordering::Acquire);
+        if op == OP_EXIT {
+            return;
+        }
+        guard.in_phase = true;
+        gate.run_chunk(index, op, &mut scratch);
+        guard.in_phase = false;
+        gate.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Releases the pool for exit even when the coordinator unwinds, so the
+/// thread scope can always join.
+struct ShutdownGuard<'a>(&'a Gate);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release(OP_EXIT);
+    }
+}
+
+/// A drop-in parallel alternative to [`Simulator`] for [`Sharded`]
+/// designs.
+///
+/// With `threads <= 1`, or for designs with fewer than two shards, it
+/// runs the plain sequential [`Component`] schedule — zero threads, zero
+/// barriers, bit-identical to [`Simulator`]. Otherwise it runs the
+/// barrier schedule described in the [module docs](self), which is
+/// cycle-exact by construction: every test configuration must produce
+/// identical cycle counts, results, and statistics to the sequential
+/// engine (see the cross-engine equivalence suite at the workspace
+/// root).
+#[derive(Debug, Clone)]
+pub struct ParSimulator {
+    threads: usize,
+    cycle: u64,
+}
+
+impl ParSimulator {
+    /// Creates an engine using up to `threads` OS threads per run
+    /// (including the driving thread). `0` is treated as [`auto`](Self::auto).
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Self::auto()
+        } else {
+            ParSimulator { threads, cycle: 0 }
+        }
+    }
+
+    /// Creates an engine sized from the `ACCEL_THREADS` environment
+    /// variable if set, else from the host's available parallelism.
+    pub fn auto() -> Self {
+        let threads = std::env::var("ACCEL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        ParSimulator { threads, cycle: 0 }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the design by one clock cycle, sequentially (one cycle
+    /// cannot amortize a pool; use [`run`](Self::run) or
+    /// [`run_driven`](Engine::run_driven) for parallel execution).
+    pub fn step<S: Sharded + ?Sized>(&mut self, root: &mut S) {
+        root.begin_cycle();
+        root.eval();
+        root.commit();
+        self.cycle += 1;
+    }
+
+    /// Advances the design by `cycles` clock cycles with the worker pool
+    /// held for the whole batch (the batched drive mode).
+    pub fn run<S: Sharded + ?Sized>(&mut self, root: &mut S, cycles: u64) {
+        if cycles > 0 {
+            self.run_driven(root, cycles, &mut |_, _| Control::Skip(cycles));
+        }
+    }
+
+    /// Steps until `done` returns `true` (checked between cycles), or
+    /// until `max_cycles` elapse. Returns `true` if the predicate fired.
+    /// Matches [`Simulator::run_until`] exactly, cycle for cycle.
+    pub fn run_until<S, F>(&mut self, root: &mut S, max_cycles: u64, mut done: F) -> bool
+    where
+        S: Sharded + ?Sized,
+        F: FnMut(&S) -> bool,
+    {
+        let start = self.cycle;
+        let fired = self.run_driven(root, max_cycles, &mut |r, c| {
+            if c > start && done(r) {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        // The sequential engine checks the predicate after the final
+        // cycle of the budget; the driven loop's tick runs only before
+        // cycles, so mirror that last check here.
+        fired || (self.cycle > start && done(root))
+    }
+
+    fn run_driven_sequential<S: Sharded + ?Sized>(
+        &mut self,
+        root: &mut S,
+        max_cycles: u64,
+        tick: &mut dyn FnMut(&mut S, u64) -> Control,
+    ) -> bool {
+        let mut free = 0u64;
+        for _ in 0..max_cycles {
+            if free == 0 {
+                match tick(root, self.cycle) {
+                    Control::Stop => return true,
+                    Control::Continue => free = 1,
+                    Control::Skip(n) => free = n.max(1),
+                }
+            }
+            root.begin_cycle();
+            root.eval();
+            root.commit();
+            self.cycle += 1;
+            free -= 1;
+        }
+        false
+    }
+
+    fn run_driven_parallel<S: Sharded + ?Sized>(
+        &mut self,
+        root: &mut S,
+        max_cycles: u64,
+        tick: &mut dyn FnMut(&mut S, u64) -> Control,
+        threads: usize,
+    ) -> bool {
+        let gate = Gate::new(threads);
+        std::thread::scope(|scope| {
+            for index in 1..threads {
+                let gate = &gate;
+                scope.spawn(move || worker_loop(gate, index));
+            }
+            let _shutdown = ShutdownGuard(&gate);
+            let mut scratch: Vec<SendPtr> = Vec::new();
+            let mut free = 0u64;
+            for _ in 0..max_cycles {
+                if free == 0 {
+                    // Workers are quiescent here: the tick may inspect
+                    // and mutate the whole design (offer tuples, drain
+                    // results, test quiescence).
+                    match tick(root, self.cycle) {
+                        Control::Stop => return true,
+                        Control::Continue => free = 1,
+                        Control::Skip(n) => free = n.max(1),
+                    }
+                }
+                // Begin phase.
+                root.coord_begin_cycle();
+                gate.stage(root.shards());
+                gate.release(OP_BEGIN);
+                gate.run_chunk(0, OP_BEGIN, &mut scratch);
+                gate.wait_workers();
+                // Eval phase.
+                root.coord_eval_pre();
+                gate.stage(root.shards());
+                gate.release(OP_EVAL);
+                gate.run_chunk(0, OP_EVAL, &mut scratch);
+                gate.wait_workers();
+                root.coord_eval_post();
+                // Commit phase.
+                root.coord_commit();
+                gate.stage(root.shards());
+                gate.release(OP_COMMIT);
+                gate.run_chunk(0, OP_COMMIT, &mut scratch);
+                gate.wait_workers();
+                self.cycle += 1;
+                free -= 1;
+            }
+            false
+        })
+    }
+}
+
+impl Default for ParSimulator {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Engine for ParSimulator {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn run_driven<S: Sharded + ?Sized>(
+        &mut self,
+        root: &mut S,
+        max_cycles: u64,
+        tick: &mut dyn FnMut(&mut S, u64) -> Control,
+    ) -> bool {
+        let threads = self.threads.min(root.shards().len());
+        if threads <= 1 {
+            self.run_driven_sequential(root, max_cycles, tick)
+        } else {
+            self.run_driven_parallel(root, max_cycles, tick, threads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Register;
+
+    /// A bank of independent counters: the canonical sharded design.
+    /// Each lane also records which cycles it observed, so tests can
+    /// verify the schedule, not just the end state.
+    struct Lane {
+        reg: Register<u64>,
+        evals: u64,
+    }
+
+    impl Component for Lane {
+        fn begin_cycle(&mut self) {}
+        fn eval(&mut self) {
+            self.evals += 1;
+            let next = self.reg.get() + 1;
+            self.reg.set(next);
+        }
+        fn commit(&mut self) {
+            self.reg.commit();
+        }
+    }
+
+    struct Bank {
+        lanes: Vec<Lane>,
+        coord_pre: u64,
+        coord_post: u64,
+    }
+
+    impl Bank {
+        fn new(n: usize) -> Self {
+            Bank {
+                lanes: (0..n)
+                    .map(|_| Lane { reg: Register::new(0), evals: 0 })
+                    .collect(),
+                coord_pre: 0,
+                coord_post: 0,
+            }
+        }
+    }
+
+    impl Component for Bank {
+        fn begin_cycle(&mut self) {}
+        fn eval(&mut self) {
+            self.coord_pre += 1;
+            for lane in &mut self.lanes {
+                Component::eval(lane);
+            }
+            self.coord_post += 1;
+        }
+        fn commit(&mut self) {
+            for lane in &mut self.lanes {
+                Component::commit(lane);
+            }
+        }
+    }
+
+    impl Sharded for Bank {
+        fn coord_begin_cycle(&mut self) {}
+        fn coord_eval_pre(&mut self) {
+            self.coord_pre += 1;
+        }
+        fn coord_eval_post(&mut self) {
+            self.coord_post += 1;
+        }
+        fn coord_commit(&mut self) {}
+        fn shards(&mut self) -> Vec<&mut dyn Shard> {
+            self.lanes.iter_mut().map(|l| l as &mut dyn Shard).collect()
+        }
+    }
+
+    fn check_bank(bank: &Bank, cycles: u64) {
+        for lane in &bank.lanes {
+            assert_eq!(*lane.reg.get(), cycles);
+            assert_eq!(lane.evals, cycles);
+        }
+        assert_eq!(bank.coord_pre, cycles);
+        assert_eq!(bank.coord_post, cycles);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut bank = Bank::new(7);
+            let mut sim = ParSimulator::new(threads);
+            sim.run(&mut bank, 100);
+            assert_eq!(sim.cycle(), 100);
+            check_bank(&bank, 100);
+        }
+    }
+
+    #[test]
+    fn thread_budget_exceeding_shards_is_clamped() {
+        let mut bank = Bank::new(2);
+        let mut sim = ParSimulator::new(64);
+        sim.run(&mut bank, 10);
+        check_bank(&bank, 10);
+    }
+
+    #[test]
+    fn driven_tick_sees_committed_state_every_cycle() {
+        let mut bank = Bank::new(5);
+        let mut sim = ParSimulator::new(4);
+        let mut observed = Vec::new();
+        sim.run_driven(&mut bank, 50, &mut |b: &mut Bank, cycle| {
+            observed.push((cycle, *b.lanes[0].reg.get()));
+            Control::Continue
+        });
+        // At each tick the lane value equals the cycle count: every
+        // commit landed before the tick ran.
+        assert_eq!(observed.len(), 50);
+        for (cycle, value) in observed {
+            assert_eq!(value, cycle);
+        }
+    }
+
+    #[test]
+    fn stop_ends_run_immediately() {
+        let mut bank = Bank::new(4);
+        let mut sim = ParSimulator::new(4);
+        let stopped = sim.run_driven(&mut bank, 1_000, &mut |_, cycle| {
+            if cycle == 17 { Control::Stop } else { Control::Continue }
+        });
+        assert!(stopped);
+        assert_eq!(sim.cycle(), 17);
+        check_bank(&bank, 17);
+    }
+
+    #[test]
+    fn skip_batches_cycles_between_ticks() {
+        let mut bank = Bank::new(4);
+        let mut sim = ParSimulator::new(4);
+        let mut ticks = 0u64;
+        sim.run_driven(&mut bank, 100, &mut |_, _| {
+            ticks += 1;
+            Control::Skip(25)
+        });
+        assert_eq!(ticks, 4);
+        check_bank(&bank, 100);
+    }
+
+    #[test]
+    fn run_until_matches_sequential_semantics() {
+        // Fire mid-run.
+        let mut bank = Bank::new(3);
+        let mut par = ParSimulator::new(3);
+        let fired = par.run_until(&mut bank, 100, |b| *b.lanes[0].reg.get() == 7);
+        assert!(fired);
+        assert_eq!(par.cycle(), 7);
+
+        // Budget exhaustion: predicate never fires.
+        let mut bank = Bank::new(3);
+        let mut par = ParSimulator::new(3);
+        let fired = par.run_until(&mut bank, 5, |b| *b.lanes[0].reg.get() == 7);
+        assert!(!fired);
+        assert_eq!(par.cycle(), 5);
+
+        // Fires exactly on the last budgeted cycle, like Simulator.
+        let mut bank = Bank::new(3);
+        let mut par = ParSimulator::new(3);
+        let fired = par.run_until(&mut bank, 7, |b| *b.lanes[0].reg.get() == 7);
+        assert!(fired);
+    }
+
+    #[test]
+    fn unsharded_designs_fall_back_to_sequential() {
+        struct Plain(Register<u64>);
+        impl Component for Plain {
+            fn begin_cycle(&mut self) {}
+            fn eval(&mut self) {
+                let next = self.0.get() + 1;
+                self.0.set(next);
+            }
+            fn commit(&mut self) {
+                self.0.commit();
+            }
+        }
+        impl Sharded for Plain {}
+        let mut plain = Plain(Register::new(0));
+        let mut sim = ParSimulator::new(8);
+        sim.run(&mut plain, 42);
+        assert_eq!(*plain.0.get(), 42);
+        assert_eq!(sim.cycle(), 42);
+    }
+
+    #[test]
+    fn engine_trait_is_interchangeable() {
+        fn drive<E: Engine>(engine: &mut E, bank: &mut Bank) -> u64 {
+            engine.run_driven(bank, 1_000, &mut |b: &mut Bank, _| {
+                if *b.lanes[0].reg.get() >= 13 { Control::Stop } else { Control::Continue }
+            });
+            engine.cycle()
+        }
+        let (mut a, mut b) = (Bank::new(4), Bank::new(4));
+        let seq_cycles = drive(&mut Simulator::new(), &mut a);
+        let par_cycles = drive(&mut ParSimulator::new(4), &mut b);
+        assert_eq!(seq_cycles, par_cycles);
+        assert_eq!(a.coord_pre, b.coord_pre);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        struct Bomb(u64);
+        impl Component for Bomb {
+            fn begin_cycle(&mut self) {}
+            fn eval(&mut self) {
+                self.0 += 1;
+                assert!(self.0 < 3, "shard exploded");
+            }
+            fn commit(&mut self) {}
+        }
+        struct Bombs(Vec<Bomb>);
+        impl Component for Bombs {
+            fn begin_cycle(&mut self) {}
+            fn eval(&mut self) {
+                for b in &mut self.0 {
+                    Component::eval(b);
+                }
+            }
+            fn commit(&mut self) {}
+        }
+        impl Sharded for Bombs {
+            fn coord_begin_cycle(&mut self) {}
+            fn coord_eval_pre(&mut self) {}
+            fn coord_commit(&mut self) {}
+            fn shards(&mut self) -> Vec<&mut dyn Shard> {
+                self.0.iter_mut().map(|b| b as &mut dyn Shard).collect()
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut bombs = Bombs((0..4).map(Bomb).collect());
+            let mut sim = ParSimulator::new(4);
+            sim.run(&mut bombs, 100);
+        });
+        assert!(result.is_err(), "the shard panic must surface");
+    }
+}

@@ -31,7 +31,7 @@
 
 use std::fmt;
 
-use hwsim::{Component, Fifo};
+use hwsim::{Component, Fifo, Sharded};
 use streamcore::{MatchPair, StreamTag, Tuple};
 
 use crate::design::RESULT_FIFO_DEPTH;
@@ -464,6 +464,16 @@ impl Component for BiFlowJoin {
         }
     }
 }
+
+/// The bi-flow chain is inherently sequential: every cycle the central
+/// coordinator walks the whole chain (wave propagation, admission, the
+/// shared result bus), so there are no independent sub-trees to shard.
+/// The empty default decomposition makes a [`ParSimulator`]
+/// (`hwsim::ParSimulator`) fall back to the sequential schedule — still
+/// cycle-exact, just not parallel. This asymmetry mirrors the paper's
+/// architectural point: uni-flow scales by adding independent cores,
+/// bi-flow serializes on its coordinator.
+impl Sharded for BiFlowJoin {}
 
 impl fmt::Display for BiFlowJoin {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

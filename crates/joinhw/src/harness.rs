@@ -14,7 +14,7 @@
 //! The analytic models at the bottom cross-validate the cycle-accurate
 //! simulation (see `tests/model_vs_sim.rs` at the workspace root).
 
-use hwsim::{Component, Simulator};
+use hwsim::{Control, Engine, Sharded, Simulator};
 use streamcore::metrics::Throughput;
 use streamcore::{MatchPair, StreamTag, Tuple};
 
@@ -23,7 +23,11 @@ use crate::uniflow::UniFlowJoin;
 use crate::{DesignParams, FlowModel};
 
 /// Common driving interface over the two hardware join designs.
-pub trait StreamJoin: Component {
+///
+/// The [`Sharded`] supertrait lets any engine implementing
+/// [`Engine`] — the sequential [`Simulator`] or the parallel
+/// `hwsim::ParSimulator` — drive a boxed design.
+pub trait StreamJoin: Sharded {
     /// Offers a tuple at the appropriate input port; `false` if
     /// back-pressured this cycle.
     fn offer(&mut self, tag: StreamTag, tuple: Tuple) -> bool;
@@ -146,19 +150,47 @@ pub fn run_throughput(
     tuples: u64,
     key_domain: u32,
 ) -> ThroughputRun {
-    let mut sim = Simulator::new();
+    run_throughput_with(&mut Simulator::new(), join, tuples, key_domain)
+}
+
+/// [`run_throughput`] on an explicit [`Engine`] — pass an
+/// `hwsim::ParSimulator` to run the same (cycle-exact) measurement with
+/// the join cores spread across a worker pool.
+///
+/// The drive loop is expressed as a per-cycle tick: drain the collector
+/// when its backlog passes the watermark, stop once `tuples` inputs were
+/// accepted, otherwise offer the next tuple. This ordering reproduces the
+/// sequential measurement loop event for event, so every engine reports
+/// identical [`ThroughputRun`]s.
+///
+/// # Panics
+///
+/// Panics if the design stops accepting input for an implausibly long
+/// stretch (a deadlock in the modeled flow control).
+pub fn run_throughput_with<E: Engine>(
+    engine: &mut E,
+    join: &mut dyn StreamJoin,
+    tuples: u64,
+    key_domain: u32,
+) -> ThroughputRun {
+    let start = engine.cycle();
     let mut sent = 0u64;
     let mut results = 0u64;
     let mut seq = 0u32;
     let mut stall = 0u64;
-    while sent < tuples {
+    engine.run_driven(join, u64::MAX, &mut |join, _cycle| {
+        if join.pending_results() > 4_096 {
+            results += join.drain_results().len() as u64;
+        }
+        if sent == tuples {
+            return Control::Stop;
+        }
         let tag = if sent.is_multiple_of(2) { StreamTag::R } else { StreamTag::S };
         // Multiplicative hash (high bits) decorrelates the key sequence
         // from the strict R/S alternation — plain `seq % domain` would
         // give the two streams disjoint key parities.
         let key = (seq.wrapping_mul(2_654_435_761) >> 16) % key_domain;
-        let tuple = Tuple::new(key, seq);
-        if join.offer(tag, tuple) {
+        if join.offer(tag, Tuple::new(key, seq)) {
             sent += 1;
             seq = seq.wrapping_add(1);
             stall = 0;
@@ -169,15 +201,12 @@ pub fn run_throughput(
                 "input port wedged after {sent} tuples"
             );
         }
-        sim.step(join);
-        if join.pending_results() > 4_096 {
-            results += join.drain_results().len() as u64;
-        }
-    }
+        Control::Continue
+    });
     results += join.drain_results().len() as u64;
     ThroughputRun {
         tuples: sent,
-        cycles: sim.cycle(),
+        cycles: engine.cycle() - start,
         results,
     }
 }
@@ -203,30 +232,61 @@ pub fn run_latency(
     probe: (StreamTag, Tuple),
     max_cycles: u64,
 ) -> Option<LatencyRun> {
-    let mut sim = Simulator::new();
-    while !join.offer(probe.0, probe.1) {
-        sim.step(join);
-        if sim.cycle() > max_cycles {
-            return None;
-        }
-    }
-    let offered_at = sim.cycle();
+    run_latency_with(&mut Simulator::new(), join, probe, max_cycles)
+}
+
+/// [`run_latency`] on an explicit [`Engine`]; see
+/// [`run_throughput_with`] for the engine-equivalence contract.
+///
+/// The tick is a two-phase state machine mirroring the sequential probe
+/// loop: retry the offer until accepted (with the same timeout check the
+/// sequential loop applies after each stalled cycle), then drain and
+/// watch for quiescence every cycle, recording the cycle of the last
+/// drained result.
+pub fn run_latency_with<E: Engine>(
+    engine: &mut E,
+    join: &mut dyn StreamJoin,
+    probe: (StreamTag, Tuple),
+    max_cycles: u64,
+) -> Option<LatencyRun> {
+    let start = engine.cycle();
+    let mut offered_at: Option<u64> = None;
     let mut results = 0u64;
-    let mut last_result_cycle = offered_at;
-    while !join.quiescent() {
-        sim.step(join);
-        let drained = join.drain_results();
-        if !drained.is_empty() {
-            results += drained.len() as u64;
-            last_result_cycle = sim.cycle();
+    let mut last_result_cycle = 0u64;
+    let mut timed_out = false;
+    engine.run_driven(join, u64::MAX, &mut |join, cycle| match offered_at {
+        None => {
+            if cycle - start > max_cycles {
+                timed_out = true;
+                return Control::Stop;
+            }
+            if !join.offer(probe.0, probe.1) {
+                return Control::Continue;
+            }
+            offered_at = Some(cycle);
+            last_result_cycle = cycle;
+            if join.quiescent() { Control::Stop } else { Control::Continue }
         }
-        if sim.cycle() - offered_at > max_cycles {
-            return None;
+        Some(offered) => {
+            let drained = join.drain_results();
+            if !drained.is_empty() {
+                results += drained.len() as u64;
+                last_result_cycle = cycle;
+            }
+            if cycle - offered > max_cycles {
+                timed_out = true;
+                return Control::Stop;
+            }
+            if join.quiescent() { Control::Stop } else { Control::Continue }
         }
+    });
+    let offered = offered_at?;
+    if timed_out {
+        return None;
     }
     Some(LatencyRun {
-        cycles_to_last_result: last_result_cycle - offered_at,
-        cycles_to_quiescent: sim.cycle() - offered_at,
+        cycles_to_last_result: last_result_cycle - offered,
+        cycles_to_quiescent: engine.cycle() - offered,
         results,
     })
 }

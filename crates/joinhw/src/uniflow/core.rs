@@ -1,7 +1,7 @@
 //! The uni-flow join core: Fetcher, Storage Core, and Processing Core
 //! (Fig. 11), with the controller FSMs of Figs. 12 and 13.
 
-use hwsim::Fifo;
+use hwsim::{Component, Fifo};
 use streamcore::{Frame, MatchPair, StreamTag, Tuple};
 
 use crate::design::{JoinAlgorithm, FETCHER_DEPTH, RESULT_FIFO_DEPTH};
@@ -412,6 +412,23 @@ impl JoinCore {
             self.probe = None;
             self.stats.tuples_processed += 1;
         }
+    }
+}
+
+/// A core is itself a two-phase component — and, because it owns all of
+/// its state (sub-windows, FIFOs, controller FSMs) and communicates with
+/// the networks only through FIFOs touched during the coordinator's eval
+/// phases, it is exactly the independent sub-tree the parallel engine's
+/// `Shard` blanket impl requires.
+impl Component for JoinCore {
+    fn begin_cycle(&mut self) {
+        JoinCore::begin_cycle(self);
+    }
+    fn eval(&mut self) {
+        JoinCore::eval(self);
+    }
+    fn commit(&mut self) {
+        JoinCore::commit(self);
     }
 }
 

@@ -7,7 +7,7 @@ mod network;
 pub use self::core::{CoreStats, JoinCore, ProcessingState, StorageState};
 pub use self::network::{DistributionNetwork, GatheringNetwork};
 
-use hwsim::Component;
+use hwsim::{Component, Shard, Sharded};
 use streamcore::{Frame, MatchPair, StreamTag, Tuple};
 
 use crate::{DesignParams, FlowModel, JoinOperator};
@@ -188,32 +188,63 @@ impl UniFlowJoin {
 
 impl Component for UniFlowJoin {
     fn begin_cycle(&mut self) {
-        self.dist.begin_cycle();
+        self.coord_begin_cycle();
         for c in &mut self.cores {
             c.begin_cycle();
         }
-        self.gather.begin_cycle();
     }
 
     fn eval(&mut self) {
+        self.coord_eval_pre();
+        for c in &mut self.cores {
+            c.eval();
+        }
+        self.coord_eval_post();
+    }
+
+    fn commit(&mut self) {
+        self.coord_commit();
+        for c in &mut self.cores {
+            c.commit();
+        }
+    }
+}
+
+/// The parallel decomposition of the uni-flow pipeline: each join core
+/// (with its two sub-windows and FIFOs) is one shard; the distribution
+/// and gathering trees stay on the coordinator. The trees touch core
+/// state only through the cores' two-phase FIFOs, and only inside
+/// `coord_eval_pre` (pushing into fetchers) and `coord_eval_post`
+/// (popping results) — both of which run while the shards are quiescent,
+/// so the schedule is cycle-exact with respect to the sequential
+/// [`Component`] implementation above (which is itself written as
+/// coordinator phases around the core loops).
+impl Sharded for UniFlowJoin {
+    fn coord_begin_cycle(&mut self) {
+        self.dist.begin_cycle();
+        self.gather.begin_cycle();
+    }
+
+    fn coord_eval_pre(&mut self) {
         // Inject queued operator frames at the input port.
         if !self.pending_program.is_empty() && self.dist.can_accept() {
             let frame = self.pending_program.remove(0);
             self.dist.offer(frame);
         }
         self.dist.eval(&mut self.cores);
-        for c in &mut self.cores {
-            c.eval();
-        }
+    }
+
+    fn coord_eval_post(&mut self) {
         self.gather.eval(&mut self.cores, &mut self.collected);
     }
 
-    fn commit(&mut self) {
+    fn coord_commit(&mut self) {
         self.dist.commit();
-        for c in &mut self.cores {
-            c.commit();
-        }
         self.gather.commit();
+    }
+
+    fn shards(&mut self) -> Vec<&mut dyn Shard> {
+        self.cores.iter_mut().map(|c| c as &mut dyn Shard).collect()
     }
 }
 

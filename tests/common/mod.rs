@@ -1,5 +1,8 @@
 //! Shared helpers for the workspace integration tests.
 
+#[allow(dead_code)]
+pub mod golden;
+
 use std::collections::HashMap;
 
 use accel_landscape::streamcore::workload::{KeyDist, WorkloadSpec};

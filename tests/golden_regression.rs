@@ -1,0 +1,87 @@
+//! Golden regression: the paper-figure anchor configurations must
+//! reproduce the exact cycle counts snapshotted in
+//! `tests/common/golden.rs` — on the sequential engine *and* on the
+//! parallel engine, which pins both the simulated machine and the
+//! parallel layer's cycle-exactness on real designs (Figs. 14a, 14b, 15).
+
+mod common;
+
+use accel_landscape::hwsim::{ParSimulator, Simulator};
+use accel_landscape::joinhw::harness::{
+    build, prefill_planted, prefill_steady_state, run_latency_with, run_throughput_with,
+    LatencyRun, ThroughputRun,
+};
+use accel_landscape::joinhw::{DesignParams, FlowModel, NetworkKind};
+use accel_landscape::streamcore::{StreamTag, Tuple};
+use common::golden;
+
+const PAR_THREADS: usize = 4;
+
+fn throughput_both(params: &DesignParams, tuples: u64) -> (ThroughputRun, ThroughputRun) {
+    let mut join = build(params);
+    prefill_steady_state(join.as_mut(), params.window_size);
+    let seq = run_throughput_with(&mut Simulator::new(), join.as_mut(), tuples, 1 << 20);
+    let mut join = build(params);
+    prefill_steady_state(join.as_mut(), params.window_size);
+    let par = run_throughput_with(
+        &mut ParSimulator::new(PAR_THREADS),
+        join.as_mut(),
+        tuples,
+        1 << 20,
+    );
+    (seq, par)
+}
+
+#[test]
+fn fig14a_throughput_cycles_match_golden() {
+    for &(cores, tuples, cycles, results) in golden::FIG14A_THROUGHPUT {
+        let params = DesignParams::new(FlowModel::UniFlow, cores, 1 << 11);
+        let want = ThroughputRun { tuples, cycles, results };
+        let (seq, par) = throughput_both(&params, 128);
+        assert_eq!(seq, want, "sequential drifted at {cores} cores");
+        assert_eq!(par, want, "parallel drifted at {cores} cores");
+    }
+}
+
+#[test]
+fn fig14b_biflow_throughput_cycles_match_golden() {
+    for &(cores, window, tuples, cycles, results) in golden::FIG14B_BIFLOW_THROUGHPUT {
+        let params = DesignParams::new(FlowModel::BiFlow, cores, window);
+        let want = ThroughputRun { tuples, cycles, results };
+        let (seq, par) = throughput_both(&params, 24);
+        assert_eq!(seq, want, "sequential drifted at {cores} cores");
+        assert_eq!(par, want, "parallel drifted at {cores} cores");
+    }
+}
+
+#[test]
+fn fig15_latency_cycles_match_golden() {
+    for &(cores, scalable, last, quiescent, results) in golden::FIG15_LATENCY {
+        let network = if scalable { NetworkKind::Scalable } else { NetworkKind::Lightweight };
+        let params =
+            DesignParams::new(FlowModel::UniFlow, cores, 1 << 13).with_network(network);
+        let probe = (StreamTag::R, Tuple::new(7, u32::MAX));
+        let want = LatencyRun {
+            cycles_to_last_result: last,
+            cycles_to_quiescent: quiescent,
+            results,
+        };
+
+        let mut join = build(&params);
+        prefill_planted(join.as_mut(), &params, 7);
+        let seq = run_latency_with(&mut Simulator::new(), join.as_mut(), probe, 10_000_000)
+            .expect("quiesces");
+        assert_eq!(seq, want, "sequential drifted at {cores} cores ({network:?})");
+
+        let mut join = build(&params);
+        prefill_planted(join.as_mut(), &params, 7);
+        let par = run_latency_with(
+            &mut ParSimulator::new(PAR_THREADS),
+            join.as_mut(),
+            probe,
+            10_000_000,
+        )
+        .expect("quiesces");
+        assert_eq!(par, want, "parallel drifted at {cores} cores ({network:?})");
+    }
+}

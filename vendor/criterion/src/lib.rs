@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the authoring surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`](Criterion::benchmark_group),
+//! [`Bencher::iter`], [`Bencher::iter_batched`], `criterion_group!`,
+//! `criterion_main!` — but measures with a plain wall-clock loop and
+//! prints median ns/iteration. No statistics engine, plots, or saved
+//! baselines; the figure binaries in `crates/bench` are the repo's real
+//! measurement path, and these micro-benches are smoke-level.
+//!
+//! Respects `--test` (run every routine once, as `cargo test --benches`
+//! does) and treats the first free argument as a substring filter, like
+//! the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped in [`Bencher::iter_batched`]; only the
+/// granularity hint, timing ignores it beyond batch sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batches of a few thousand iterations.
+    SmallInput,
+    /// Large setup output; one iteration per setup call.
+    LargeInput,
+    /// Exactly one iteration per setup call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput | BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Drives one benchmark routine's timing loop.
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` in a repeat-until-deadline loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate a batch size that lasts ≳100µs so Instant overhead
+        // stays below ~1%.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_micros(100) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.measure;
+        let mut samples = Vec::new();
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let per_batch = size.iters_per_batch();
+        let deadline = Instant::now() + self.measure;
+        let mut samples = Vec::new();
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// The benchmark manager: registers and runs benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, a substring filter), as
+    /// the real crate's `configure_from_args` does.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measure = Duration::from_secs_f64(secs);
+                    }
+                }
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measure: self.measure,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!("{id:<50} time: {:>12.1} ns/iter", bencher.ns_per_iter);
+        }
+    }
+
+    /// Benchmarks a single routine under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        self.run_one(&id, f);
+    }
+
+    /// Opens a named group; member benchmark ids are prefixed with the
+    /// group name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&id, f);
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            measure: Duration::from_millis(5),
+        };
+        let mut captured = 0.0;
+        c.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            captured = b.ns_per_iter;
+        });
+        assert!(captured > 0.0, "got {captured}");
+    }
+
+    #[test]
+    fn batched_runs_setup_per_input() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            measure: Duration::from_millis(1),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("absent-name".into()),
+            measure: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("member", |_b| ran = true);
+        group.finish();
+        assert!(!ran, "filter should have excluded the benchmark");
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset of `crossbeam::channel` the software join
+//! implementations use: bounded/unbounded MPMC channels with disconnect
+//! semantics and a blocking `select!` over `recv` arms. Built on
+//! `std::sync::{Mutex, Condvar}` rather than crossbeam's lock-free
+//! internals — the software baselines here measure algorithmic costs
+//! (comparisons, window maintenance), not channel microarchitecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels, mirroring
+/// `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like the real crate: don't require `T: Debug`.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Sender {{ .. }}")
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Receiver {{ .. }}")
+        }
+    }
+
+    /// Creates a channel holding at most `capacity` in-flight messages;
+    /// `send` blocks when full (back-pressure).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(capacity))
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender { shared: Arc::clone(&shared) },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued, or returns it in
+        /// [`SendError`] if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = state
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or returns [`RecvError`] once
+        /// the channel is empty with no senders left.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    pub use crate::select;
+}
+
+/// Blocks until one of the `recv(receiver) -> pattern => arm` clauses can
+/// run: a message (`Ok`) or a disconnect (`Err`) on that receiver.
+///
+/// Implemented by fair polling over the listed receivers with a
+/// yield-then-sleep backoff, which preserves crossbeam's semantics (the
+/// software joins only rely on "block until any lane has input or closes",
+/// not on wakeup ordering).
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $res:pat => $arm:expr),+ $(,)?) => {{
+        let mut __spins: u32 = 0;
+        loop {
+            $(
+                match ($rx).try_recv() {
+                    ::std::result::Result::Ok(__v) => {
+                        let $res = ::std::result::Result::<_, $crate::channel::RecvError>::Ok(__v);
+                        break $arm;
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        let $res = ::std::result::Result::<_, $crate::channel::RecvError>::Err(
+                            $crate::channel::RecvError,
+                        );
+                        break $arm;
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            __spins += 1;
+            if __spins < 64 {
+                ::std::thread::yield_now();
+            } else {
+                ::std::thread::sleep(::std::time::Duration::from_micros(50));
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, SendError};
+
+    #[test]
+    fn round_trip_and_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1_000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got.len(), 1_000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn select_reads_whichever_lane_is_ready() {
+        let (atx, arx) = unbounded::<u32>();
+        let (btx, brx) = unbounded::<u32>();
+        let pick = || crate::channel::select! {
+            recv(arx) -> m => (m.ok(), true),
+            recv(brx) -> m => (m.ok(), false),
+        };
+        // A empty but open, B has a message: select must not block on A.
+        btx.send(2).unwrap();
+        assert_eq!(pick(), (Some(2), false));
+        atx.send(1).unwrap();
+        assert_eq!(pick(), (Some(1), true));
+        // Both disconnected: the first listed lane reports it (select
+        // polls arms in order; callers track per-lane open flags).
+        drop(atx);
+        drop(btx);
+        assert_eq!(pick(), (None, true));
+    }
+}

@@ -1,0 +1,694 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically, so the property-testing surface the
+//! test suite actually uses is vendored here: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
+//! `collection::vec`, `sample::select`, `any`, the `proptest!` /
+//! `prop_assert*` / `prop_oneof!` macros, and `ProptestConfig::with_cases`.
+//!
+//! Two deliberate departures from the real crate:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the assertion
+//!   message (every `prop_assert*` site in this repo formats the relevant
+//!   values) instead of minimizing them.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so a failure reproduces exactly on every run
+//!   and host — which the golden-fixture and CI workflows rely on.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner plumbing: the RNG handed to strategies, the per-block
+/// configuration, and the error type assertion macros return.
+pub mod test_runner {
+    use rand::{Rng, SeedableRng, StdRng};
+
+    /// Source of randomness for strategy generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Derives a generator from an arbitrary label (the macro passes
+        /// the test's module path and name), so every test has a stable,
+        /// independent stream.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { rng: StdRng::seed_from_u64(h) }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        /// Uniform draw from `0..n`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.rng.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.rng.gen()
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed with the given message.
+        Fail(String),
+        /// The case asked to be discarded (unused here, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection carrying `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Builds a recursive strategy: `self` generates the leaves and
+        /// `recurse` wraps an inner strategy one level deeper. Nesting is
+        /// capped at `depth`; at each level a coin decides between leaf
+        /// and recursive case, so generated structures vary in depth.
+        /// (`_desired_size` / `_expected_branch_size` are accepted for
+        /// signature parity with the real crate and ignored.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                let leaf = base.clone();
+                current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    if rng.next_u64() & 1 == 0 {
+                        leaf.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                }));
+            }
+            current
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type
+    /// (backs the `prop_oneof!` macro).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// `&str` patterns act as string strategies, like the real crate's
+    /// regex support. A small regex subset is implemented — literals,
+    /// `.`, `[a-z0-9_]`-style classes, and the `{m}`, `{m,n}`, `*`, `+`,
+    /// `?` quantifiers — which covers the patterns used in this
+    /// workspace's tests. `.` draws mostly printable ASCII with
+    /// occasional multi-byte characters to exercise UTF-8 handling.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string_regex::generate(self, rng)
+        }
+    }
+}
+
+/// Generator for the `&str`-as-regex strategy; see the `Strategy`
+/// impl for `&str` in [`strategy`].
+mod string_regex {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// `.` — any character.
+        Any,
+        /// A literal character.
+        Literal(char),
+        /// A character class, expanded to its member set.
+        Class(Vec<char>),
+    }
+
+    const MULTIBYTE: &[char] = &['é', 'λ', '中', '☃', '🦀'];
+
+    fn draw(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => {
+                // Mostly printable ASCII, occasionally multi-byte.
+                if rng.below(16) == 0 {
+                    MULTIBYTE[rng.below(MULTIBYTE.len() as u64) as usize]
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            }
+            Atom::Literal(c) => *c,
+            Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().expect("checked above");
+                    let hi = chars.next().expect("checked above");
+                    for v in (lo as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(p) = prev.replace(c) {
+                        set.push(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = prev {
+            set.push(p);
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().expect("bad repeat lower bound"),
+                hi.parse().expect("bad repeat upper bound"),
+            ),
+            None => {
+                let n = spec.parse().expect("bad repeat count");
+                (n, n)
+            }
+        }
+    }
+
+    pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                _ => Atom::Literal(c),
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_repeat(&mut chars)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let n = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+            for _ in 0..n {
+                out.push(draw(&atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from a half-open range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `len` (half-open) and whose
+    /// elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    #[derive(Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options`; must be non-empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// `any::<T>()` — the standard strategy for a type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait ArbitraryValue {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($ty:ty),*) => {$(
+            impl ArbitraryValue for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (uniform over its domain).
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs. Assertion failures (via `prop_assert*`) abort the case with a
+/// message; the harness panics with that message and the case number.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case, __config.cases, __e,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not the
+/// whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                    __l, __r, format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for proptest bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    __l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(x in 3u32..17, v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((3..17).contains(&x), "x out of range: {}", x);
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn maps_and_unions(s in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v + 1),
+        ]) {
+            prop_assert!(s % 2 == 0 || (101..111).contains(&s));
+        }
+
+        #[test]
+        fn recursive_terminates(text in crate::sample::select(vec!["x", "y"])
+            .prop_map(String::from)
+            .prop_recursive(3, 12, 3, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+            }))
+        {
+            prop_assert!(text.len() < 200, "bounded depth: {}", text);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1_000, 5..6);
+        let mut r1 = crate::test_runner::TestRng::deterministic("label");
+        let mut r2 = crate::test_runner::TestRng::deterministic("label");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

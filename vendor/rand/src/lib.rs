@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in a hermetic environment with no registry access,
+//! so the handful of `rand 0.8` APIs actually used here (`StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}`) are
+//! vendored as a minimal path dependency. The generator is xoshiro256++
+//! seeded through SplitMix64 — statistically solid for workload synthesis
+//! and fully deterministic for a given seed, which is all the test suite
+//! and the figure harness require. It makes no cryptographic claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator, mirroring the subset of `rand::Rng` the
+/// workspace uses.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (upper half of a 64-bit
+    /// draw, which are the strongest bits of xoshiro256++).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform bits for integers, uniform `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from the half-open range `low..high`.
+    ///
+    /// Panics if the range is empty, like the real crate.
+    fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+/// Types sampleable via [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from the generator.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Sized {
+    /// Draws uniformly from `range`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformInt for $ty {
+            fn sample_range<R: Rng + ?Sized>(
+                rng: &mut R,
+                range: core::ops::Range<Self>,
+            ) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Multiply-shift range reduction (Lemire); the slight bias
+                // for spans approaching 2^64 is irrelevant at these sizes.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start + hi as Self
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose full state is derived from `state` via
+    /// SplitMix64, as the real crate does for small seeds.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// The real `rand::rngs::StdRng` is a ChaCha variant; the exact
+    /// algorithm is unspecified and callers only rely on determinism per
+    /// seed, which this type provides.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn unit_float_and_bool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut heads = 0u32;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            if rng.gen_bool(0.5) {
+                heads += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&heads), "fair coin: {heads}");
+    }
+}
