@@ -1,8 +1,12 @@
 //! Criterion micro-benchmarks for the building blocks underneath the
 //! figure experiments: simulation kernel cycle cost, software probe cost,
 //! FQP fabric push, and reconfiguration latency.
+//!
+//! A measuring run (not `--test`) also archives every `(id, ns/iter)`
+//! median into a `microbench` run manifest under `target/obs/`, like the
+//! figure binaries do.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use std::hint::black_box;
 
 use fqp::assign::assign;
@@ -250,15 +254,23 @@ fn fqp_fabric(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    hw_simulation,
-    par_simulation,
-    synthesis_model,
-    sw_probe,
-    workload_generation,
-    select_variants,
-    datapath_push,
-    fqp_fabric
-);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    hw_simulation(&mut criterion);
+    par_simulation(&mut criterion);
+    synthesis_model(&mut criterion);
+    sw_probe(&mut criterion);
+    workload_generation(&mut criterion);
+    select_variants(&mut criterion);
+    datapath_push(&mut criterion);
+    fqp_fabric(&mut criterion);
+
+    // Archive the medians like the figure binaries archive their runs.
+    if !criterion.results().is_empty() {
+        let mut m = bench::obsout::manifest("microbench");
+        for (id, ns) in criterion.results() {
+            m.counter(format!("{id}.ns_per_iter"), ns.round() as u64);
+        }
+        bench::obsout::emit(&m);
+    }
+}

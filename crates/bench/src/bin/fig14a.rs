@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig14a experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/fig14a.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::fig14a());
+    let (t, m) = bench::fig14a_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig14b experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/fig14b.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::fig14b());
+    let (t, m) = bench::fig14b_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

@@ -2,10 +2,13 @@
 //!
 //! Pass `--threads N` to also run every point on an N-wide parallel
 //! simulation pool and report the wall-clock speedup (the measured
-//! throughput itself is engine-invariant).
+//! throughput itself is engine-invariant). The run manifest written to
+//! `target/obs/fig14c.json` then carries per-worker busy/wait cycles.
 fn main() {
-    match bench::threads_from_args() {
-        Some(threads) => println!("{}", bench::fig14c_threads(threads)),
-        None => println!("{}", bench::fig14c()),
-    }
+    let (t, m) = match bench::threads_from_args() {
+        Some(threads) => bench::fig14c_threads_run(threads),
+        None => bench::fig14c_run(),
+    };
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

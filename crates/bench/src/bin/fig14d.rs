@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig14d experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/fig14d.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::fig14d());
+    let (t, m) = bench::fig14d_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

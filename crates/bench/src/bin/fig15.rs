@@ -2,10 +2,13 @@
 //!
 //! Pass `--threads N` to also run every point on an N-wide parallel
 //! simulation pool and report the wall-clock speedup (the measured
-//! cycle counts are engine-invariant).
+//! cycle counts are engine-invariant). The run manifest written to
+//! `target/obs/fig15.json` then carries per-worker busy/wait cycles.
 fn main() {
-    match bench::threads_from_args() {
-        Some(threads) => println!("{}", bench::fig15_threads(threads)),
-        None => println!("{}", bench::fig15()),
-    }
+    let (t, m) = match bench::threads_from_args() {
+        Some(threads) => bench::fig15_threads_run(threads),
+        None => bench::fig15_run(),
+    };
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig16 experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/fig16.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::fig16());
+    let (t, m) = bench::fig16_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

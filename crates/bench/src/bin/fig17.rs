@@ -1,4 +1,9 @@
 //! Regenerates the paper's fig17 experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/fig17.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::fig17());
+    let (t, m) = bench::fig17_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

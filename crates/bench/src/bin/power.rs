@@ -1,4 +1,9 @@
 //! Regenerates the paper's power experiment. Run with --release.
+//!
+//! Prints the table to stdout and writes a run manifest to
+//! `target/obs/power.json` (or `$ACCEL_OBS_DIR`).
 fn main() {
-    println!("{}", bench::power());
+    let (t, m) = bench::power_run();
+    println!("{t}");
+    bench::obsout::emit(&m);
 }

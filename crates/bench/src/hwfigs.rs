@@ -4,12 +4,13 @@
 use std::time::Instant;
 
 use hwsim::devices::{XC5VLX50T, XC7VX485T, XCVU9P};
-use hwsim::{estimate_fmax, Device, ParSimulator};
+use hwsim::{estimate_fmax, Device, ParSimulator, ParStats, Simulator};
 use joinhw::harness::{
     self, biflow_throughput_model, prefill_planted, prefill_steady_state, run_latency,
-    run_latency_with, run_throughput, run_throughput_with, uniflow_throughput_model,
-    LatencyRun, ThroughputRun,
+    run_latency_with, run_throughput, run_throughput_observed, run_throughput_with,
+    uniflow_throughput_model, LatencyRun, ThroughputRun,
 };
+use obs::{Histogram, Registry, RunManifest};
 use joinhw::{DesignParams, FlowModel, JoinAlgorithm, NetworkKind};
 use streamcore::{StreamTag, Tuple};
 
@@ -27,20 +28,44 @@ fn tuples_for(sub_window: usize) -> u64 {
 }
 
 /// Runs one cycle-accurate throughput point and converts to M tuples/s.
+#[cfg(test)]
 fn measure_mtps(params: &DesignParams, clock_mhz: f64) -> f64 {
+    measure_observed(params).0.at_clock(clock_mhz).million_per_second()
+}
+
+/// One cycle-accurate throughput point plus its service-gap histogram
+/// (cycles between consecutive input acceptances).
+fn measure_observed(params: &DesignParams) -> (ThroughputRun, Histogram) {
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
-    let run = run_throughput(
+    run_throughput_observed(
+        &mut Simulator::new(),
         join.as_mut(),
         tuples_for(params.sub_window()),
         THROUGHPUT_KEY_DOMAIN,
-    );
-    run.at_clock(clock_mhz).million_per_second()
+    )
+}
+
+/// Records one throughput point's counters under `{key}` in `m`.
+fn record_run(m: &mut RunManifest, key: &str, run: &ThroughputRun) {
+    m.counter(format!("{key}tuples"), run.tuples);
+    m.counter(format!("{key}cycles"), run.cycles);
+    m.counter(format!("{key}results"), run.results);
 }
 
 /// Fig. 14a — uni-flow throughput vs join cores on Virtex-5 @100 MHz for
 /// windows 2^11 and 2^13. Linear scaling; infeasible points marked.
 pub fn fig14a() -> Table {
+    fig14a_run().0
+}
+
+/// [`fig14a`] plus its run manifest: per-point tuple/cycle/result
+/// counters and the merged service-gap histogram.
+pub fn fig14a_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig14a");
+    m.config("device", "XC5VLX50T");
+    m.config("target_clock_mhz", 100);
+    let mut gaps_all = Histogram::new();
     let mut t = Table::new(
         "Fig. 14a — uni-flow throughput on Virtex-5 (100 MHz)",
         &["cores", "window", "model Mt/s", "measured Mt/s"],
@@ -52,7 +77,10 @@ pub fn fig14a() -> Table {
                 Ok(report) => {
                     let clock = report.clock.mhz();
                     let model = uniflow_throughput_model(window, cores, clock) / 1e6;
-                    let measured = measure_mtps(&params, clock);
+                    let (run, gaps) = measure_observed(&params);
+                    let measured = run.at_clock(clock).million_per_second();
+                    record_run(&mut m, &format!("c{cores}.w2e{}.", window.ilog2()), &run);
+                    gaps_all.merge(&gaps);
                     t.row(vec![
                         cores.to_string(),
                         format!("2^{}", window.ilog2()),
@@ -70,12 +98,25 @@ pub fn fig14a() -> Table {
         }
     }
     t.note("paper: linear speedup with cores; window 2^13 infeasible at 32/64 cores");
-    t
+    m.histogram("service_gap_cycles", gaps_all);
+    (t, m)
 }
 
 /// Fig. 14b — uni-flow vs bi-flow throughput at 16 cores on Virtex-5
 /// @100 MHz across window sizes 2^7–2^13.
 pub fn fig14b() -> Table {
+    fig14b_run().0
+}
+
+/// [`fig14b`] plus its run manifest: per-point counters for both flow
+/// models and a service-gap histogram per model.
+pub fn fig14b_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig14b");
+    m.config("device", "XC5VLX50T");
+    m.config("target_clock_mhz", 100);
+    m.config("cores", 16);
+    let mut uni_gaps = Histogram::new();
+    let mut bi_gaps = Histogram::new();
     let mut t = Table::new(
         "Fig. 14b — uni-flow vs bi-flow at 16 cores, Virtex-5 (100 MHz)",
         &["window", "uni Mt/s", "bi Mt/s", "uni/bi"],
@@ -85,11 +126,16 @@ pub fn fig14b() -> Table {
         let window = 1usize << exp;
         let uni = DesignParams::new(FlowModel::UniFlow, cores, window);
         let bi = DesignParams::new(FlowModel::BiFlow, cores, window);
-        let uni_mtps = measure_mtps(&uni, 100.0);
+        let (uni_run, gaps) = measure_observed(&uni);
+        let uni_mtps = uni_run.at_clock(100.0).million_per_second();
+        record_run(&mut m, &format!("uni.w2e{exp}."), &uni_run);
+        uni_gaps.merge(&gaps);
         let bi_cell = match bi.synthesize_at(&XC5VLX50T, 100.0) {
             Ok(_) => {
-                let m = measure_biflow_mtps(&bi);
-                format!("{m:.4}")
+                let (bi_run, gaps) = measure_biflow_run(&bi);
+                record_run(&mut m, &format!("bi.w2e{exp}."), &bi_run);
+                bi_gaps.merge(&gaps);
+                format!("{:.4}", bi_run.at_clock(100.0).million_per_second())
             }
             Err(_) => "does not fit".to_string(),
         };
@@ -110,10 +156,12 @@ pub fn fig14b() -> Table {
         uniflow_throughput_model(1 << 10, cores, 100.0) / 1e6,
         biflow_throughput_model(1 << 10, cores, 100.0) / 1e6
     ));
-    t
+    m.histogram("uni_service_gap_cycles", uni_gaps);
+    m.histogram("bi_service_gap_cycles", bi_gaps);
+    (t, m)
 }
 
-fn measure_biflow_mtps(params: &DesignParams) -> f64 {
+fn measure_biflow_run(params: &DesignParams) -> (ThroughputRun, Histogram) {
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
     // Bi-flow service time scales with the total window; keep runs short.
@@ -122,45 +170,62 @@ fn measure_biflow_mtps(params: &DesignParams) -> f64 {
             as u64
             + 1))
         .clamp(16, 256);
-    let run = run_throughput(join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
-    run.at_clock(100.0).million_per_second()
+    run_throughput_observed(&mut Simulator::new(), join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN)
+}
+
+/// One throughput point timed under both engines.
+struct TimedRun {
+    run: ThroughputRun,
+    /// Service-gap histogram of the sequential run (the parallel run is
+    /// cycle-identical, so one histogram describes both).
+    gaps: Histogram,
+    seq_wall: f64,
+    /// Parallel wall clock and per-worker utilization, when `threads > 1`.
+    par: Option<(f64, ParStats)>,
 }
 
 /// One throughput point timed under both engines: the sequential
 /// [`ThroughputRun`] (with its wall-clock cost), and — when `threads > 1`
-/// — the identical run on a [`ParSimulator`] pool. Panics if the two
-/// engines disagree, which would break the parallel layer's cycle-exact
-/// contract.
-fn measure_run_timed(
-    params: &DesignParams,
-    threads: usize,
-) -> (ThroughputRun, f64, Option<f64>) {
+/// — the identical run on a [`ParSimulator`] pool, with the pool's
+/// per-worker busy/wait accounting. Panics if the two engines disagree,
+/// which would break the parallel layer's cycle-exact contract.
+fn measure_run_timed(params: &DesignParams, threads: usize) -> TimedRun {
     let tuples = tuples_for(params.sub_window());
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
     let seq_start = Instant::now();
-    let seq = run_throughput(join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
+    let (seq, gaps) =
+        run_throughput_observed(&mut Simulator::new(), join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
     let seq_wall = seq_start.elapsed().as_secs_f64();
     if threads <= 1 {
-        return (seq, seq_wall, None);
+        return TimedRun { run: seq, gaps, seq_wall, par: None };
     }
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
+    let mut engine = ParSimulator::new(threads);
     let par_start = Instant::now();
-    let par = run_throughput_with(
-        &mut ParSimulator::new(threads),
-        join.as_mut(),
-        tuples,
-        THROUGHPUT_KEY_DOMAIN,
-    );
+    let par = run_throughput_with(&mut engine, join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
     let par_wall = par_start.elapsed().as_secs_f64();
     assert_eq!(seq, par, "parallel engine must be cycle-exact");
-    (seq, seq_wall, Some(par_wall))
+    let stats = engine.take_stats().expect("parallel run records stats");
+    TimedRun { run: seq, gaps, seq_wall, par: Some((par_wall, stats)) }
 }
 
 /// Fig. 14c — uni-flow throughput with 512 join cores on Virtex-7
 /// @300 MHz (scalable networks) across windows 2^11–2^18.
 pub fn fig14c() -> Table {
+    fig14c_run().0
+}
+
+/// [`fig14c`] plus its run manifest: per-point counters and the merged
+/// service-gap histogram.
+pub fn fig14c_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig14c");
+    m.config("device", "XC7VX485T");
+    m.config("target_clock_mhz", 300);
+    m.config("cores", 512);
+    m.config("network", "scalable");
+    let mut gaps_all = Histogram::new();
     let mut t = Table::new(
         "Fig. 14c — uni-flow, 512 cores, Virtex-7 (300 MHz, scalable networks)",
         &["window", "model Mt/s", "measured Mt/s"],
@@ -173,7 +238,10 @@ pub fn fig14c() -> Table {
         match params.synthesize_at(&XC7VX485T, 300.0) {
             Ok(_) => {
                 let model = uniflow_throughput_model(window, cores, 300.0) / 1e6;
-                let measured = measure_mtps(&params, 300.0);
+                let (run, gaps) = measure_observed(&params);
+                let measured = run.at_clock(300.0).million_per_second();
+                record_run(&mut m, &format!("w2e{exp}."), &run);
+                gaps_all.merge(&gaps);
                 t.row(vec![
                     format!("2^{exp}"),
                     format!("{model:.3}"),
@@ -184,7 +252,8 @@ pub fn fig14c() -> Table {
         }
     }
     t.note("paper: ~2 orders of magnitude over the Virtex-5 realization at window 2^13");
-    t
+    m.histogram("service_gap_cycles", gaps_all);
+    (t, m)
 }
 
 /// [`fig14c`] with each point also simulated on a `threads`-wide
@@ -193,10 +262,26 @@ pub fn fig14c() -> Table {
 /// columns report the simulation's wall-clock cost per engine and the
 /// resulting speedup. Backs the `fig14c` binary's `--threads` knob.
 pub fn fig14c_threads(threads: usize) -> Table {
+    fig14c_threads_run(threads).0
+}
+
+/// [`fig14c_threads`] plus its run manifest. Beyond the sequential
+/// counters and service-gap histogram, each point records the parallel
+/// engine's per-worker utilization (`w2e{exp}.par.worker.N.busy_cycles`
+/// / `wait_cycles` / `busy_ns` / `wait_ns`) — the per-shard accounting
+/// that shows where the simulation pool spends its time.
+pub fn fig14c_threads_run(threads: usize) -> (Table, RunManifest) {
     // 0 = host auto (ACCEL_THREADS, else available parallelism), the same
     // resolution `ParSimulator::new(0)` would apply; resolve it up front so
     // the `threads <= 1` sequential-only guard sees the real pool width.
     let threads = if threads == 0 { ParSimulator::auto().threads() } else { threads };
+    let mut m = crate::obsout::manifest("fig14c");
+    m.set_threads(threads);
+    m.config("device", "XC7VX485T");
+    m.config("target_clock_mhz", 300);
+    m.config("cores", 512);
+    m.config("network", "scalable");
+    let mut gaps_all = Histogram::new();
     let mut t = Table::new(
         "Fig. 14c — uni-flow, 512 cores, Virtex-7 (300 MHz, scalable networks)",
         &["window", "model Mt/s", "measured Mt/s", "seq wall s", "par wall s", "speedup"],
@@ -211,12 +296,19 @@ pub fn fig14c_threads(threads: usize) -> Table {
         match params.synthesize_at(&XC7VX485T, 300.0) {
             Ok(_) => {
                 let model = uniflow_throughput_model(window, cores, 300.0) / 1e6;
-                let (run, seq_wall, par_wall) = measure_run_timed(&params, threads);
+                let timed = measure_run_timed(&params, threads);
+                let (run, seq_wall) = (timed.run, timed.seq_wall);
                 let measured = run.at_clock(300.0).million_per_second();
+                let key = format!("w2e{exp}.");
+                record_run(&mut m, &key, &run);
+                gaps_all.merge(&timed.gaps);
                 seq_total += seq_wall;
-                let (par_cell, speedup_cell) = match par_wall {
-                    Some(p) => {
+                let (par_cell, speedup_cell) = match timed.par {
+                    Some((p, stats)) => {
                         par_total += p;
+                        let mut reg = Registry::new();
+                        stats.observe(&mut reg, &format!("{key}par."));
+                        m.record_registry(&reg);
                         (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
                     }
                     None => ("-".into(), "-".into()),
@@ -250,12 +342,21 @@ pub fn fig14c_threads(threads: usize) -> Table {
     } else {
         t.note("run with --threads N to time the parallel simulation engine");
     }
-    t
+    m.histogram("service_gap_cycles", gaps_all);
+    (t, m)
 }
 
 /// Fig. 15 — uni-flow hardware latency versus join cores, in cycles and
 /// microseconds, for the paper's three series.
 pub fn fig15() -> Table {
+    fig15_run().0
+}
+
+/// [`fig15`] plus its run manifest: per-point latency-cycle counters and
+/// a histogram of all measured probe latencies (in cycles).
+pub fn fig15_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig15");
+    let mut latencies = Histogram::new();
     let mut t = Table::new(
         "Fig. 15 — uni-flow latency (planted match per core)",
         &["series", "cores", "cycles", "clock MHz", "latency us"],
@@ -265,7 +366,8 @@ pub fn fig15() -> Table {
         ("W 2^18 (V7s)", &XC7VX485T, NetworkKind::Scalable, 1 << 18, Some(300.0)),
         ("W 2^13 (V5)", &XC5VLX50T, NetworkKind::Lightweight, 1 << 13, Some(100.0)),
     ];
-    for (name, device, network, window, fixed_clock) in series {
+    for (s, (name, device, network, window, fixed_clock)) in series.into_iter().enumerate() {
+        m.config(format!("series.{s}"), name);
         for exp in 1..=9u32 {
             let cores = 1u32 << exp;
             let params =
@@ -286,6 +388,8 @@ pub fn fig15() -> Table {
             )
             .expect("latency probe quiesces");
             let cycles = run.cycles_to_last_result;
+            m.counter(format!("s{s}.c{cores}.latency_cycles"), cycles);
+            latencies.record_value(cycles);
             let mhz = report.clock.mhz();
             t.row(vec![
                 name.to_string(),
@@ -297,16 +401,18 @@ pub fn fig15() -> Table {
         }
     }
     t.note("paper: cycles similar across networks; lightweight loses in time via clock drop");
-    t
+    m.histogram("latency_cycles", latencies);
+    (t, m)
 }
 
 /// One latency point under both engines; panics if the parallel engine
-/// is not cycle-exact. Returns the run, the sequential wall clock, and
-/// the parallel wall clock when `threads > 1`.
+/// is not cycle-exact. Returns the run, the sequential wall clock, and —
+/// when `threads > 1` — the parallel wall clock with the pool's
+/// per-worker utilization.
 fn measure_latency_timed(
     params: &DesignParams,
     threads: usize,
-) -> (LatencyRun, f64, Option<f64>) {
+) -> (LatencyRun, f64, Option<(f64, ParStats)>) {
     const PROBE_KEY: u32 = 7;
     const MAX_CYCLES: u64 = 20_000_000;
     let probe = (StreamTag::R, Tuple::new(PROBE_KEY, u32::MAX));
@@ -320,12 +426,14 @@ fn measure_latency_timed(
     }
     let mut join = harness::build(params);
     prefill_planted(join.as_mut(), params, PROBE_KEY);
+    let mut engine = ParSimulator::new(threads);
     let par_start = Instant::now();
-    let par = run_latency_with(&mut ParSimulator::new(threads), join.as_mut(), probe, MAX_CYCLES)
+    let par = run_latency_with(&mut engine, join.as_mut(), probe, MAX_CYCLES)
         .expect("latency probe quiesces");
     let par_wall = par_start.elapsed().as_secs_f64();
     assert_eq!(seq, par, "parallel engine must be cycle-exact");
-    (seq, seq_wall, Some(par_wall))
+    let stats = engine.take_stats().expect("parallel run records stats");
+    (seq, seq_wall, Some((par_wall, stats)))
 }
 
 /// [`fig15`] with each point also simulated on a `threads`-wide
@@ -333,8 +441,18 @@ fn measure_latency_timed(
 /// extra columns report simulation wall clock and speedup. Backs the
 /// `fig15` binary's `--threads` knob.
 pub fn fig15_threads(threads: usize) -> Table {
+    fig15_threads_run(threads).0
+}
+
+/// [`fig15_threads`] plus its run manifest: per-point latency counters,
+/// the latency histogram, and per-worker utilization of the parallel
+/// engine at each point (`s{series}.c{cores}.par.worker.N.*`).
+pub fn fig15_threads_run(threads: usize) -> (Table, RunManifest) {
     // 0 = host auto; see `fig14c_threads`.
     let threads = if threads == 0 { ParSimulator::auto().threads() } else { threads };
+    let mut m = crate::obsout::manifest("fig15");
+    m.set_threads(threads);
+    let mut latencies = Histogram::new();
     let mut t = Table::new(
         "Fig. 15 — uni-flow latency (planted match per core)",
         &["series", "cores", "cycles", "latency us", "seq wall s", "par wall s", "speedup"],
@@ -346,7 +464,8 @@ pub fn fig15_threads(threads: usize) -> Table {
     ];
     let mut seq_total = 0.0f64;
     let mut par_total = 0.0f64;
-    for (name, device, network, window, fixed_clock) in series {
+    for (s, (name, device, network, window, fixed_clock)) in series.into_iter().enumerate() {
+        m.config(format!("series.{s}"), name);
         for exp in 1..=9u32 {
             let cores = 1u32 << exp;
             let params =
@@ -361,13 +480,18 @@ pub fn fig15_threads(threads: usize) -> Table {
             let (run, seq_wall, par_wall) = measure_latency_timed(&params, threads);
             seq_total += seq_wall;
             let (par_cell, speedup_cell) = match par_wall {
-                Some(p) => {
+                Some((p, stats)) => {
                     par_total += p;
+                    let mut reg = Registry::new();
+                    stats.observe(&mut reg, &format!("s{s}.c{cores}.par."));
+                    m.record_registry(&reg);
                     (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
                 }
                 None => ("-".into(), "-".into()),
             };
             let cycles = run.cycles_to_last_result;
+            m.counter(format!("s{s}.c{cores}.latency_cycles"), cycles);
+            latencies.record_value(cycles);
             let mhz = report.clock.mhz();
             t.row(vec![
                 name.to_string(),
@@ -389,12 +513,21 @@ pub fn fig15_threads(threads: usize) -> Table {
     } else {
         t.note("run with --threads N to time the parallel simulation engine");
     }
-    t
+    m.histogram("latency_cycles", latencies);
+    (t, m)
 }
 
 /// Fig. 17 — maximum clock frequency versus join cores for the three
 /// series (pure timing-model sweep).
 pub fn fig17() -> Table {
+    fig17_run().0
+}
+
+/// [`fig17`] plus its run manifest; a pure timing-model sweep, so the
+/// estimated fmax per point lands in the config map (floats, no cycle
+/// counters to record).
+pub fn fig17_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig17");
     let mut t = Table::new(
         "Fig. 17 — clock frequency vs join cores",
         &["series", "cores", "fmax MHz"],
@@ -402,33 +535,36 @@ pub fn fig17() -> Table {
     for exp in 1..=9u32 {
         let cores = 1u32 << exp;
         let v7l = DesignParams::new(FlowModel::UniFlow, cores, 1 << 18);
-        t.row(vec![
-            "W 2^18 (V7)".into(),
-            cores.to_string(),
-            format!("{:.1}", estimate_fmax(&XC7VX485T, &v7l.timing_profile()).mhz()),
-        ]);
+        let fmax = estimate_fmax(&XC7VX485T, &v7l.timing_profile()).mhz();
+        m.config(format!("v7_lightweight.c{cores}.fmax_mhz"), format!("{fmax:.1}"));
+        t.row(vec!["W 2^18 (V7)".into(), cores.to_string(), format!("{fmax:.1}")]);
         let v7s = v7l.with_network(NetworkKind::Scalable);
-        t.row(vec![
-            "W 2^18 (V7s)".into(),
-            cores.to_string(),
-            format!("{:.1}", estimate_fmax(&XC7VX485T, &v7s.timing_profile()).mhz()),
-        ]);
+        let fmax = estimate_fmax(&XC7VX485T, &v7s.timing_profile()).mhz();
+        m.config(format!("v7_scalable.c{cores}.fmax_mhz"), format!("{fmax:.1}"));
+        t.row(vec!["W 2^18 (V7s)".into(), cores.to_string(), format!("{fmax:.1}")]);
         if cores <= 16 {
             let v5 = DesignParams::new(FlowModel::UniFlow, cores, 1 << 13);
-            t.row(vec![
-                "W 2^13 (V5)".into(),
-                cores.to_string(),
-                format!("{:.1}", estimate_fmax(&XC5VLX50T, &v5.timing_profile()).mhz()),
-            ]);
+            let fmax = estimate_fmax(&XC5VLX50T, &v5.timing_profile()).mhz();
+            m.config(format!("v5_lightweight.c{cores}.fmax_mhz"), format!("{fmax:.1}"));
+            t.row(vec!["W 2^13 (V5)".into(), cores.to_string(), format!("{fmax:.1}")]);
         }
     }
     t.note("paper: V7 lightweight drops with fan-out; V7 scalable flat ~300; V5 flat, bump at 16");
-    t
+    (t, m)
 }
 
 /// Section V power table — bi-flow vs uni-flow at 16 cores, window 2^13,
 /// on the Virtex-5 at 100 MHz, plus a core-count sweep.
 pub fn power() -> Table {
+    power_run().0
+}
+
+/// [`power`] plus its run manifest; model estimates (floats) land in the
+/// config map.
+pub fn power_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("power");
+    m.config("device", "XC5VLX50T");
+    m.config("clock_mhz", 100);
     let mut t = Table::new(
         "Power — Virtex-5 @100 MHz (synthesis-model estimates)",
         &["flow", "cores", "window", "total mW", "saving"],
@@ -444,6 +580,10 @@ pub fn power() -> Table {
                 params.activity(),
             );
             totals.push(power.total_mw());
+            m.config(
+                format!("{flow}.c{cores}.w2e{}.total_mw", window.ilog2()),
+                format!("{:.2}", power.total_mw()),
+            );
             t.row(vec![
                 flow.to_string(),
                 cores.to_string(),
@@ -453,6 +593,10 @@ pub fn power() -> Table {
             ]);
         }
         let saving = 100.0 * (1.0 - totals[1] / totals[0]);
+        m.config(
+            format!("c{cores}.w2e{}.saving_pct", window.ilog2()),
+            format!("{saving:.1}"),
+        );
         t.row(vec![
             "-".into(),
             cores.to_string(),
@@ -462,7 +606,7 @@ pub fn power() -> Table {
         ]);
     }
     t.note("paper anchor: bi-flow 1647.53 mW vs uni-flow 800.35 mW at 16 cores, window 2^13 (>50% saving)");
-    t
+    (t, m)
 }
 
 /// Ablation — tree fan-out of the scalable networks (paper future work:

@@ -22,16 +22,18 @@
 #![warn(missing_docs)]
 
 mod hwfigs;
+pub mod obsout;
 mod reconfigfig;
 mod swfigs;
 mod table;
 
 pub use hwfigs::{
-    cloudscale_projection, deferral_ablation, fanout_ablation, fig14a, fig14b, fig14c,
-    fig14c_threads, fig15, fig15_threads, fig17, hashjoin_ablation, power,
+    cloudscale_projection, deferral_ablation, fanout_ablation, fig14a, fig14a_run, fig14b,
+    fig14b_run, fig14c, fig14c_run, fig14c_threads, fig14c_threads_run, fig15, fig15_run,
+    fig15_threads, fig15_threads_run, fig17, fig17_run, hashjoin_ablation, power, power_run,
 };
 pub use reconfigfig::{deployment_paths, live_requery};
-pub use swfigs::{fig14d, fig14d_windows, fig16, fig16_config};
+pub use swfigs::{fig14d, fig14d_run, fig14d_windows, fig16, fig16_config, fig16_run};
 pub use table::Table;
 
 use joinsw::baseline::reference_join;

@@ -1,0 +1,26 @@
+//! Manifest emission for the figure binaries.
+//!
+//! Every `fig*` binary prints its human-readable [`Table`](crate::Table)
+//! to stdout and, in addition, writes a machine-readable
+//! [`obs::RunManifest`] — git revision, thread count,
+//! configuration, counters, and latency histograms — so runs can be
+//! diffed and archived. Manifests land in `target/obs/<name>.json` (or
+//! `$ACCEL_OBS_DIR` when set); see `EXPERIMENTS.md` for the schema.
+
+use obs::RunManifest;
+
+/// Starts a manifest for the named figure. The git revision is stamped
+/// by the manifest itself; callers add config, counters, and histograms.
+pub fn manifest(figure: &str) -> RunManifest {
+    RunManifest::new(figure)
+}
+
+/// Writes `m` to the default manifest directory, reporting the path on
+/// stderr. A failure to write is a warning, never a failed run: the
+/// table on stdout is the primary artifact.
+pub fn emit(m: &RunManifest) {
+    match m.write_default() {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("warning: manifest `{}` not written: {e}", m.name()),
+    }
+}

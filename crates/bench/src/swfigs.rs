@@ -11,10 +11,11 @@
 use std::time::Duration;
 
 use joinsw::harness::{
-    host_parallelism, measure_latency, measure_throughput, modeled_throughput,
-    PARALLEL_EFFICIENCY,
+    host_parallelism, measure_latency_hist, measure_throughput,
+    modeled_throughput, PARALLEL_EFFICIENCY,
 };
 use joinsw::splitjoin::SplitJoinConfig;
+use obs::{Histogram, RunManifest};
 
 use crate::table::Table;
 
@@ -34,8 +35,26 @@ pub fn fig14d() -> Table {
     fig14d_windows(16..=23)
 }
 
+/// [`fig14d`] plus its run manifest: single-core rates are wall-clock
+/// measurements (floats), so they land in the config map along with the
+/// host parallelism that decides measured-vs-modeled multi-core columns.
+pub fn fig14d_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig14d");
+    m.config("host_parallelism", host_parallelism());
+    m.config("parallel_efficiency", PARALLEL_EFFICIENCY);
+    let t = fig14d_windows_into(16..=23, Some(&mut m));
+    (t, m)
+}
+
 /// Fig. 14d over a custom window-exponent range (tests use a small one).
 pub fn fig14d_windows(exponents: std::ops::RangeInclusive<u32>) -> Table {
+    fig14d_windows_into(exponents, None)
+}
+
+fn fig14d_windows_into(
+    exponents: std::ops::RangeInclusive<u32>,
+    mut manifest: Option<&mut RunManifest>,
+) -> Table {
     let mut t = Table::new(
         "Fig. 14d — software SplitJoin throughput (M tuples/s)",
         &["window", "1 core (measured)", "16 cores", "28 cores"],
@@ -65,6 +84,12 @@ pub fn fig14d_windows(exponents: std::ops::RangeInclusive<u32>) -> Table {
                 modeled_throughput(single, 28),
             )
         };
+        if let Some(m) = manifest.as_deref_mut() {
+            m.config(format!("w2e{exp}.single_mtps"), format!("{:.5}", single.million_per_second()));
+            m.config(format!("w2e{exp}.c16_mtps"), format!("{:.5}", c16 / 1e6));
+            m.config(format!("w2e{exp}.c28_mtps"), format!("{:.5}", c28 / 1e6));
+            m.counter(format!("w2e{exp}.tuples"), tuples_for(window));
+        }
         t.row(vec![
             format!("2^{exp}"),
             format!("{:.5}", single.million_per_second()),
@@ -91,18 +116,44 @@ pub fn fig16() -> Table {
     fig16_config(&[12, 16, 20, 24, 28, 32], &[17, 18, 19], 9)
 }
 
+/// [`fig16`] plus its run manifest: per-point p50 latencies in the
+/// config map and the merged distribution of every measured flush-barrier
+/// sample as a `latency_ns` histogram.
+pub fn fig16_run() -> (Table, RunManifest) {
+    let mut m = crate::obsout::manifest("fig16");
+    m.config("host_parallelism", host_parallelism());
+    m.config("parallel_efficiency", PARALLEL_EFFICIENCY);
+    let t = fig16_config_into(&[12, 16, 20, 24, 28, 32], &[17, 18, 19], 9, Some(&mut m));
+    (t, m)
+}
+
 /// Fig. 16 with custom core counts, window exponents, and sample count.
 pub fn fig16_config(cores: &[usize], window_exps: &[u32], samples: usize) -> Table {
+    fig16_config_into(cores, window_exps, samples, None)
+}
+
+fn fig16_config_into(
+    cores: &[usize],
+    window_exps: &[u32],
+    samples: usize,
+    mut manifest: Option<&mut RunManifest>,
+) -> Table {
     let mut t = Table::new(
         "Fig. 16 — software SplitJoin latency",
         &["window", "cores", "latency"],
     );
+    let mut all_samples = Histogram::new();
     let direct = host_parallelism() >= cores.iter().copied().max().unwrap_or(1);
     for &exp in window_exps {
         let window = 1usize << exp;
         if direct {
             for &n in cores {
-                let s = measure_latency(SplitJoinConfig::new(n, window), samples, KEY_DOMAIN);
+                let (s, hist) =
+                    measure_latency_hist(SplitJoinConfig::new(n, window), samples, KEY_DOMAIN);
+                all_samples.merge(&hist);
+                if let Some(m) = manifest.as_deref_mut() {
+                    m.config(format!("w2e{exp}.c{n}.p50"), format!("{:?}", s.p50));
+                }
                 t.row(vec![
                     format!("2^{exp}"),
                     n.to_string(),
@@ -112,15 +163,21 @@ pub fn fig16_config(cores: &[usize], window_exps: &[u32], samples: usize) -> Tab
         } else {
             // Hybrid model: real single-core scan time for this window plus
             // real N-thread flush-barrier overhead, scan divided by N.
-            let lat1 = measure_latency(SplitJoinConfig::new(1, window), samples, KEY_DOMAIN);
+            let (lat1, hist) =
+                measure_latency_hist(SplitJoinConfig::new(1, window), samples, KEY_DOMAIN);
+            all_samples.merge(&hist);
             for &n in cores {
-                let overhead =
-                    measure_latency(SplitJoinConfig::new(n, n), samples, KEY_DOMAIN);
+                let (overhead, hist) =
+                    measure_latency_hist(SplitJoinConfig::new(n, n), samples, KEY_DOMAIN);
+                all_samples.merge(&hist);
                 let scan = lat1.p50.saturating_sub(overhead.p50);
                 let modeled = overhead.p50
                     + Duration::from_nanos(
                         (scan.as_nanos() as f64 / (n as f64 * PARALLEL_EFFICIENCY)) as u64,
                     );
+                if let Some(m) = manifest.as_deref_mut() {
+                    m.config(format!("w2e{exp}.c{n}.p50_modeled"), format!("{modeled:?}"));
+                }
                 t.row(vec![
                     format!("2^{exp}"),
                     n.to_string(),
@@ -128,6 +185,9 @@ pub fn fig16_config(cores: &[usize], window_exps: &[u32], samples: usize) -> Tab
                 ]);
             }
         }
+    }
+    if let Some(m) = manifest {
+        m.histogram("latency_ns", all_samples);
     }
     if !direct {
         t.note(format!(

@@ -20,6 +20,17 @@
 //! 5. [`assign::remove`] / [`fabric::Fabric::reprogram`] — change or
 //!    remove queries live ([`reconfig`] quantifies why this matters).
 //!
+//! # Where FQP sits in the landscape
+//!
+//! [`landscape`] encodes the paper's four-layer design-space
+//! formalization (Section II, Fig. 4) — system, programming,
+//! representational, and algorithmic models — and classifies FQP itself
+//! alongside the other surveyed systems: a standalone/co-placed design
+//! with a *parametrized topology* representation, the only class that
+//! admits runtime query changes without resynthesis. `ARCHITECTURE.md`
+//! at the workspace root maps every crate of this reproduction onto those
+//! four layers.
+//!
 //! # Example
 //!
 //! ```

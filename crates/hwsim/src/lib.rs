@@ -87,7 +87,7 @@ pub use bram::{Bram, BramStats};
 pub use device::{devices, Device, Family};
 pub use error::{CapacityError, FifoFullError};
 pub use fifo::Fifo;
-pub use par::{Control, Engine, ParSimulator, Shard, Sharded};
+pub use par::{Control, Engine, ParSimulator, ParStats, Shard, Sharded, WorkerStats};
 pub use power::{PowerModel, PowerReport};
 pub use reg::{DelayLine, Register};
 pub use resources::{MemoryMapping, Resources, Utilization};

@@ -192,6 +192,124 @@ impl Engine for Simulator {
     }
 }
 
+/// Per-worker utilization accounting for one
+/// [`run_driven`](Engine::run_driven) call (worker 0 is the driving
+/// thread).
+///
+/// The cycle-domain fields are always collected — they are a handful of
+/// integer adds per phase and deterministic, so the accounting identity
+/// `busy_cycles + wait_cycles == ParStats::cycles` holds exactly for
+/// every worker at any thread count. The `_ns` wall-clock fields need
+/// `Instant` reads in the barrier hot path and are only collected with
+/// the `obs` feature (the default); without it they read 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Simulated cycles in which this worker executed at least one shard
+    /// phase.
+    pub busy_cycles: u64,
+    /// Simulated cycles in which this worker's chunk was empty in every
+    /// phase (it only rendezvoused at the barriers).
+    pub wait_cycles: u64,
+    /// Total shard-phase executions (3 per shard per cycle in steady
+    /// state) — unequal chunk sizes show up here as load imbalance.
+    /// 0 under the sequential fallback, which does not decompose the
+    /// design into shards.
+    pub shards_executed: u64,
+    /// Wall-clock nanoseconds spent executing shard phases (`obs` only).
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent waiting at phase barriers — for
+    /// workers this includes the coordinator's exclusive phases (`obs`
+    /// only).
+    pub wait_ns: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of this worker's wall-clock spent executing shards
+    /// (`busy_ns / (busy_ns + wait_ns)`), or `None` without timing data
+    /// (`obs` feature off, or a zero-cycle run).
+    #[must_use]
+    pub fn utilization(&self) -> Option<f64> {
+        let total = self.busy_ns + self.wait_ns;
+        (total > 0).then(|| self.busy_ns as f64 / total as f64)
+    }
+}
+
+/// Utilization report for the most recent
+/// [`run_driven`](Engine::run_driven) call of a [`ParSimulator`] —
+/// retrieved with [`ParSimulator::last_stats`] /
+/// [`ParSimulator::take_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Worker threads used, including the driving thread. 1 means the
+    /// sequential fallback ran (thread budget 1, or fewer than two
+    /// shards).
+    pub threads: usize,
+    /// Simulated cycles covered by this report.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds for the whole run (`obs` feature only).
+    pub run_ns: u64,
+    /// Wall-clock nanoseconds in the coordinator's exclusive phases —
+    /// network pushes/pops, result gathering, shard staging (`obs` only).
+    pub coord_ns: u64,
+    /// Per-worker accounting; index 0 is the driving thread.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ParStats {
+    /// Fraction of the run's wall-clock spent in exclusive coordinator
+    /// phases — the serial share that bounds parallel speedup (Amdahl).
+    /// `None` without timing data.
+    #[must_use]
+    pub fn coordinator_share(&self) -> Option<f64> {
+        (self.run_ns > 0).then(|| self.coord_ns as f64 / self.run_ns as f64)
+    }
+
+    /// Publishes the report into an [`obs::Registry`] under
+    /// `{prefix}threads`, `{prefix}cycles`, `{prefix}run_ns`,
+    /// `{prefix}coord_ns`, and `{prefix}worker.N.{busy_cycles,
+    /// wait_cycles, shards_executed, busy_ns, wait_ns}`.
+    pub fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
+        reg.record(format!("{prefix}threads"), self.threads as u64);
+        reg.record(format!("{prefix}cycles"), self.cycles);
+        reg.record(format!("{prefix}run_ns"), self.run_ns);
+        reg.record(format!("{prefix}coord_ns"), self.coord_ns);
+        for (i, w) in self.workers.iter().enumerate() {
+            reg.record(format!("{prefix}worker.{i}.busy_cycles"), w.busy_cycles);
+            reg.record(format!("{prefix}worker.{i}.wait_cycles"), w.wait_cycles);
+            reg.record(
+                format!("{prefix}worker.{i}.shards_executed"),
+                w.shards_executed,
+            );
+            reg.record(format!("{prefix}worker.{i}.busy_ns"), w.busy_ns);
+            reg.record(format!("{prefix}worker.{i}.wait_ns"), w.wait_ns);
+        }
+    }
+}
+
+/// A monotonic timestamp when the `obs` feature collects wall-clock
+/// phase timings; a zero-sized unit otherwise, so call sites read the
+/// same either way.
+#[cfg(feature = "obs")]
+type Stamp = std::time::Instant;
+#[cfg(not(feature = "obs"))]
+type Stamp = ();
+
+#[cfg(feature = "obs")]
+fn stamp() -> Stamp {
+    std::time::Instant::now()
+}
+#[cfg(not(feature = "obs"))]
+fn stamp() -> Stamp {}
+
+#[cfg(feature = "obs")]
+fn lap(since: Stamp) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+#[cfg(not(feature = "obs"))]
+fn lap(_since: Stamp) -> u64 {
+    0
+}
+
 const OP_BEGIN: u64 = 0;
 const OP_EVAL: u64 = 1;
 const OP_COMMIT: u64 = 2;
@@ -224,6 +342,9 @@ struct Gate {
     dead: AtomicUsize,
     /// Shard pointers for the current phase, re-staged every phase.
     jobs: Mutex<Vec<SendPtr>>,
+    /// Per-worker utilization, published by each worker at `OP_EXIT` and
+    /// collected by the coordinator after the pool joins.
+    stats: Mutex<Vec<(usize, WorkerStats)>>,
     /// Pool size including the coordinator.
     threads: usize,
 }
@@ -236,6 +357,7 @@ impl Gate {
             remaining: AtomicUsize::new(0),
             dead: AtomicUsize::new(0),
             jobs: Mutex::new(Vec::new()),
+            stats: Mutex::new(Vec::new()),
             threads,
         }
     }
@@ -270,7 +392,8 @@ impl Gate {
     }
 
     /// Runs worker `index`'s chunk of the current phase on this thread.
-    fn run_chunk(&self, index: usize, op: u64, scratch: &mut Vec<SendPtr>) {
+    /// Returns the number of shards executed.
+    fn run_chunk(&self, index: usize, op: u64, scratch: &mut Vec<SendPtr>) -> usize {
         scratch.clear();
         {
             let jobs = self.jobs.lock().expect("pool poisoned");
@@ -289,6 +412,7 @@ impl Gate {
                 _ => shard.commit(),
             }
         }
+        scratch.len()
     }
 
     /// Spins (then yields) until every worker finished the phase.
@@ -334,16 +458,35 @@ fn worker_loop(gate: &Gate, index: usize) {
     let mut seen = 0u64;
     let mut scratch: Vec<SendPtr> = Vec::new();
     let mut guard = WorkerPanicGuard { gate, in_phase: false };
+    let mut stats = WorkerStats::default();
+    let mut cycle_had_work = false;
     loop {
+        let waiting = stamp();
         spin_until(|| gate.epoch.load(Ordering::Acquire) != seen);
+        stats.wait_ns += lap(waiting);
         seen = gate.epoch.load(Ordering::Acquire);
         let op = gate.op.load(Ordering::Acquire);
         if op == OP_EXIT {
+            gate.stats.lock().expect("pool poisoned").push((index, stats));
             return;
         }
         guard.in_phase = true;
-        gate.run_chunk(index, op, &mut scratch);
+        let busy = stamp();
+        let executed = gate.run_chunk(index, op, &mut scratch);
+        stats.busy_ns += lap(busy);
         guard.in_phase = false;
+        stats.shards_executed += executed as u64;
+        cycle_had_work |= executed > 0;
+        if op == OP_COMMIT {
+            // The commit barrier closes the cycle; classify it. A run
+            // only stops between cycles, so triples are never partial.
+            if cycle_had_work {
+                stats.busy_cycles += 1;
+            } else {
+                stats.wait_cycles += 1;
+            }
+            cycle_had_work = false;
+        }
         gate.remaining.fetch_sub(1, Ordering::Release);
     }
 }
@@ -373,6 +516,7 @@ impl Drop for ShutdownGuard<'_> {
 pub struct ParSimulator {
     threads: usize,
     cycle: u64,
+    last_stats: Option<ParStats>,
 }
 
 impl ParSimulator {
@@ -382,7 +526,7 @@ impl ParSimulator {
         if threads == 0 {
             Self::auto()
         } else {
-            ParSimulator { threads, cycle: 0 }
+            ParSimulator { threads, cycle: 0, last_stats: None }
         }
     }
 
@@ -396,7 +540,7 @@ impl ParSimulator {
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             });
-        ParSimulator { threads, cycle: 0 }
+        ParSimulator { threads, cycle: 0, last_stats: None }
     }
 
     /// The configured thread budget.
@@ -407,6 +551,20 @@ impl ParSimulator {
     /// The number of clock cycles simulated so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Utilization report for the most recent
+    /// [`run_driven`](Engine::run_driven) / [`run`](Self::run) /
+    /// [`run_until`](Self::run_until) call. `None` before the first run.
+    /// Each run replaces the previous report.
+    pub fn last_stats(&self) -> Option<&ParStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Takes ownership of the most recent utilization report, leaving
+    /// `None`.
+    pub fn take_stats(&mut self) -> Option<ParStats> {
+        self.last_stats.take()
     }
 
     /// Advances the design by one clock cycle, sequentially (one cycle
@@ -455,11 +613,17 @@ impl ParSimulator {
         max_cycles: u64,
         tick: &mut dyn FnMut(&mut S, u64) -> Control,
     ) -> bool {
+        let start_cycle = self.cycle;
+        let run_start = stamp();
+        let mut stopped = false;
         let mut free = 0u64;
         for _ in 0..max_cycles {
             if free == 0 {
                 match tick(root, self.cycle) {
-                    Control::Stop => return true,
+                    Control::Stop => {
+                        stopped = true;
+                        break;
+                    }
                     Control::Continue => free = 1,
                     Control::Skip(n) => free = n.max(1),
                 }
@@ -470,7 +634,24 @@ impl ParSimulator {
             self.cycle += 1;
             free -= 1;
         }
-        false
+        // The fallback is one fully-busy worker: the driving thread runs
+        // every phase of every cycle and never waits.
+        let cycles = self.cycle - start_cycle;
+        let run_ns = lap(run_start);
+        self.last_stats = Some(ParStats {
+            threads: 1,
+            cycles,
+            run_ns,
+            coord_ns: 0,
+            workers: vec![WorkerStats {
+                busy_cycles: cycles,
+                wait_cycles: 0,
+                shards_executed: 0,
+                busy_ns: run_ns,
+                wait_ns: 0,
+            }],
+        });
+        stopped
     }
 
     fn run_driven_parallel<S: Sharded + ?Sized>(
@@ -480,8 +661,12 @@ impl ParSimulator {
         tick: &mut dyn FnMut(&mut S, u64) -> Control,
         threads: usize,
     ) -> bool {
+        let start_cycle = self.cycle;
+        let run_start = stamp();
         let gate = Gate::new(threads);
-        std::thread::scope(|scope| {
+        let mut coord = WorkerStats::default();
+        let mut coord_ns = 0u64;
+        let stopped = std::thread::scope(|scope| {
             for index in 1..threads {
                 let gate = &gate;
                 scope.spawn(move || worker_loop(gate, index));
@@ -489,41 +674,85 @@ impl ParSimulator {
             let _shutdown = ShutdownGuard(&gate);
             let mut scratch: Vec<SendPtr> = Vec::new();
             let mut free = 0u64;
+            let mut stopped = false;
             for _ in 0..max_cycles {
                 if free == 0 {
                     // Workers are quiescent here: the tick may inspect
                     // and mutate the whole design (offer tuples, drain
                     // results, test quiescence).
                     match tick(root, self.cycle) {
-                        Control::Stop => return true,
+                        Control::Stop => {
+                            stopped = true;
+                            break;
+                        }
                         Control::Continue => free = 1,
                         Control::Skip(n) => free = n.max(1),
                     }
                 }
+                let mut executed = 0usize;
                 // Begin phase.
+                let t = stamp();
                 root.coord_begin_cycle();
                 gate.stage(root.shards());
+                coord_ns += lap(t);
                 gate.release(OP_BEGIN);
-                gate.run_chunk(0, OP_BEGIN, &mut scratch);
+                let t = stamp();
+                executed += gate.run_chunk(0, OP_BEGIN, &mut scratch);
+                coord.busy_ns += lap(t);
+                let t = stamp();
                 gate.wait_workers();
+                coord.wait_ns += lap(t);
                 // Eval phase.
+                let t = stamp();
                 root.coord_eval_pre();
                 gate.stage(root.shards());
+                coord_ns += lap(t);
                 gate.release(OP_EVAL);
-                gate.run_chunk(0, OP_EVAL, &mut scratch);
+                let t = stamp();
+                executed += gate.run_chunk(0, OP_EVAL, &mut scratch);
+                coord.busy_ns += lap(t);
+                let t = stamp();
                 gate.wait_workers();
+                coord.wait_ns += lap(t);
+                let t = stamp();
                 root.coord_eval_post();
                 // Commit phase.
                 root.coord_commit();
                 gate.stage(root.shards());
+                coord_ns += lap(t);
                 gate.release(OP_COMMIT);
-                gate.run_chunk(0, OP_COMMIT, &mut scratch);
+                let t = stamp();
+                executed += gate.run_chunk(0, OP_COMMIT, &mut scratch);
+                coord.busy_ns += lap(t);
+                let t = stamp();
                 gate.wait_workers();
+                coord.wait_ns += lap(t);
+                coord.shards_executed += executed as u64;
+                if executed > 0 {
+                    coord.busy_cycles += 1;
+                } else {
+                    coord.wait_cycles += 1;
+                }
                 self.cycle += 1;
                 free -= 1;
             }
-            false
-        })
+            stopped
+        });
+        // The scope has joined every worker, so the published per-worker
+        // stats are complete; slot them in by index (worker 0 is us).
+        let mut workers = vec![WorkerStats::default(); threads];
+        workers[0] = coord;
+        for (index, stats) in gate.stats.into_inner().expect("pool poisoned") {
+            workers[index] = stats;
+        }
+        self.last_stats = Some(ParStats {
+            threads,
+            cycles: self.cycle - start_cycle,
+            run_ns: lap(run_start),
+            coord_ns,
+            workers,
+        });
+        stopped
     }
 }
 
@@ -753,6 +982,52 @@ mod tests {
         let par_cycles = drive(&mut ParSimulator::new(4), &mut b);
         assert_eq!(seq_cycles, par_cycles);
         assert_eq!(a.coord_pre, b.coord_pre);
+    }
+
+    #[test]
+    fn stats_account_every_cycle_for_every_worker() {
+        for threads in [1usize, 2, 3, 4] {
+            let mut bank = Bank::new(7);
+            let mut sim = ParSimulator::new(threads);
+            assert!(sim.last_stats().is_none());
+            sim.run(&mut bank, 50);
+            let stats = sim.last_stats().expect("run recorded stats").clone();
+            assert_eq!(stats.cycles, 50);
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.workers.len(), if threads <= 1 { 1 } else { threads });
+            for w in &stats.workers {
+                assert_eq!(w.busy_cycles + w.wait_cycles, stats.cycles);
+            }
+            if threads > 1 {
+                // Every shard runs all 3 phases of all 50 cycles exactly
+                // once, across whichever workers own it.
+                let total: u64 = stats.workers.iter().map(|w| w.shards_executed).sum();
+                assert_eq!(total, 7 * 3 * 50);
+            }
+            let mut reg = obs::Registry::new();
+            stats.observe(&mut reg, "par.");
+            assert_eq!(reg.get("par.cycles"), Some(50));
+            assert_eq!(reg.get("par.worker.0.wait_cycles"), Some(0));
+            assert_eq!(sim.take_stats().as_ref(), Some(&stats));
+            assert!(sim.last_stats().is_none());
+        }
+    }
+
+    #[test]
+    fn stats_replace_per_run_and_cover_stopped_runs() {
+        let mut bank = Bank::new(4);
+        let mut sim = ParSimulator::new(4);
+        sim.run(&mut bank, 10);
+        let stopped = sim.run_driven(&mut bank, 1_000, &mut |_, cycle| {
+            if cycle == 13 { Control::Stop } else { Control::Continue }
+        });
+        assert!(stopped);
+        // 10 cycles from the first run, stopped at absolute cycle 13.
+        let stats = sim.last_stats().unwrap();
+        assert_eq!(stats.cycles, 3);
+        for w in &stats.workers {
+            assert_eq!(w.busy_cycles + w.wait_cycles, 3);
+        }
     }
 
     #[test]

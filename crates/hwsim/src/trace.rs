@@ -2,12 +2,17 @@
 //! VCD (Value Change Dump) files readable by GTKWave and friends.
 //!
 //! Designs are plain Rust structs, so tracing is opt-in and external: a
-//! [`TraceRecorder`] holds named signals; a sampler closure reads whatever
-//! design state it wants each cycle (see
-//! [`Simulator::step_traced`](crate::Simulator) usage in the example).
-//! Only *changes* are stored, as in the VCD format itself.
+//! [`TraceRecorder`] holds named signals, and the code driving the clock
+//! samples whatever design state it wants after each
+//! [`Simulator::step`](crate::Simulator::step). Only *changes* are
+//! stored, as in the VCD format itself.
 //!
-//! # Example
+//! # Example: wiring a recorder into a measurement loop
+//!
+//! A benchmark drives the design exactly as it would without tracing —
+//! the recorder rides along in the drive loop, and the probe is ordinary
+//! field access. Dropping the two trace lines recovers the untraced
+//! harness:
 //!
 //! ```
 //! use hwsim::{TraceRecorder, Simulator, Component, Register};
@@ -19,15 +24,22 @@
 //!     fn commit(&mut self) { self.0.commit(); }
 //! }
 //!
-//! let mut trace = TraceRecorder::new();
-//! let count = trace.signal("count", 8);
-//! let mut counter = Counter(Register::new(0));
-//! let mut sim = Simulator::new();
-//! for _ in 0..4 {
-//!     sim.step(&mut counter);
-//!     trace.set_cycle(sim.cycle());
-//!     trace.sample(count, *counter.0.get());
+//! /// The benchmark's cycle loop, with the recorder wired in.
+//! fn run_traced(cycles: u64) -> (Counter, TraceRecorder) {
+//!     let mut trace = TraceRecorder::new();
+//!     let count = trace.signal("count", 8);
+//!     let mut counter = Counter(Register::new(0));
+//!     let mut sim = Simulator::new();
+//!     for _ in 0..cycles {
+//!         sim.step(&mut counter);
+//!         trace.set_cycle(sim.cycle());
+//!         trace.sample(count, *counter.0.get());
+//!     }
+//!     (counter, trace)
 //! }
+//!
+//! let (counter, trace) = run_traced(4);
+//! assert_eq!(*counter.0.get(), 4);
 //! let vcd = trace.to_vcd();
 //! assert!(vcd.contains("$var wire 8"));
 //! assert!(vcd.contains("#4"));

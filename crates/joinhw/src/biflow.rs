@@ -44,7 +44,7 @@ pub const HANDSHAKE_CYCLES: u8 = 2;
 /// Which handshake-join flavour the chain runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BiflowVariant {
-    /// Low-latency handshake join (Roy et al., cited as [36]): "each
+    /// Low-latency handshake join (Roy et al., cited as \[36\]): "each
     /// tuple of each stream is replicated and forwarded to the next join
     /// core before the join computation is carried out" — every arrival
     /// probes the whole opposite window immediately, yielding strict
@@ -153,6 +153,17 @@ pub struct BiFlowJoin {
     collector_ptr: usize,
     collected: Vec<MatchPair>,
     accepted_tuples: u64,
+    /// Offers rejected because the stream's input register was occupied
+    /// (the chain's admission backpressure). No-op without `obs`.
+    offer_rejected: obs::Counter,
+    /// Waves admitted by the central coordinator.
+    waves_admitted: obs::Counter,
+    /// Cycles spent in neighbour handshakes.
+    handshake_cycles: obs::Counter,
+    /// Cycles spent probing opposite sub-windows.
+    probe_cycles: obs::Counter,
+    /// Probe cycles lost to result-FIFO backpressure.
+    probe_stalls: obs::Counter,
 }
 
 impl BiFlowJoin {
@@ -181,6 +192,11 @@ impl BiFlowJoin {
             collector_ptr: 0,
             collected: Vec::new(),
             accepted_tuples: 0,
+            offer_rejected: obs::Counter::new(),
+            waves_admitted: obs::Counter::new(),
+            handshake_cycles: obs::Counter::new(),
+            probe_cycles: obs::Counter::new(),
+            probe_stalls: obs::Counter::new(),
         }
     }
 
@@ -226,6 +242,7 @@ impl BiFlowJoin {
             StreamTag::S => &mut self.pending_s,
         };
         if slot.is_some() {
+            self.offer_rejected.incr();
             return false;
         }
         *slot = Some((seq, tuple));
@@ -237,6 +254,20 @@ impl BiFlowJoin {
     /// Number of tuples accepted so far (both streams).
     pub fn accepted_tuples(&self) -> u64 {
         self.accepted_tuples
+    }
+
+    /// Publishes the chain's counters into `reg` under `prefix`:
+    /// `{prefix}accepted_tuples`, `{prefix}offer_rejected`,
+    /// `{prefix}waves_admitted`, `{prefix}handshake_cycles`,
+    /// `{prefix}probe_cycles`, `{prefix}probe_stalls`. Counter values are
+    /// 0 when the `obs` feature is off; `accepted_tuples` is always live.
+    pub fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
+        reg.record(format!("{prefix}accepted_tuples"), self.accepted_tuples);
+        reg.counter(format!("{prefix}offer_rejected"), &self.offer_rejected);
+        reg.counter(format!("{prefix}waves_admitted"), &self.waves_admitted);
+        reg.counter(format!("{prefix}handshake_cycles"), &self.handshake_cycles);
+        reg.counter(format!("{prefix}probe_cycles"), &self.probe_cycles);
+        reg.counter(format!("{prefix}probe_stalls"), &self.probe_stalls);
     }
 
     /// Removes and returns all collected results.
@@ -315,6 +346,7 @@ impl BiFlowJoin {
             StreamTag::S => self.pending_s.take(),
         }
         .expect("pending tuple present");
+        self.waves_admitted.incr();
         self.wave = Some(Wave {
             tag,
             probe: tuple,
@@ -350,6 +382,7 @@ impl BiFlowJoin {
         };
         match wave.phase {
             WavePhase::Handshake(k) => {
+                self.handshake_cycles.incr();
                 if k > 1 {
                     wave.phase = WavePhase::Handshake(k - 1);
                 } else {
@@ -369,8 +402,10 @@ impl BiFlowJoin {
                 let core = &mut self.cores[wave.core];
                 if !core.results.can_push() {
                     // Back-pressure from the result port stalls the probe.
+                    self.probe_stalls.incr();
                     return;
                 }
+                self.probe_cycles.incr();
                 let stored = core.window_mut(wave.tag.other()).read(idx);
                 let (r, s) = match wave.tag {
                     StreamTag::R => (wave.probe, stored),
@@ -468,8 +503,8 @@ impl Component for BiFlowJoin {
 /// The bi-flow chain is inherently sequential: every cycle the central
 /// coordinator walks the whole chain (wave propagation, admission, the
 /// shared result bus), so there are no independent sub-trees to shard.
-/// The empty default decomposition makes a [`ParSimulator`]
-/// (`hwsim::ParSimulator`) fall back to the sequential schedule — still
+/// The empty default decomposition makes a [`hwsim::ParSimulator`]
+/// fall back to the sequential schedule — still
 /// cycle-exact, just not parallel. This asymmetry mirrors the paper's
 /// architectural point: uni-flow scales by adding independent cores,
 /// bi-flow serializes on its coordinator.

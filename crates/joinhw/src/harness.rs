@@ -41,6 +41,10 @@ pub trait StreamJoin: Sharded {
     fn prefill(&mut self, r: &[Tuple], s: &[Tuple]);
     /// Tuples accepted so far.
     fn accepted_tuples(&self) -> u64;
+    /// Publishes the design's counters into `reg` under `prefix` (see the
+    /// designs' inherent `observe` methods for the emitted keys). Stall
+    /// counters read 0 when the `obs` feature is off.
+    fn observe(&self, reg: &mut obs::Registry, prefix: &str);
 }
 
 impl StreamJoin for UniFlowJoin {
@@ -62,6 +66,9 @@ impl StreamJoin for UniFlowJoin {
     fn accepted_tuples(&self) -> u64 {
         UniFlowJoin::accepted_tuples(self)
     }
+    fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
+        UniFlowJoin::observe(self, reg, prefix)
+    }
 }
 
 impl StreamJoin for BiFlowJoin {
@@ -82,6 +89,9 @@ impl StreamJoin for BiFlowJoin {
     }
     fn accepted_tuples(&self) -> u64 {
         BiFlowJoin::accepted_tuples(self)
+    }
+    fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
+        BiFlowJoin::observe(self, reg, prefix)
     }
 }
 
@@ -173,12 +183,37 @@ pub fn run_throughput_with<E: Engine>(
     tuples: u64,
     key_domain: u32,
 ) -> ThroughputRun {
+    run_throughput_observed(engine, join, tuples, key_domain).0
+}
+
+/// [`run_throughput_with`] that additionally returns the distribution of
+/// per-tuple **service gaps**: the number of cycles between consecutive
+/// input acceptances. At saturation the gap is the design's service time,
+/// so the histogram's p50/p99 expose the tail the mean throughput number
+/// hides (e.g. cycles stalling on a full gathering tree).
+///
+/// The drive loop is byte-for-byte the one [`run_throughput`] uses —
+/// recording a gap has no control-flow effect — so the returned
+/// [`ThroughputRun`] is identical to the unobserved run's.
+///
+/// # Panics
+///
+/// Panics if the design stops accepting input for an implausibly long
+/// stretch (a deadlock in the modeled flow control).
+pub fn run_throughput_observed<E: Engine>(
+    engine: &mut E,
+    join: &mut dyn StreamJoin,
+    tuples: u64,
+    key_domain: u32,
+) -> (ThroughputRun, obs::Histogram) {
     let start = engine.cycle();
     let mut sent = 0u64;
     let mut results = 0u64;
     let mut seq = 0u32;
     let mut stall = 0u64;
-    engine.run_driven(join, u64::MAX, &mut |join, _cycle| {
+    let mut gaps = obs::Histogram::new();
+    let mut last_accept = start;
+    engine.run_driven(join, u64::MAX, &mut |join, cycle| {
         if join.pending_results() > 4_096 {
             results += join.drain_results().len() as u64;
         }
@@ -194,6 +229,8 @@ pub fn run_throughput_with<E: Engine>(
             sent += 1;
             seq = seq.wrapping_add(1);
             stall = 0;
+            gaps.record_value(cycle - last_accept);
+            last_accept = cycle;
         } else {
             stall += 1;
             assert!(
@@ -204,11 +241,12 @@ pub fn run_throughput_with<E: Engine>(
         Control::Continue
     });
     results += join.drain_results().len() as u64;
-    ThroughputRun {
+    let run = ThroughputRun {
         tuples: sent,
         cycles: engine.cycle() - start,
         results,
-    }
+    };
+    (run, gaps)
 }
 
 /// Outcome of a single-tuple latency probe.
@@ -542,6 +580,33 @@ mod tests {
             model > 2.5 * uni_model,
             "chain latency {model} should dwarf uni-flow {uni_model}"
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn observed_run_matches_unobserved_and_counters_populate() {
+        let params = DesignParams::new(FlowModel::BiFlow, 2, 32);
+        let mut a = build(&params);
+        prefill_steady_state(a.as_mut(), params.window_size);
+        let run_a = run_throughput(a.as_mut(), 50, 1 << 20);
+
+        let mut b = build(&params);
+        prefill_steady_state(b.as_mut(), params.window_size);
+        let (run_b, gaps) =
+            run_throughput_observed(&mut Simulator::new(), b.as_mut(), 50, 1 << 20);
+        assert_eq!(run_a, run_b, "recording gaps must not perturb the run");
+        assert_eq!(gaps.total(), 50);
+        assert!(gaps.p99() >= gaps.p50());
+
+        let mut reg = obs::Registry::new();
+        b.observe(&mut reg, "bi.");
+        assert_eq!(reg.get("bi.accepted_tuples"), Some(50));
+        // The run stops at the 50th acceptance; tuples still parked in the
+        // two stream input registers have not been admitted as waves yet.
+        let waves = reg.get("bi.waves_admitted").unwrap();
+        assert!((48..=50).contains(&waves), "unexpected wave count {waves}");
+        assert!(reg.get("bi.handshake_cycles").unwrap() > 0);
+        assert!(reg.get("bi.probe_cycles").unwrap() > 0);
     }
 
     #[test]

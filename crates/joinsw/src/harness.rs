@@ -133,6 +133,18 @@ pub fn measure_latency(
     samples: usize,
     key_domain: u32,
 ) -> LatencySummary {
+    measure_latency_hist(config, samples, key_domain).0
+}
+
+/// [`measure_latency`] that also returns the full sample distribution as
+/// a log2-bucketed [`obs::Histogram`] (nanoseconds) — the summary's
+/// p50/p99 collapse the distribution; the histogram is what the bench
+/// manifests archive.
+pub fn measure_latency_hist(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> (LatencySummary, obs::Histogram) {
     let window = config.window_size;
     let join = SplitJoin::spawn(config.counting_only());
     prefill_steady_state(&join, window);
@@ -146,7 +158,7 @@ pub fn measure_latency(
         recorder.record(start.elapsed());
     }
     join.shutdown();
-    recorder.summary().expect("samples recorded")
+    (recorder.summary().expect("samples recorded"), recorder.histogram())
 }
 
 #[cfg(test)]

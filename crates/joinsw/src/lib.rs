@@ -16,6 +16,17 @@
 //! * [`handshake`] — bi-flow: a chain of threads through which R flows
 //!   left-to-right and S right-to-left with low-latency fast-forwarding.
 //! * [`baseline`] — the strict-semantics reference join.
+//! * [`harness`] — the measurement loops behind those figures:
+//!   [`harness::measure_throughput`], [`harness::measure_latency`] (and
+//!   [`harness::measure_latency_hist`], which also returns the full
+//!   sample distribution as an [`obs::Histogram`] for the bench
+//!   manifests), plus the calibrated multi-core scaling model used when
+//!   the host has fewer hardware threads than join cores.
+//!
+//! Latency here is wall-clock (nanoseconds), unlike `joinhw`'s simulated
+//! cycle counts: these joins run on real OS threads, so their harness
+//! measures with `Instant` and archives distributions rather than single
+//! averages.
 //!
 //! # Example
 //!

@@ -1,0 +1,304 @@
+//! Named counter/gauge cells and the [`Registry`] snapshot store.
+//!
+//! [`Counter`] and [`Gauge`] are the hot-path primitives: plain
+//! [`Cell<u64>`](std::cell::Cell) wrappers when the `enabled` feature is
+//! on, zero-sized no-ops when it is off. They are *owned by* the
+//! instrumented component (a FIFO, a network node, a join core) so an
+//! increment is one unsynchronized machine add — no map lookup, no
+//! atomics, no allocation.
+//!
+//! Names enter the picture only at *snapshot* time: a component's
+//! `observe(&mut Registry, prefix)` method publishes its cells into a
+//! [`Registry`] under stable dotted names, and the registry feeds a
+//! [`RunManifest`](crate::RunManifest).
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "enabled")]
+use std::cell::Cell;
+
+/// A monotonically increasing event counter.
+///
+/// With the `enabled` feature (the default) this is a [`Cell<u64>`]
+/// wrapper; without it the type is zero-sized, [`Counter::incr`] /
+/// [`Counter::add`] compile to nothing and [`Counter::get`] returns 0.
+///
+/// `Clone` copies the current value into an independent cell (components
+/// that derive `Clone`, like the join networks, stay cloneable).
+///
+/// ```
+/// let stalls = obs::Counter::new();
+/// stalls.incr();
+/// stalls.add(2);
+/// #[cfg(feature = "enabled")]
+/// assert_eq!(stalls.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    cell: Cell<u64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.cell.set(self.cell.get().wrapping_add(n));
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when the `enabled` feature is off).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.cell.get()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.cell.set(0);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        let c = Counter::new();
+        c.add(self.get());
+        c
+    }
+}
+
+impl PartialEq for Counter {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Eq for Counter {}
+
+/// A last-value gauge (e.g. a high-water mark or a configuration knob).
+///
+/// Same cost model as [`Counter`]: one unsynchronized store when the
+/// `enabled` feature is on, a no-op otherwise.
+///
+/// ```
+/// let depth = obs::Gauge::new();
+/// depth.set(7);
+/// depth.max(3); // keeps 7
+/// depth.max(9); // takes 9
+/// #[cfg(feature = "enabled")]
+/// assert_eq!(depth.get(), 9);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    cell: Cell<u64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        self.cell.set(v);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn max(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        self.cell.set(self.cell.get().max(v));
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Current value (0 when the `enabled` feature is off).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.cell.get()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.get());
+        g
+    }
+}
+
+impl PartialEq for Gauge {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Eq for Gauge {}
+
+/// An ordered name → value snapshot of counters and gauges.
+///
+/// Components publish into a registry under stable dotted names
+/// (`"uniflow.dist.input_stalls"`); a [`RunManifest`](crate::RunManifest)
+/// serializes the whole registry. The registry itself is *not*
+/// feature-gated — with observability compiled out it simply snapshots
+/// zeros.
+///
+/// ```
+/// let mut reg = obs::Registry::new();
+/// reg.record("join.accepted", 42);
+/// reg.record("join.stalls", 3);
+/// assert_eq!(reg.get("join.stalls"), Some(3));
+/// assert_eq!(reg.iter().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value under `name`, overwriting any previous entry.
+    pub fn record(&mut self, name: impl Into<String>, value: u64) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Records the current value of a [`Counter`] under `name`.
+    pub fn counter(&mut self, name: impl Into<String>, counter: &Counter) {
+        self.record(name, counter.get());
+    }
+
+    /// Records the current value of a [`Gauge`] under `name`.
+    pub fn gauge(&mut self, name: impl Into<String>, gauge: &Gauge) {
+        self.record(name, gauge.get());
+    }
+
+    /// Looks up a recorded value.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Copies every entry of `other` into `self` (overwriting name
+    /// collisions).
+    pub fn absorb(&mut self, other: &Registry) {
+        for (name, value) in other.iter() {
+            self.record(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let d = c.clone();
+        c.incr();
+        assert_eq!((c.get(), d.get()), (11, 10));
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "enabled"))]
+    fn counter_is_noop_when_disabled() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn gauge_tracks_high_water_mark() {
+        let g = Gauge::new();
+        g.set(5);
+        g.max(3);
+        assert_eq!(g.get(), 5);
+        g.max(8);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn registry_snapshots_in_name_order() {
+        let mut reg = Registry::new();
+        reg.record("b", 2);
+        reg.record("a", 1);
+        reg.record("b", 3); // overwrite
+        let got: Vec<_> = reg.iter().collect();
+        assert_eq!(got, vec![("a", 1), ("b", 3)]);
+
+        let mut sink = Registry::new();
+        sink.record("c", 9);
+        sink.absorb(&reg);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.get("b"), Some(3));
+    }
+}

@@ -1,0 +1,67 @@
+//! `obs` — the workspace's low-overhead observability layer.
+//!
+//! Everything the paper's evaluation argues from — throughput, end-to-end
+//! latency, per-core utilization — is a *measurement*, and this crate is
+//! where the workspace's measurements live. It has four pieces, layered
+//! from hot path to disk:
+//!
+//! 1. **[`Counter`] / [`Gauge`]** — plain `u64` cells owned by the
+//!    instrumented component. An increment is one unsynchronized add;
+//!    with the `enabled` Cargo feature off (build the stack with
+//!    `--no-default-features`) the types are zero-sized and every
+//!    operation compiles to nothing. The join networks and FIFO chains
+//!    count their stalls with these.
+//! 2. **[`Registry`]** — a named snapshot (`"uniflow.dist.input_stalls"`
+//!    → value) that components publish their cells into on demand.
+//! 3. **[`Histogram`]** — 64 log2 buckets plus exact count/sum/min/max,
+//!    with p50/p95/p99 estimates. This replaces single-average latency
+//!    reporting throughout `streamcore::metrics`.
+//! 4. **[`RunManifest`]** — a JSON artifact (`target/obs/<name>.json`)
+//!    bundling git revision, thread count, configuration, the full
+//!    counter registry, and histogram buckets, written by every `fig*`
+//!    binary and the criterion groups. [`json`] is the tiny serializer /
+//!    parser underneath (the workspace builds offline; there is no
+//!    serde).
+//!
+//! Instrumentation must never change behaviour: counters carry no
+//! control-flow, and the simulation's golden cycle-count pins are tested
+//! with the feature both on and off.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{Counter, Histogram, Registry, RunManifest};
+//!
+//! // Hot path: a component owns its cells.
+//! let stalls = Counter::new();
+//! stalls.incr();
+//!
+//! // Snapshot: publish under stable names.
+//! let mut reg = Registry::new();
+//! reg.counter("net.stalls", &stalls);
+//!
+//! // Measurement: record every sample, not just the mean.
+//! let mut service = Histogram::new();
+//! for cycles in [12u64, 14, 12, 90] {
+//!     service.record_value(cycles);
+//! }
+//!
+//! // Artifact: one JSON document per run.
+//! let mut manifest = RunManifest::new("example");
+//! manifest.record_registry(&reg);
+//! manifest.histogram("service_cycles", service);
+//! let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+//! assert_eq!(parsed, manifest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod hist;
+pub mod json;
+mod manifest;
+
+pub use cell::{Counter, Gauge, Registry};
+pub use hist::Histogram;
+pub use manifest::{default_dir, git_rev, RunManifest, SCHEMA_VERSION};

@@ -167,11 +167,13 @@ impl LatencyRecorder {
         Some(Duration::from_nanos(self.samples_ns[rank - 1]))
     }
 
-    /// Summarizes into (mean, p50, p99, max). Empty recorder yields `None`.
+    /// Summarizes into (mean, p50, p95, p99, max). Empty recorder yields
+    /// `None`.
     pub fn summary(&mut self) -> Option<LatencySummary> {
         Some(LatencySummary {
             mean: self.mean()?,
             p50: self.percentile(50.0)?,
+            p95: self.percentile(95.0)?,
             p99: self.percentile(99.0)?,
             max: self.max()?,
             samples: self.len(),
@@ -188,8 +190,14 @@ impl LatencyRecorder {
     }
 }
 
-/// A log2-bucketed latency histogram: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` nanoseconds.
+/// The log2-bucketed histogram, re-exported from the [`obs`] crate.
+///
+/// This was once a bucket-counts-only type local to this module; it now
+/// lives in `obs` and additionally tracks exact count/sum/min/max and
+/// reports p50/p95/p99 estimates, so the experiment harnesses can emit
+/// full distributions into their JSON run manifests
+/// ([`obs::RunManifest`]). The original API (`record_ns`, `record`,
+/// `total`, `mode_bucket_ns`, `rows`, `Display`) is unchanged.
 ///
 /// ```
 /// use streamcore::metrics::Histogram;
@@ -200,79 +208,9 @@ impl LatencyRecorder {
 /// h.record_ns(5_000); // bucket 12 (4096..8192 ns)
 /// assert_eq!(h.total(), 3);
 /// assert_eq!(h.mode_bucket_ns(), Some((64, 128)));
+/// assert_eq!(h.p99(), Some(5_000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 64],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self { buckets: [0; 64] }
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one sample in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        let bucket = (64 - ns.max(1).leading_zeros() - 1) as usize;
-        self.buckets[bucket] += 1;
-    }
-
-    /// Records one sample as a [`Duration`].
-    pub fn record(&mut self, sample: Duration) {
-        self.record_ns(sample.as_nanos() as u64);
-    }
-
-    /// Total recorded samples.
-    pub fn total(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The `[low, high)` nanosecond range of the most populated bucket.
-    pub fn mode_bucket_ns(&self) -> Option<(u64, u64)> {
-        if self.total() == 0 {
-            return None;
-        }
-        let (i, _) = self
-            .buckets
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, n)| n)
-            .expect("64 buckets");
-        Some((1u64 << i, 1u64 << (i + 1)))
-    }
-
-    /// Non-empty buckets as `(low_ns, high_ns, count)` rows.
-    pub fn rows(&self) -> Vec<(u64, u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(i, &n)| (1u64 << i, 1u64 << (i + 1), n))
-            .collect()
-    }
-}
-
-impl fmt::Display for Histogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
-        for (low, high, n) in self.rows() {
-            let bar = "#".repeat((n * 40 / max).max(1) as usize);
-            writeln!(
-                f,
-                "{:>12} {bar} {n}",
-                format!("{}..{}ns", low, high)
-            )?;
-        }
-        Ok(())
-    }
-}
+pub use obs::Histogram;
 
 /// Condensed latency statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +219,8 @@ pub struct LatencySummary {
     pub mean: Duration,
     /// Median.
     pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
     /// 99th percentile.
     pub p99: Duration,
     /// Maximum observed.
@@ -293,8 +233,8 @@ impl fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "mean {:?}, p50 {:?}, p99 {:?}, max {:?} over {} samples",
-            self.mean, self.p50, self.p99, self.max, self.samples
+            "mean {:?}, p50 {:?}, p95 {:?}, p99 {:?}, max {:?} over {} samples",
+            self.mean, self.p50, self.p95, self.p99, self.max, self.samples
         )
     }
 }

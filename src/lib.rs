@@ -18,7 +18,11 @@
 //!   models;
 //! * [`fqp`] — the Flexible Query Processor: runtime-programmable operator
 //!   blocks, parametrized topologies, query assignment, and the
-//!   acceleration-landscape taxonomy of the paper's Section II.
+//!   acceleration-landscape taxonomy of the paper's Section II;
+//! * [`obs`] — the observability layer: counters, log2 latency
+//!   histograms, registries, and JSON run manifests. Feature-gated: the
+//!   workspace's default `obs` feature enables collection; building with
+//!   `--no-default-features` compiles every counter to a no-op.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results
@@ -44,6 +48,7 @@
 
 pub use fqp;
 pub use hwsim;
+pub use obs;
 pub use joinhw;
 pub use joinsw;
 pub use streamcore;

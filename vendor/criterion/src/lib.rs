@@ -119,6 +119,7 @@ pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
     measure: Duration,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -127,6 +128,7 @@ impl Default for Criterion {
             test_mode: false,
             filter: None,
             measure: Duration::from_millis(200),
+            results: Vec::new(),
         }
     }
 }
@@ -170,7 +172,16 @@ impl Criterion {
             println!("test {id} ... ok");
         } else {
             println!("{id:<50} time: {:>12.1} ns/iter", bencher.ns_per_iter);
+            self.results.push((id.to_string(), bencher.ns_per_iter));
         }
+    }
+
+    /// Measured `(id, median ns/iter)` pairs, in run order. Empty in test
+    /// mode. The real crate persists these to `target/criterion/`; this
+    /// stand-in exposes them so callers can archive them (the workspace's
+    /// microbench writes them into a run manifest).
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 
     /// Benchmarks a single routine under `id`.
@@ -236,6 +247,7 @@ mod tests {
             test_mode: false,
             filter: None,
             measure: Duration::from_millis(5),
+            results: Vec::new(),
         };
         let mut captured = 0.0;
         c.bench_function("spin", |b| {
@@ -251,6 +263,7 @@ mod tests {
             test_mode: true,
             filter: None,
             measure: Duration::from_millis(1),
+            results: Vec::new(),
         };
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
@@ -263,6 +276,7 @@ mod tests {
             test_mode: true,
             filter: Some("absent-name".into()),
             measure: Duration::from_millis(1),
+            results: Vec::new(),
         };
         let mut group = c.benchmark_group("g");
         let mut ran = false;

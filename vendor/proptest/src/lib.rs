@@ -1,7 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The workspace builds hermetically, so the property-testing surface the
-//! test suite actually uses is vendored here: the [`Strategy`] trait with
+//! test suite actually uses is vendored here: the [`strategy::Strategy`]
+//! trait with
 //! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
 //! `collection::vec`, `sample::select`, `any`, the `proptest!` /
 //! `prop_assert*` / `prop_oneof!` macros, and `ProptestConfig::with_cases`.
