@@ -1,9 +1,13 @@
 //! Regenerates the paper's fig14d experiment. Run with --release.
 //!
-//! Prints the table to stdout and writes a run manifest to
-//! `target/obs/fig14d.json` (or `$ACCEL_OBS_DIR`).
+//! Accepts `--batch N`, `--cores A,B,...`, and `--windows LO..HI`
+//! (inclusive exponent range). Prints the table to stdout, writes a run
+//! manifest to `target/obs/fig14d.json` (or `$ACCEL_OBS_DIR`), and
+//! upserts every measured point into `BENCH_swjoin.json` alongside it.
 fn main() {
-    let (t, m) = bench::fig14d_run();
+    let opts = bench::swjoin::SwRunOpts::from_args();
+    let (t, m, entries) = bench::fig14d_run_opts(&opts);
     println!("{t}");
     bench::obsout::emit(&m);
+    bench::swjoin::record(&entries);
 }

@@ -1,24 +1,54 @@
 //! Ablation: software uni-flow (SplitJoin) vs software bi-flow (handshake
 //! join) throughput on this host — the Fig. 14b comparison, in software.
 //! Run with --release.
+//!
+//! Accepts `--batch N` (both flows run their data paths at that batch
+//! size) and `--windows LO..HI`. Measured points are upserted into
+//! `BENCH_swjoin.json`.
 
 use joinsw::handshake::HandshakeConfig;
 use joinsw::harness::{measure_handshake_throughput, measure_throughput};
 use joinsw::splitjoin::SplitJoinConfig;
 
+use bench::swjoin::{SwJoinEntry, SwRunOpts};
+
 fn main() {
+    let opts = SwRunOpts::from_args();
+    let batch = opts.batch_size;
+    let windows = opts.windows.unwrap_or(10..=14);
     let mut t = bench::Table::new(
         "Ablation — software uni-flow vs bi-flow throughput (4 threads)",
         &["window", "uni-flow Mt/s", "bi-flow Mt/s", "uni/bi"],
     );
-    for exp in [10u32, 12, 14] {
+    let mut entries = Vec::new();
+    let entry = |variant: &str, window: usize, tuples: u64, mtps: f64| SwJoinEntry {
+        figure: "swflow".into(),
+        variant: variant.into(),
+        cores: 4,
+        window,
+        batch_size: batch,
+        tuples,
+        metric: "throughput_mtps".into(),
+        value: mtps,
+        mode: "measured".into(),
+    };
+    for exp in windows.step_by(2) {
         let window = 1usize << exp;
         let tuples = (40_000_000 / window as u64).clamp(500, 8_192);
-        let uni = measure_throughput(SplitJoinConfig::new(4, window), tuples, 1 << 20)
-            .million_per_second();
-        let bi =
-            measure_handshake_throughput(HandshakeConfig::new(4, window), tuples, 1 << 20)
-                .million_per_second();
+        let uni = measure_throughput(
+            SplitJoinConfig::new(4, window).with_batch_size(batch),
+            tuples,
+            1 << 20,
+        )
+        .million_per_second();
+        let bi = measure_handshake_throughput(
+            HandshakeConfig::new(4, window).with_batch_size(batch),
+            tuples,
+            1 << 20,
+        )
+        .million_per_second();
+        entries.push(entry("splitjoin", window, tuples, uni));
+        entries.push(entry("handshake", window, tuples, bi));
         t.row(vec![
             format!("2^{exp}"),
             format!("{uni:.5}"),
@@ -26,6 +56,7 @@ fn main() {
             format!("{:.1}x", uni / bi),
         ]);
     }
+    t.note(format!("data-path batch size: {batch}"));
     t.note(
         "both flows do the same total comparisons per tuple; in software they land \
          near parity at large windows — the paper's 'in theory, both models are \
@@ -33,4 +64,5 @@ fn main() {
          comes from bi-flow's coordination discipline, not the flow model itself.",
     );
     println!("{t}");
+    bench::swjoin::record(&entries);
 }

@@ -1,0 +1,47 @@
+//! Validates a `BENCH_swjoin.json` artifact (CI bench-smoke gate).
+//!
+//! Usage: `swjoin_check [path]` — defaults to the artifact in the
+//! manifest directory (`target/obs/BENCH_swjoin.json`, or
+//! `$ACCEL_OBS_DIR`). Exits non-zero when the file is missing, is not
+//! valid schema-1 JSON, or holds no entries; prints a per-figure summary
+//! otherwise.
+
+use bench::swjoin::{default_path, SwJoinDoc};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map_or_else(default_path, std::path::PathBuf::from);
+    if !path.exists() {
+        eprintln!("error: {} does not exist", path.display());
+        std::process::exit(1);
+    }
+    let doc = match SwJoinDoc::load(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if doc.entries.is_empty() {
+        eprintln!("error: {} holds no entries", path.display());
+        std::process::exit(1);
+    }
+    println!("{}: {} entries OK", path.display(), doc.entries.len());
+    let mut figures: Vec<&str> = doc.entries.iter().map(|e| e.figure.as_str()).collect();
+    figures.sort_unstable();
+    figures.dedup();
+    for figure in figures {
+        let rows: Vec<_> = doc.entries.iter().filter(|e| e.figure == figure).collect();
+        let batches: Vec<usize> = {
+            let mut b: Vec<usize> = rows.iter().map(|e| e.batch_size).collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        println!(
+            "  {figure}: {} points, batch sizes {batches:?}",
+            rows.len()
+        );
+    }
+}

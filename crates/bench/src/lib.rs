@@ -25,6 +25,7 @@ mod hwfigs;
 pub mod obsout;
 mod reconfigfig;
 mod swfigs;
+pub mod swjoin;
 mod table;
 
 pub use hwfigs::{
@@ -33,7 +34,10 @@ pub use hwfigs::{
     fig15_threads, fig15_threads_run, fig17, fig17_run, hashjoin_ablation, power, power_run,
 };
 pub use reconfigfig::{deployment_paths, live_requery};
-pub use swfigs::{fig14d, fig14d_run, fig14d_windows, fig16, fig16_config, fig16_run};
+pub use swfigs::{
+    fig14d, fig14d_run, fig14d_run_opts, fig14d_windows, fig16, fig16_config, fig16_run,
+    fig16_run_opts,
+};
 pub use table::Table;
 
 use joinsw::baseline::reference_join;

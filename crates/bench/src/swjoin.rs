@@ -1,0 +1,473 @@
+//! The machine-readable software-join benchmark artifact,
+//! `BENCH_swjoin.json`, plus the CLI options shared by the software
+//! figure binaries (`fig14d`, `fig16`, `swflow`, `swjoin_baseline`).
+//!
+//! Every software-join run appends (upserts) its measured points into a
+//! single JSON document so before/after comparisons — unbatched versus
+//! batched data path, core sweeps, window sweeps — live side by side in
+//! one file that CI can validate (`swjoin_check`) and the repo can commit
+//! as a baseline. Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "git_rev": "abc1234",
+//!   "host_parallelism": 1,
+//!   "entries": [
+//!     {
+//!       "figure": "fig14d",
+//!       "variant": "splitjoin",
+//!       "cores": 4,
+//!       "window": 4096,
+//!       "batch_size": 256,
+//!       "tuples": 4096,
+//!       "metric": "throughput_mtps",
+//!       "value": 1.234,
+//!       "mode": "measured"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `metric` is `throughput_mtps` (million tuples/s) or `latency_p50_ns`;
+//! `mode` records whether the point was measured wall-clock (`measured`)
+//! or derived from the calibrated scaling model (`modeled`, see
+//! `joinsw::harness::modeled_throughput`). Entries are keyed by
+//! `(figure, variant, cores, window, batch_size, metric)`: re-running a
+//! configuration replaces its row instead of appending a duplicate.
+
+use std::path::{Path, PathBuf};
+
+use joinsw::harness::host_parallelism;
+use joinsw::splitjoin::default_batch_size;
+use obs::json::Json;
+
+/// One measured (or modeled) software-join data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwJoinEntry {
+    /// Which experiment produced the point (`fig14d`, `fig16`, `swflow`).
+    pub figure: String,
+    /// The system variant (`splitjoin`, `handshake`).
+    pub variant: String,
+    /// Join cores (threads).
+    pub cores: usize,
+    /// Window size in tuples.
+    pub window: usize,
+    /// Distribution batch size the point was taken at.
+    pub batch_size: usize,
+    /// Input tuples in the timed segment (samples for latency metrics).
+    pub tuples: u64,
+    /// `throughput_mtps` or `latency_p50_ns`.
+    pub metric: String,
+    /// The measured value, in the metric's unit.
+    pub value: f64,
+    /// `measured` (wall-clock) or `modeled` (calibrated scaling model).
+    pub mode: String,
+}
+
+impl SwJoinEntry {
+    /// The upsert identity of this entry.
+    fn key(&self) -> (String, String, usize, usize, usize, String) {
+        (
+            self.figure.clone(),
+            self.variant.clone(),
+            self.cores,
+            self.window,
+            self.batch_size,
+            self.metric.clone(),
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("figure".into(), Json::Str(self.figure.clone())),
+            ("variant".into(), Json::Str(self.variant.clone())),
+            ("cores".into(), Json::UInt(self.cores as u64)),
+            ("window".into(), Json::UInt(self.window as u64)),
+            ("batch_size".into(), Json::UInt(self.batch_size as u64)),
+            ("tuples".into(), Json::UInt(self.tuples)),
+            ("metric".into(), Json::Str(self.metric.clone())),
+            ("value".into(), Json::Float(self.value)),
+            ("mode".into(), Json::Str(self.mode.clone())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            j.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field `{name}`"))
+        };
+        let uint_field = |name: &str| -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("entry missing integer field `{name}`"))
+        };
+        let value = match j.get("value") {
+            Some(&Json::Float(f)) => f,
+            Some(&Json::UInt(n)) => n as f64,
+            Some(&Json::Int(n)) => n as f64,
+            _ => return Err("entry missing numeric field `value`".into()),
+        };
+        let metric = str_field("metric")?;
+        if metric != "throughput_mtps" && metric != "latency_p50_ns" {
+            return Err(format!("unknown metric `{metric}`"));
+        }
+        let mode = str_field("mode")?;
+        if mode != "measured" && mode != "modeled" {
+            return Err(format!("unknown mode `{mode}`"));
+        }
+        Ok(Self {
+            figure: str_field("figure")?,
+            variant: str_field("variant")?,
+            cores: uint_field("cores")? as usize,
+            window: uint_field("window")? as usize,
+            batch_size: uint_field("batch_size")? as usize,
+            tuples: uint_field("tuples")?,
+            metric,
+            value,
+            mode,
+        })
+    }
+}
+
+/// The `BENCH_swjoin.json` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwJoinDoc {
+    /// All recorded data points.
+    pub entries: Vec<SwJoinEntry>,
+}
+
+impl SwJoinDoc {
+    /// Parses a document, validating the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON, a wrong or
+    /// missing schema version, or an invalid entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text)?;
+        match j.get("schema").and_then(Json::as_u64) {
+            Some(1) => {}
+            Some(v) => return Err(format!("unsupported schema version {v}")),
+            None => return Err("missing `schema` version".into()),
+        }
+        let entries = j
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing `entries` array")?
+            .iter()
+            .map(SwJoinEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { entries })
+    }
+
+    /// Loads the document at `path`; a missing file is an empty document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file exists but cannot be read or
+    /// parsed.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Inserts `entry`, replacing any existing entry with the same
+    /// `(figure, variant, cores, window, batch_size, metric)` key.
+    pub fn upsert(&mut self, entry: SwJoinEntry) {
+        match self.entries.iter_mut().find(|e| e.key() == entry.key()) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Serializes the document (schema 1, current git revision and host
+    /// parallelism stamped at write time).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::UInt(1)),
+            ("git_rev".into(), Json::Str(obs::git_rev().to_string())),
+            (
+                "host_parallelism".into(),
+                Json::UInt(host_parallelism() as u64),
+            ),
+            (
+                "entries".into(),
+                Json::Arr(self.entries.iter().map(SwJoinEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+}
+
+/// The default artifact path: `BENCH_swjoin.json` in the manifest
+/// directory (`target/obs/`, or `$ACCEL_OBS_DIR`).
+#[must_use]
+pub fn default_path() -> PathBuf {
+    obs::default_dir().join("BENCH_swjoin.json")
+}
+
+/// Upserts `entries` into the document at the default path, reporting
+/// the outcome on stderr. Like manifest emission, a write failure is a
+/// warning, never a failed run.
+pub fn record(entries: &[SwJoinEntry]) {
+    let path = default_path();
+    let mut doc = match SwJoinDoc::load(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("warning: {e}; starting a fresh document");
+            SwJoinDoc::default()
+        }
+    };
+    for entry in entries {
+        doc.upsert(entry.clone());
+    }
+    match doc.write(&path) {
+        Ok(()) => eprintln!("swjoin bench: {}", path.display()),
+        Err(e) => eprintln!("warning: {} not written: {e}", path.display()),
+    }
+}
+
+/// CLI options shared by the software figure binaries.
+///
+/// Flags (all optional; each binary applies its own defaults):
+///
+/// * `--batch N` — distribution batch size ([`default_batch_size`] when
+///   absent, itself overridable via `ACCEL_SW_BATCH`).
+/// * `--cores A,B,...` — join-core counts to run.
+/// * `--windows LO..HI` — inclusive window exponent range (`10..12`
+///   means windows 2^10, 2^11, 2^12).
+/// * `--samples N` — latency samples per point (fig16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwRunOpts {
+    /// Distribution batch size.
+    pub batch_size: usize,
+    /// Join-core counts, `None` when the binary's default applies.
+    pub cores: Option<Vec<usize>>,
+    /// Inclusive window exponent range, `None` for the default sweep.
+    pub windows: Option<std::ops::RangeInclusive<u32>>,
+    /// Latency samples per point, `None` for the default.
+    pub samples: Option<usize>,
+}
+
+impl Default for SwRunOpts {
+    fn default() -> Self {
+        Self {
+            batch_size: default_batch_size(),
+            cores: None,
+            windows: None,
+            samples: None,
+        }
+    }
+}
+
+impl SwRunOpts {
+    /// Parses the process arguments, exiting with status 2 and a message
+    /// on stderr when a flag is malformed.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--batch N] [--cores A,B,...] [--windows LO..HI] [--samples N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (`from_args` without the process exit).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed flag.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut i = 0;
+        // Accept both `--flag value` and `--flag=value`.
+        let value_of = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+            let arg = &args[*i];
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Ok(v.to_string());
+            }
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while i < args.len() {
+            let arg = args[i].clone();
+            if arg == "--batch" || arg.starts_with("--batch=") {
+                let v = value_of(args, &mut i, "--batch")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--batch requires a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--batch must be positive".into());
+                }
+                opts.batch_size = n;
+            } else if arg == "--cores" || arg.starts_with("--cores=") {
+                let v = value_of(args, &mut i, "--cores")?;
+                let cores = v
+                    .split(',')
+                    .map(|c| {
+                        c.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+                            || format!("--cores requires positive integers, got `{v}`"),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cores.is_empty() {
+                    return Err("--cores requires at least one value".into());
+                }
+                opts.cores = Some(cores);
+            } else if arg == "--windows" || arg.starts_with("--windows=") {
+                let v = value_of(args, &mut i, "--windows")?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--windows requires LO..HI, got `{v}`"))?;
+                let hi = hi.strip_prefix('=').unwrap_or(hi); // tolerate 10..=12
+                let lo: u32 = lo
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("--windows requires LO..HI, got `{v}`"))?;
+                let hi: u32 = hi
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("--windows requires LO..HI, got `{v}`"))?;
+                if lo > hi || hi > 30 {
+                    return Err(format!("--windows range `{v}` is empty or too large"));
+                }
+                opts.windows = Some(lo..=hi);
+            } else if arg == "--samples" || arg.starts_with("--samples=") {
+                let v = value_of(args, &mut i, "--samples")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--samples requires a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--samples must be positive".into());
+                }
+                opts.samples = Some(n);
+            } else {
+                return Err(format!("unknown flag `{arg}`"));
+            }
+            i += 1;
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> SwJoinEntry {
+        SwJoinEntry {
+            figure: "fig14d".into(),
+            variant: "splitjoin".into(),
+            cores: 4,
+            window: 4_096,
+            batch_size: 256,
+            tuples: 4_096,
+            metric: "throughput_mtps".into(),
+            value: 1.25,
+            mode: "measured".into(),
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let mut doc = SwJoinDoc::default();
+        doc.upsert(sample_entry());
+        let mut latency = sample_entry();
+        latency.metric = "latency_p50_ns".into();
+        latency.value = 125_000.0;
+        doc.upsert(latency);
+        let back = SwJoinDoc::parse(&doc.to_json().to_string()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.entries.len(), 2);
+    }
+
+    #[test]
+    fn upsert_replaces_matching_key() {
+        let mut doc = SwJoinDoc::default();
+        doc.upsert(sample_entry());
+        let mut faster = sample_entry();
+        faster.value = 2.5;
+        doc.upsert(faster);
+        assert_eq!(doc.entries.len(), 1);
+        assert_eq!(doc.entries[0].value, 2.5);
+        let mut batch1 = sample_entry();
+        batch1.batch_size = 1;
+        doc.upsert(batch1);
+        assert_eq!(doc.entries.len(), 2, "different batch size is a new row");
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(SwJoinDoc::parse("{}").is_err(), "missing schema");
+        assert!(
+            SwJoinDoc::parse(r#"{"schema": 2, "entries": []}"#).is_err(),
+            "future schema"
+        );
+        assert!(
+            SwJoinDoc::parse(r#"{"schema": 1}"#).is_err(),
+            "missing entries"
+        );
+        let bad_metric = r#"{"schema": 1, "entries": [{"figure": "f", "variant": "v",
+            "cores": 1, "window": 2, "batch_size": 1, "tuples": 3,
+            "metric": "bogus", "value": 1.0, "mode": "measured"}]}"#;
+        assert!(SwJoinDoc::parse(bad_metric).is_err(), "unknown metric");
+        assert!(SwJoinDoc::parse(r#"{"schema": 1, "entries": []}"#).is_ok());
+    }
+
+    #[test]
+    fn opts_parse_all_flags() {
+        let args: Vec<String> = ["--batch", "64", "--cores", "2,4", "--windows", "10..12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = SwRunOpts::parse(&args).unwrap();
+        assert_eq!(opts.batch_size, 64);
+        assert_eq!(opts.cores, Some(vec![2, 4]));
+        assert_eq!(opts.windows, Some(10..=12));
+        let eq_style = SwRunOpts::parse(&["--samples=5".to_string()]).unwrap();
+        assert_eq!(eq_style.samples, Some(5));
+    }
+
+    #[test]
+    fn opts_reject_malformed_flags() {
+        for bad in [
+            vec!["--batch", "0"],
+            vec!["--batch", "x"],
+            vec!["--cores", ""],
+            vec!["--windows", "12..10"],
+            vec!["--windows", "10"],
+            vec!["--frobnicate"],
+            vec!["--batch"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(SwRunOpts::parse(&args).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -17,11 +17,31 @@
 //! right at a window boundary may be missed or observed with slightly
 //! different window contents. The tests pin down both regimes: exactness
 //! under serialized feeding, statistical agreement under pipelining.
+//!
+//! # Batched waves
+//!
+//! Like [`SplitJoin`](crate::splitjoin::SplitJoin), the chain can batch
+//! its data path: [`HandshakeConfig::batch_size`] tuples accumulate on the
+//! caller side and enter the chain as one multi-wave message, and each
+//! core forwards the whole group downstream as one message after
+//! processing it. Within a lane the waves of a batch are processed in
+//! order at every core, so same-lane semantics are identical to the
+//! unbatched chain; batching only coarsens the interleaving *between* the
+//! two lanes, which the overlap semantics already permit. The default is
+//! `1` (every tuple is its own wave — the historical behaviour), because
+//! `batch_size` trades ordering precision for throughput exactly like a
+//! larger `channel_capacity` does. Serialized feeding (flush after every
+//! tuple) remains exact at any batch size, since `flush` drains the
+//! partial batch first.
 
+use std::cell::RefCell;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+
+/// Result-collection chunk size (matches per message to the collector).
+const RESULT_CHUNK: usize = 256;
 
 /// Configuration of a [`HandshakeJoin`] chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,14 +52,25 @@ pub struct HandshakeConfig {
     pub window_size: usize,
     /// Join condition.
     pub predicate: JoinPredicate,
-    /// Per-link channel capacity.
+    /// Per-link channel capacity, counted in **messages** — i.e. wave
+    /// groups of up to `batch_size` tuples each, so the in-flight tuple
+    /// bound is `channel_capacity × batch_size` per lane. Must be
+    /// non-zero.
     pub channel_capacity: usize,
-    /// Retain results (`true`) or only count them.
+    /// Tuples per wave-group message (see the module docs). `1` — the
+    /// default — reproduces the unbatched one-wave-per-tuple chain
+    /// exactly; larger values amortize per-message channel cost at the
+    /// price of coarser lane interleaving. Must be non-zero.
+    pub batch_size: usize,
+    /// Retain results (`true`) or only count them. When `false` no
+    /// collector thread is spawned; cores count matches locally and the
+    /// totals are folded at shutdown.
     pub collect_results: bool,
 }
 
 impl HandshakeConfig {
-    /// An equi-join chain with default channel sizing.
+    /// An equi-join chain with default channel sizing and unbatched
+    /// (`batch_size = 1`) waves.
     ///
     /// # Panics
     ///
@@ -52,6 +83,7 @@ impl HandshakeConfig {
             window_size,
             predicate: JoinPredicate::Equi,
             channel_capacity: 256,
+            batch_size: 1,
             collect_results: true,
         }
     }
@@ -63,12 +95,34 @@ impl HandshakeConfig {
     }
 
     /// Sets the entry channel capacity. This is the chain's *ordering
-    /// precision* knob: it bounds how many waves can be in flight, and
-    /// therefore how far result semantics can drift from strict
+    /// precision* knob: it bounds how many wave groups can be in flight,
+    /// and therefore how far result semantics can drift from strict
     /// arrival-order semantics under pipelining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "channel capacity must be positive");
         self.channel_capacity = capacity;
+        self
+    }
+
+    /// Sets the wave-group batch size (see
+    /// [`HandshakeConfig::batch_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Disables result retention and collection (counting only).
+    pub fn counting_only(mut self) -> Self {
+        self.collect_results = false;
         self
     }
 
@@ -78,14 +132,19 @@ impl HandshakeConfig {
     }
 }
 
+/// One wave: the fast-forwarded probe replica plus the storage-cascade
+/// payload it is still carrying.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    probe: Tuple,
+    store: Option<Tuple>,
+}
+
 enum ChainMsg {
-    /// A tuple wave: the probe replica plus the storage cascade payload.
-    Wave {
-        tag: StreamTag,
-        probe: Tuple,
-        store: Option<Tuple>,
-    },
+    /// A group of same-lane waves, forwarded core-to-core as one message.
+    Waves { tag: StreamTag, waves: Vec<Wave> },
     /// Flush token: forwarded to the end of the chain, then acknowledged.
+    /// Cores hand their buffered results to the collector on the way.
     Flush(Sender<()>),
     Stop,
 }
@@ -112,8 +171,13 @@ pub struct HandshakeJoin {
     entry_r: Sender<ChainMsg>,
     /// Entry of the leftward (S) lane: core N-1.
     entry_s: Sender<ChainMsg>,
-    workers: Vec<JoinHandle<()>>,
-    collector: JoinHandle<(u64, Vec<MatchPair>)>,
+    workers: Vec<JoinHandle<u64>>,
+    collector: Option<JoinHandle<Vec<MatchPair>>>,
+    batch_size: usize,
+    /// Caller-side wave buffers, one per lane; drained on flush/shutdown.
+    pending_r: RefCell<Vec<Wave>>,
+    pending_s: RefCell<Vec<Wave>>,
+    batch_hist: RefCell<obs::Histogram>,
 }
 
 /// Shutdown outcome of a [`HandshakeJoin`].
@@ -123,25 +187,37 @@ pub struct HandshakeOutcome {
     pub results: Vec<MatchPair>,
     /// Total results observed.
     pub result_count: u64,
+    /// Sizes of the wave groups injected at the chain entries (tuples per
+    /// message): `total()` is the number of entry messages.
+    pub batch_sizes: obs::Histogram,
 }
 
 impl HandshakeJoin {
-    /// Spawns the chain and collector threads.
+    /// Spawns the chain and (unless counting-only) collector threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.channel_capacity` or `config.batch_size` is
+    /// zero.
     pub fn spawn(config: HandshakeConfig) -> Self {
+        assert!(config.channel_capacity > 0, "channel capacity must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
         let n = config.num_cores;
-        let (result_tx, result_rx) = bounded::<MatchPair>(8_192);
-        let collect = config.collect_results;
-        let collector = std::thread::spawn(move || {
-            let mut count = 0u64;
-            let mut kept = Vec::new();
-            for m in result_rx.iter() {
-                count += 1;
-                if collect {
-                    kept.push(m);
-                }
-            }
-            (count, kept)
-        });
+        let (result_tx, collector) = if config.collect_results {
+            let (tx, rx) = bounded::<Vec<MatchPair>>(8_192);
+            (
+                Some(tx),
+                Some(std::thread::spawn(move || {
+                    let mut kept = Vec::new();
+                    for chunk in rx.iter() {
+                        kept.extend(chunk);
+                    }
+                    kept
+                })),
+            )
+        } else {
+            (None, None)
+        };
 
         // Each core has one inbox per direction lane. Only the two entry
         // channels are bounded (caller back-pressure); interior links are
@@ -175,7 +251,7 @@ impl HandshakeJoin {
             let s_next = position.checked_sub(1).map(|p| s_lane[p].0.clone());
             let results = result_tx.clone();
             workers.push(std::thread::spawn(move || {
-                core_loop(position, &cfg, &r_rx, &s_rx, r_next, s_next, &results);
+                core_loop(position, &cfg, &r_rx, &s_rx, r_next, s_next, results.as_ref())
             }));
         }
         drop(result_tx);
@@ -184,25 +260,62 @@ impl HandshakeJoin {
             entry_s,
             workers,
             collector,
+            batch_size: config.batch_size,
+            pending_r: RefCell::new(Vec::with_capacity(config.batch_size)),
+            pending_s: RefCell::new(Vec::with_capacity(config.batch_size)),
+            batch_hist: RefCell::new(obs::Histogram::new()),
         }
     }
 
-    /// Injects one tuple at the chain end of its stream.
+    /// Injects one tuple at the chain end of its stream. The tuple joins
+    /// its lane's pending wave group; every
+    /// [`HandshakeConfig::batch_size`] tuples the group enters the chain
+    /// as a single message.
     pub fn process(&self, tag: StreamTag, tuple: Tuple) {
-        let msg = ChainMsg::Wave {
-            tag,
+        let pending = match tag {
+            StreamTag::R => &self.pending_r,
+            StreamTag::S => &self.pending_s,
+        };
+        let mut pending = pending.borrow_mut();
+        pending.push(Wave {
             probe: tuple,
             store: Some(tuple),
-        };
-        match tag {
-            StreamTag::R => self.entry_r.send(msg).expect("chain alive"),
-            StreamTag::S => self.entry_s.send(msg).expect("chain alive"),
+        });
+        if pending.len() >= self.batch_size {
+            let waves = std::mem::take(&mut *pending);
+            drop(pending);
+            self.send_waves(tag, waves);
         }
     }
 
-    /// Blocks until everything submitted before this call has traversed
-    /// the whole chain (both lanes).
+    fn send_waves(&self, tag: StreamTag, waves: Vec<Wave>) {
+        if waves.is_empty() {
+            return;
+        }
+        self.batch_hist
+            .borrow_mut()
+            .record_value(waves.len() as u64);
+        let entry = match tag {
+            StreamTag::R => &self.entry_r,
+            StreamTag::S => &self.entry_s,
+        };
+        entry
+            .send(ChainMsg::Waves { tag, waves })
+            .expect("chain alive");
+    }
+
+    fn drain_pending(&self) {
+        let r = std::mem::take(&mut *self.pending_r.borrow_mut());
+        self.send_waves(StreamTag::R, r);
+        let s = std::mem::take(&mut *self.pending_s.borrow_mut());
+        self.send_waves(StreamTag::S, s);
+    }
+
+    /// Blocks until everything submitted before this call (including
+    /// partial wave groups, which are injected first) has traversed the
+    /// whole chain and all buffered results have reached the collector.
     pub fn flush(&self) {
+        self.drain_pending();
         let (ack_tx, ack_rx) = bounded::<()>(2);
         self.entry_r
             .send(ChainMsg::Flush(ack_tx.clone()))
@@ -215,20 +328,31 @@ impl HandshakeJoin {
         }
     }
 
-    /// Stops the chain and returns the accumulated outcome.
+    /// Stops the chain and returns the accumulated outcome. Pending
+    /// partial wave groups are injected first, so no submitted tuple is
+    /// lost even without an explicit [`HandshakeJoin::flush`].
     pub fn shutdown(self) -> HandshakeOutcome {
+        self.drain_pending();
         self.entry_r.send(ChainMsg::Stop).expect("chain alive");
         self.entry_s.send(ChainMsg::Stop).expect("chain alive");
         drop(self.entry_r);
         drop(self.entry_s);
+        let mut counted = 0u64;
         for w in self.workers {
-            w.join().expect("core thread panicked");
+            counted += w.join().expect("core thread panicked");
         }
-        let (result_count, results) =
-            self.collector.join().expect("collector thread panicked");
+        let (results, result_count) = match self.collector {
+            Some(c) => {
+                let results = c.join().expect("collector thread panicked");
+                let count = results.len() as u64;
+                (results, count)
+            }
+            None => (Vec::new(), counted),
+        };
         HandshakeOutcome {
             results,
             result_count,
+            batch_sizes: self.batch_hist.into_inner(),
         }
     }
 }
@@ -241,8 +365,8 @@ fn core_loop(
     s_rx: &Receiver<ChainMsg>,
     r_next: Option<Sender<ChainMsg>>,
     s_next: Option<Sender<ChainMsg>>,
-    results: &Sender<MatchPair>,
-) {
+    results: Option<&Sender<Vec<MatchPair>>>,
+) -> u64 {
     let sub = config.sub_window();
     let n = config.num_cores;
     let mut window_r: SlidingWindow<Tuple> = SlidingWindow::new(sub);
@@ -256,6 +380,8 @@ fn core_loop(
     let mut s_forwarded = 0usize;
     let mut r_open = true;
     let mut s_open = true;
+    let mut matches = 0u64;
+    let mut out: Vec<MatchPair> = Vec::new();
 
     while r_open || s_open {
         // Alternate lanes fairly; block on select when both lanes open.
@@ -278,47 +404,66 @@ fn core_loop(
             continue;
         };
         match msg {
-            ChainMsg::Wave { tag, probe, store } => {
-                // Probe this core's opposite segment.
-                let opposite = match tag {
-                    StreamTag::R => &window_s,
-                    StreamTag::S => &window_r,
-                };
-                for &stored in opposite.iter() {
-                    let (r, s) = match tag {
-                        StreamTag::R => (probe, stored),
-                        StreamTag::S => (stored, probe),
+            ChainMsg::Waves { tag, waves } => {
+                // Process the group's waves in order, collecting the
+                // forwarded group for one downstream send.
+                let mut onward = Vec::with_capacity(waves.len());
+                for wave in waves {
+                    let Wave { probe, store } = wave;
+                    // Probe this core's opposite segment.
+                    let opposite = match tag {
+                        StreamTag::R => &window_s,
+                        StreamTag::S => &window_r,
                     };
-                    if config.predicate.matches(r, s) {
-                        results.send(MatchPair { r, s }).expect("collector alive");
+                    for &stored in opposite.iter() {
+                        let (r, s) = match tag {
+                            StreamTag::R => (probe, stored),
+                            StreamTag::S => (stored, probe),
+                        };
+                        if config.predicate.matches(r, s) {
+                            matches += 1;
+                            if let Some(tx) = results {
+                                out.push(MatchPair { r, s });
+                                if out.len() >= RESULT_CHUNK {
+                                    tx.send(std::mem::take(&mut out))
+                                        .expect("collector alive");
+                                }
+                            }
+                        }
                     }
+                    // Storage cascade.
+                    let (own, downstream, forwarded) = match tag {
+                        StreamTag::R => (&mut window_r, r_downstream, &mut r_forwarded),
+                        StreamTag::S => (&mut window_s, s_downstream, &mut s_forwarded),
+                    };
+                    let store = match store {
+                        Some(t) if *forwarded < downstream => {
+                            // Chain still filling beyond us: pass it on.
+                            *forwarded += 1;
+                            Some(t)
+                        }
+                        Some(t) => own.insert(t),
+                        None => None,
+                    };
+                    onward.push(Wave { probe, store });
                 }
-                // Storage cascade.
-                let (own, downstream, forwarded) = match tag {
-                    StreamTag::R => (&mut window_r, r_downstream, &mut r_forwarded),
-                    StreamTag::S => (&mut window_s, s_downstream, &mut s_forwarded),
-                };
-                let store = match store {
-                    Some(t) if *forwarded < downstream => {
-                        // Chain still filling beyond us: pass it on.
-                        *forwarded += 1;
-                        Some(t)
-                    }
-                    Some(t) => own.insert(t),
-                    None => None,
-                };
-                // Fast-forward the probe (and cascade payload) onward.
+                // Fast-forward the whole group onward as one message.
+                // At the exit end, any carried tuples have expired.
                 let next = match tag {
                     StreamTag::R => &r_next,
                     StreamTag::S => &s_next,
                 };
                 if let Some(next) = next {
-                    next.send(ChainMsg::Wave { tag, probe, store })
+                    next.send(ChainMsg::Waves { tag, waves: onward })
                         .expect("chain alive");
                 }
-                // At the exit end, any carried tuple has expired.
             }
             ChainMsg::Flush(ack) => {
+                if let Some(tx) = results {
+                    if !out.is_empty() {
+                        tx.send(std::mem::take(&mut out)).expect("collector alive");
+                    }
+                }
                 let next = if from_r { &r_next } else { &s_next };
                 match next {
                     Some(next) => next.send(ChainMsg::Flush(ack)).expect("chain alive"),
@@ -340,6 +485,12 @@ fn core_loop(
             }
         }
     }
+    if let Some(tx) = results {
+        if !out.is_empty() {
+            tx.send(out).expect("collector alive");
+        }
+    }
+    matches
 }
 
 #[cfg(test)]
@@ -377,6 +528,33 @@ mod tests {
                 as_multiset(&want),
                 "mismatch with {cores} cores"
             );
+        }
+    }
+
+    #[test]
+    fn serialized_feeding_is_exact_at_any_batch_size() {
+        // `flush` drains the partial wave group, so per-tuple flushing
+        // serializes the chain even when `batch_size` exceeds 1.
+        let inputs: Vec<_> = WorkloadSpec::new(120, KeyDist::Uniform { domain: 6 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 32, JoinPredicate::Equi));
+        for batch in [4usize, 64] {
+            let join =
+                HandshakeJoin::spawn(HandshakeConfig::new(4, 32).with_batch_size(batch));
+            for &(tag, t) in &inputs {
+                join.process(tag, t);
+                join.flush();
+            }
+            let outcome = join.shutdown();
+            assert_eq!(
+                as_multiset(&outcome.results),
+                want,
+                "mismatch at batch size {batch}"
+            );
+            // Serialized feeding means every wave group holds one tuple.
+            assert_eq!(outcome.batch_sizes.max(), Some(1));
+            assert_eq!(outcome.batch_sizes.total(), 120);
         }
     }
 
@@ -422,6 +600,34 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_batched_feeding_agrees_statistically() {
+        // Batched wave groups coarsen lane interleaving but stay within
+        // the same overlap-semantics drift envelope.
+        let inputs: Vec<_> = WorkloadSpec::new(4_000, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(4, 256)
+                .with_channel_capacity(8)
+                .with_batch_size(16),
+        );
+        for &(tag, t) in &inputs {
+            join.process(tag, t);
+        }
+        join.flush();
+        let outcome = join.shutdown();
+        let want = reference_join(&inputs, 256, JoinPredicate::Equi).len() as f64;
+        let got = outcome.result_count as f64;
+        let err = (got - want).abs() / want;
+        assert!(
+            err < 0.15,
+            "batched pipelined count {got} deviates {:.1}% from {want}",
+            err * 100.0
+        );
+        assert!(outcome.batch_sizes.max() <= Some(16));
+    }
+
+    #[test]
     fn tighter_ordering_precision_reduces_drift() {
         let inputs: Vec<_> = WorkloadSpec::new(4_000, KeyDist::Uniform { domain: 16 })
             .generate()
@@ -445,6 +651,47 @@ mod tests {
             errs[1],
             errs[0]
         );
+    }
+
+    #[test]
+    fn counting_only_skips_collection() {
+        let inputs: Vec<_> = WorkloadSpec::new(200, KeyDist::Uniform { domain: 4 })
+            .generate()
+            .collect();
+        let collect = HandshakeJoin::spawn(HandshakeConfig::new(2, 16));
+        let count = HandshakeJoin::spawn(HandshakeConfig::new(2, 16).counting_only());
+        for &(tag, t) in &inputs {
+            collect.process(tag, t);
+            collect.flush();
+            count.process(tag, t);
+            count.flush();
+        }
+        let collected = collect.shutdown();
+        let counted = count.shutdown();
+        assert_eq!(counted.result_count, collected.result_count);
+        assert!(counted.results.is_empty());
+        assert!(collected.result_count > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_partial_wave_groups() {
+        // batch_size bigger than the whole stream: shutdown alone must
+        // still inject and process every buffered tuple.
+        let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8).with_batch_size(512));
+        join.process(StreamTag::S, Tuple::new(7, 0));
+        join.process(StreamTag::R, Tuple::new(7, 1));
+        let outcome = join.shutdown(); // no flush
+        // Both lanes race during shutdown, but the S tuple was injected
+        // first and each lane is a single 1-wave group; with both groups
+        // in flight the match may legitimately be observed from either
+        // side — what must never happen is losing the buffered tuples.
+        assert_eq!(outcome.batch_sizes.total(), 2, "both lanes injected");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let _ = HandshakeConfig::new(2, 8).with_batch_size(0);
     }
 
     #[test]

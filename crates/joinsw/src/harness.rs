@@ -6,7 +6,7 @@ use streamcore::metrics::{LatencyRecorder, LatencySummary, Throughput};
 use streamcore::{StreamTag, Tuple};
 
 use crate::handshake::{HandshakeConfig, HandshakeJoin};
-use crate::splitjoin::{SplitJoin, SplitJoinConfig};
+use crate::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
 
 /// Parallel efficiency of the software SplitJoin when one thread per join
 /// core actually gets its own hardware core. Calibrated to the paper's
@@ -50,7 +50,10 @@ pub fn prefill_steady_state(join: &SplitJoin, window_size: usize) {
 /// Measures steady-state input throughput of the software SplitJoin: the
 /// windows are pre-filled, then `tuples` inputs (alternating R/S, keys
 /// hashed over `key_domain`) are pushed as fast as the workers absorb
-/// them.
+/// them. Distribution batching follows
+/// [`SplitJoinConfig::batch_size`] — per-tuple cross-thread wake-ups
+/// (`batch_size = 1`) measure the channel implementation as much as the
+/// join, which is exactly the contrast `BENCH_swjoin.json` records.
 ///
 /// This is the experiment behind Fig. 14d.
 pub fn measure_throughput(
@@ -58,30 +61,30 @@ pub fn measure_throughput(
     tuples: u64,
     key_domain: u32,
 ) -> Throughput {
+    measure_throughput_outcome(config, tuples, key_domain).0
+}
+
+/// [`measure_throughput`] that also returns the shutdown
+/// [`JoinOutcome`], so bench manifests can archive the batch-size
+/// histogram and per-worker counters alongside the rate.
+pub fn measure_throughput_outcome(
+    config: SplitJoinConfig,
+    tuples: u64,
+    key_domain: u32,
+) -> (Throughput, JoinOutcome) {
     let window = config.window_size;
     let join = SplitJoin::spawn(config.counting_only());
     prefill_steady_state(&join, window);
-    // Distribute in batches: per-tuple cross-thread wake-ups would measure
-    // the channel implementation, not the join.
-    const BATCH: u64 = 256;
     let start = Instant::now();
-    let mut batch = Vec::with_capacity(BATCH as usize);
     for seq in 0..tuples {
         let tag = if seq % 2 == 0 { StreamTag::R } else { StreamTag::S };
         let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
-        batch.push((tag, Tuple::new(key, seq as u32)));
-        if batch.len() == BATCH as usize {
-            join.process_batch(&batch);
-            batch.clear();
-        }
-    }
-    if !batch.is_empty() {
-        join.process_batch(&batch);
+        join.process(tag, Tuple::new(key, seq as u32));
     }
     join.flush();
     let elapsed = start.elapsed();
-    join.shutdown();
-    Throughput::over_duration(tuples, elapsed)
+    let outcome = join.shutdown();
+    (Throughput::over_duration(tuples, elapsed), outcome)
 }
 
 /// Measures steady-state input throughput of the software handshake join

@@ -12,9 +12,13 @@
 //!   converge on a collector thread. The thread structure mirrors the
 //!   SplitJoin paper's software implementation, including the observation
 //!   that the distribution and result-gathering work "consume a portion
-//!   of the processors' capacity".
+//!   of the processors' capacity" — which is why both directions of the
+//!   data path are batched (see the module docs) and the sub-windows are
+//!   flat struct-of-arrays rings (`streamcore::FlatWindow` /
+//!   `streamcore::HashIndexWindow`).
 //! * [`handshake`] — bi-flow: a chain of threads through which R flows
-//!   left-to-right and S right-to-left with low-latency fast-forwarding.
+//!   left-to-right and S right-to-left with low-latency fast-forwarding,
+//!   with the same optional wave batching.
 //! * [`baseline`] — the strict-semantics reference join.
 //! * [`harness`] — the measurement loops behind those figures:
 //!   [`harness::measure_throughput`], [`harness::measure_latency`] (and

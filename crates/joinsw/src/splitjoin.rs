@@ -16,19 +16,65 @@
 //! it round-robin ("each join core independently counts the number of
 //! tuples received and, based on its position among other join cores,
 //! determines its turn to store") — no central coordination.
+//!
+//! # The batched data path
+//!
+//! The paper observes that in software "the distribution and result
+//! gathering network also consume a portion of the processors' capacity";
+//! naïvely that cost is one cross-thread channel message *per tuple per
+//! worker* on the way in and one *per match* on the way out, which
+//! dominates the short per-tuple probe. This implementation batches both
+//! directions:
+//!
+//! * **Distribution** — [`SplitJoin::process`] accumulates tuples in a
+//!   caller-side buffer and ships one [`Arc`]-shared batch message per
+//!   [`SplitJoinConfig::batch_size`] tuples to every worker (one
+//!   allocation per batch, N reference-count bumps — not N copies).
+//! * **Collection** — workers buffer matches locally and emit them to the
+//!   collector in chunks; in counting-only mode
+//!   ([`SplitJoinConfig::counting_only`]) no collector thread exists at
+//!   all and matches are folded from per-worker counters at shutdown.
+//!
+//! Batching never changes results: [`SplitJoin::flush`] and
+//! [`SplitJoin::shutdown`] both drain the partial batch first, so
+//! `batch_size = 1` reproduces the unbatched message-per-tuple path
+//! exactly and every batch size yields the same result multiset.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+use streamcore::{FlatWindow, HashIndexWindow, JoinPredicate, MatchPair, StreamTag, Tuple};
+
+/// Default distribution batch size (tuples per batch message), used by
+/// [`SplitJoinConfig::new`] unless overridden by the `ACCEL_SW_BATCH`
+/// environment variable (CI runs the whole suite at `ACCEL_SW_BATCH=1`
+/// to prove batched and unbatched paths agree).
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// The process-wide default batch size: `ACCEL_SW_BATCH` when set to a
+/// positive integer, [`DEFAULT_BATCH_SIZE`] otherwise.
+pub fn default_batch_size() -> usize {
+    static SIZE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("ACCEL_SW_BATCH")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_BATCH_SIZE)
+    })
+}
 
 /// Join algorithm inside each worker (mirrors `joinhw::JoinAlgorithm`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwJoinAlgorithm {
     /// Scan the whole opposite sub-window per probe — any predicate.
+    /// Backed by [`FlatWindow`]: the scan walks a dense `u32` key array.
     NestedLoop,
     /// Probe a per-key hash index — equi-joins only, O(matches) probes.
+    /// Backed by [`HashIndexWindow`]: a flat ring plus an
+    /// open-addressing key index.
     Hash,
 }
 
@@ -43,15 +89,28 @@ pub struct SplitJoinConfig {
     pub predicate: JoinPredicate,
     /// Join algorithm (default nested-loop, as the paper measures).
     pub algorithm: SwJoinAlgorithm,
-    /// Per-worker input channel capacity (back-pressure depth).
+    /// Per-worker input channel capacity, counted in **messages** — i.e.
+    /// batches, not tuples. The caller can be up to
+    /// `channel_capacity × batch_size` tuples ahead of the slowest
+    /// worker before [`SplitJoin::process`] blocks (back-pressure), so
+    /// raising `batch_size` deepens the effective pipeline even at a
+    /// fixed capacity. Must be non-zero.
     pub channel_capacity: usize,
-    /// If `false`, the collector counts results but does not retain them
-    /// (throughput runs over long streams).
+    /// Tuples accumulated per distribution batch message (and the chunk
+    /// size of the result-collection path). `1` reproduces the unbatched
+    /// message-per-tuple data path exactly; larger values amortize the
+    /// cross-thread wake-up cost. Must be non-zero. Results are
+    /// identical at every batch size.
+    pub batch_size: usize,
+    /// If `false`, the collector thread is not spawned at all: workers
+    /// count matches locally and the totals are folded at shutdown
+    /// (throughput runs over long streams pay zero collection traffic).
     pub collect_results: bool,
 }
 
 impl SplitJoinConfig {
-    /// An equi-join configuration with default channel sizing.
+    /// An equi-join configuration with default channel and batch sizing
+    /// (see [`default_batch_size`]).
     ///
     /// # Panics
     ///
@@ -65,6 +124,7 @@ impl SplitJoinConfig {
             predicate: JoinPredicate::Equi,
             algorithm: SwJoinAlgorithm::NestedLoop,
             channel_capacity: 1_024,
+            batch_size: default_batch_size(),
             collect_results: true,
         }
     }
@@ -90,7 +150,33 @@ impl SplitJoinConfig {
         self
     }
 
-    /// Disables result retention (counting only).
+    /// Sets the distribution batch size (see
+    /// [`SplitJoinConfig::batch_size`] for the semantics and the
+    /// interaction with `channel_capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the per-worker channel capacity (in batch messages; see
+    /// [`SplitJoinConfig::channel_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity bounded channel
+    /// would deadlock the distributor against its own workers.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Disables result retention and collection (counting only).
     pub fn counting_only(mut self) -> Self {
         self.collect_results = false;
         self
@@ -109,9 +195,11 @@ impl SplitJoinConfig {
 }
 
 enum Msg {
-    Tuple(StreamTag, Tuple),
-    Batch(Vec<(StreamTag, Tuple)>),
-    Prefill(StreamTag, Vec<Tuple>),
+    /// One distribution batch, shared across all workers.
+    Batch(Arc<[(StreamTag, Tuple)]>),
+    /// Window pre-fill (no probing), shared across all workers.
+    Prefill(StreamTag, Arc<[Tuple]>),
+    /// Barrier token: drain local result buffers, then acknowledge.
     Flush(Sender<()>),
     Stop,
 }
@@ -123,7 +211,7 @@ pub struct WorkerStats {
     pub tuples_seen: u64,
     /// Tuples this worker stored into a sub-window.
     pub stored: u64,
-    /// Window comparisons performed.
+    /// Window comparisons (probe candidates visited).
     pub comparisons: u64,
     /// Matches emitted.
     pub matches: u64,
@@ -134,28 +222,69 @@ pub struct WorkerStats {
 pub struct JoinOutcome {
     /// All collected results (empty when configured counting-only).
     pub results: Vec<MatchPair>,
-    /// Total results observed by the collector.
+    /// Total matches: the collector's tally, or the per-worker counters
+    /// folded together when counting-only.
     pub result_count: u64,
     /// Per-worker statistics, indexed by core position.
     pub worker_stats: Vec<WorkerStats>,
+    /// Distribution batch sizes (tuples per batch message), as recorded
+    /// by the distributor: `total()` is the number of batch messages
+    /// sent per worker.
+    pub batch_sizes: obs::Histogram,
 }
 
-/// A running SplitJoin: N join-core threads plus a collector thread.
+impl JoinOutcome {
+    /// Publishes the run's counters under stable dotted names
+    /// (`splitjoin.worker<i>.probes`, `.stored`, `.matches`,
+    /// `splitjoin.batches`, …) for a
+    /// [`RunManifest`](obs::RunManifest).
+    pub fn registry(&self) -> obs::Registry {
+        let mut reg = obs::Registry::new();
+        reg.record("splitjoin.batches", self.batch_sizes.total());
+        reg.record("splitjoin.matches", self.result_count);
+        for (i, ws) in self.worker_stats.iter().enumerate() {
+            reg.record(format!("splitjoin.worker{i}.probes"), ws.comparisons);
+            reg.record(format!("splitjoin.worker{i}.stored"), ws.stored);
+            reg.record(format!("splitjoin.worker{i}.matches"), ws.matches);
+        }
+        reg
+    }
+}
+
+/// A running SplitJoin: N join-core threads plus (when collecting) a
+/// collector thread.
 ///
 /// See the [crate-level example](crate) for basic usage.
 #[derive(Debug)]
 pub struct SplitJoin {
     senders: Vec<Sender<Msg>>,
     workers: Vec<JoinHandle<WorkerStats>>,
-    collector: JoinHandle<(u64, Vec<MatchPair>)>,
+    collector: Option<JoinHandle<Vec<MatchPair>>>,
+    batch_size: usize,
+    /// Caller-side distribution buffer; drained on flush/shutdown so a
+    /// partial batch is never lost.
+    pending: RefCell<Vec<(StreamTag, Tuple)>>,
+    batch_hist: RefCell<obs::Histogram>,
+    batches_sent: Cell<u64>,
 }
 
 impl SplitJoin {
-    /// Spawns the worker and collector threads.
+    /// Spawns the worker (and, unless counting-only, collector) threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.channel_capacity` or `config.batch_size` is
+    /// zero (the builder methods reject these, but the fields are
+    /// public).
     pub fn spawn(config: SplitJoinConfig) -> Self {
-        let (result_tx, result_rx) = bounded::<MatchPair>(8_192);
-        let collect = config.collect_results;
-        let collector = std::thread::spawn(move || collector_loop(result_rx, collect));
+        assert!(config.channel_capacity > 0, "channel capacity must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let (result_tx, collector) = if config.collect_results {
+            let (tx, rx) = bounded::<Vec<MatchPair>>(1_024);
+            (Some(tx), Some(std::thread::spawn(move || collector_loop(&rx))))
+        } else {
+            (None, None)
+        };
 
         let mut senders = Vec::with_capacity(config.num_cores);
         let mut workers = Vec::with_capacity(config.num_cores);
@@ -165,7 +294,7 @@ impl SplitJoin {
             let cfg = config.clone();
             let results = result_tx.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(position, &cfg, &rx, &results)
+                worker_loop(position, &cfg, &rx, results.as_ref())
             }));
         }
         drop(result_tx); // collector exits once every worker has stopped
@@ -173,40 +302,77 @@ impl SplitJoin {
             senders,
             workers,
             collector,
+            batch_size: config.batch_size,
+            pending: RefCell::new(Vec::with_capacity(config.batch_size)),
+            batch_hist: RefCell::new(obs::Histogram::new()),
+            batches_sent: Cell::new(0),
         }
     }
 
-    /// Broadcasts one tuple to every join core (the distribution step).
-    /// Blocks when worker queues are full — natural back-pressure.
+    /// Submits one tuple to the distribution network. The tuple is
+    /// buffered; every [`SplitJoinConfig::batch_size`] tuples, one batch
+    /// message is broadcast to all join cores. Blocks when worker queues
+    /// are full — natural back-pressure.
     pub fn process(&self, tag: StreamTag, tuple: Tuple) {
-        for tx in &self.senders {
-            tx.send(Msg::Tuple(tag, tuple)).expect("worker alive");
+        let mut pending = self.pending.borrow_mut();
+        pending.push((tag, tuple));
+        if pending.len() >= self.batch_size {
+            let batch = std::mem::take(&mut *pending);
+            drop(pending);
+            self.send_batch(batch);
         }
     }
 
-    /// Broadcasts a batch of tuples in one message per worker. Amortizes
-    /// the cross-thread wake-up cost of the distribution step, which
-    /// otherwise dominates when the per-tuple probe is short — the
-    /// "distribution network consumes a portion of the processors'
-    /// capacity" effect the paper observes in software.
+    /// Broadcasts a pre-assembled batch as a single message per worker
+    /// (after draining any partial [`SplitJoin::process`] buffer, so
+    /// submission order is preserved).
     pub fn process_batch(&self, batch: &[(StreamTag, Tuple)]) {
-        for tx in &self.senders {
-            tx.send(Msg::Batch(batch.to_vec())).expect("worker alive");
+        self.drain_pending();
+        self.send_batch(batch.to_vec());
+    }
+
+    fn drain_pending(&self) {
+        let batch = std::mem::take(&mut *self.pending.borrow_mut());
+        self.send_batch(batch);
+    }
+
+    fn send_batch(&self, batch: Vec<(StreamTag, Tuple)>) {
+        if batch.is_empty() {
+            return;
         }
+        self.batch_hist
+            .borrow_mut()
+            .record_value(batch.len() as u64);
+        self.batches_sent.set(self.batches_sent.get() + 1);
+        let shared: Arc<[(StreamTag, Tuple)]> = batch.into();
+        for tx in &self.senders {
+            tx.send(Msg::Batch(shared.clone())).expect("worker alive");
+        }
+    }
+
+    /// Number of batch messages broadcast so far (per worker).
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent.get()
     }
 
     /// Loads `tuples` directly into the sliding windows without probing —
-    /// measurement setup, mirroring the hardware pre-fill path.
+    /// measurement setup, mirroring the hardware pre-fill path. Drains
+    /// the pending batch first so earlier `process` calls stay ordered.
     pub fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) {
+        self.drain_pending();
+        let shared: Arc<[Tuple]> = tuples.to_vec().into();
         for tx in &self.senders {
-            tx.send(Msg::Prefill(tag, tuples.to_vec()))
+            tx.send(Msg::Prefill(tag, shared.clone()))
                 .expect("worker alive");
         }
     }
 
     /// Blocks until every worker has drained its queue and processed
-    /// everything submitted before this call.
+    /// everything submitted before this call (including the partial
+    /// batch, which is flushed first), and has handed any buffered
+    /// results to the collector.
     pub fn flush(&self) {
+        self.drain_pending();
         let (ack_tx, ack_rx) = bounded::<()>(self.senders.len());
         for tx in &self.senders {
             tx.send(Msg::Flush(ack_tx.clone())).expect("worker alive");
@@ -217,8 +383,13 @@ impl SplitJoin {
         assert_eq!(acks, self.senders.len(), "missing flush acks");
     }
 
-    /// Stops all threads and returns the accumulated outcome.
+    /// Stops all threads and returns the accumulated outcome. Any
+    /// buffered partial batch is drained first — workers never observe
+    /// channel close with submitted-but-unsent tuples outstanding, so an
+    /// explicit [`SplitJoin::flush`] before shutdown is not required for
+    /// completeness.
     pub fn shutdown(self) -> JoinOutcome {
+        self.drain_pending();
         for tx in &self.senders {
             tx.send(Msg::Stop).expect("worker alive");
         }
@@ -227,48 +398,45 @@ impl SplitJoin {
         for w in self.workers {
             worker_stats.push(w.join().expect("worker thread panicked"));
         }
-        let (result_count, results) =
-            self.collector.join().expect("collector thread panicked");
+        let (results, result_count) = match self.collector {
+            Some(c) => {
+                let results = c.join().expect("collector thread panicked");
+                let count = results.len() as u64;
+                (results, count)
+            }
+            // Counting-only: fold the per-worker match counters.
+            None => (Vec::new(), worker_stats.iter().map(|w| w.matches).sum()),
+        };
         JoinOutcome {
             results,
             result_count,
             worker_stats,
+            batch_sizes: self.batch_hist.into_inner(),
         }
     }
 }
 
-fn collector_loop(rx: Receiver<MatchPair>, collect: bool) -> (u64, Vec<MatchPair>) {
-    let mut count = 0u64;
+fn collector_loop(rx: &Receiver<Vec<MatchPair>>) -> Vec<MatchPair> {
     let mut kept = Vec::new();
-    for m in rx.iter() {
-        count += 1;
-        if collect {
-            kept.push(m);
-        }
+    for chunk in rx.iter() {
+        kept.extend(chunk);
     }
-    (count, kept)
+    kept
 }
 
-/// Worker-local sub-window storage, specialized per algorithm.
+/// Worker-local sub-window storage, specialized per algorithm. Both
+/// variants are flat ring buffers (see `streamcore::window`).
 #[derive(Debug, Clone)]
 enum SwWindow {
-    Nested(SlidingWindow<Tuple>),
-    Hash {
-        slots: VecDeque<Tuple>,
-        index: HashMap<u32, VecDeque<Tuple>>,
-        capacity: usize,
-    },
+    Nested(FlatWindow),
+    Hash(HashIndexWindow),
 }
 
 impl SwWindow {
     fn new(algorithm: SwJoinAlgorithm, capacity: usize) -> Self {
         match algorithm {
-            SwJoinAlgorithm::NestedLoop => SwWindow::Nested(SlidingWindow::new(capacity)),
-            SwJoinAlgorithm::Hash => SwWindow::Hash {
-                slots: VecDeque::with_capacity(capacity),
-                index: HashMap::new(),
-                capacity,
-            },
+            SwJoinAlgorithm::NestedLoop => SwWindow::Nested(FlatWindow::new(capacity)),
+            SwJoinAlgorithm::Hash => SwWindow::Hash(HashIndexWindow::new(capacity)),
         }
     }
 
@@ -277,62 +445,9 @@ impl SwWindow {
             SwWindow::Nested(w) => {
                 w.insert(tuple);
             }
-            SwWindow::Hash {
-                slots,
-                index,
-                capacity,
-            } => {
-                if slots.len() == *capacity {
-                    let old = slots.pop_front().expect("full window");
-                    let bucket = index.get_mut(&old.key()).expect("indexed");
-                    bucket.pop_front();
-                    if bucket.is_empty() {
-                        index.remove(&old.key());
-                    }
-                }
-                slots.push_back(tuple);
-                index.entry(tuple.key()).or_default().push_back(tuple);
+            SwWindow::Hash(w) => {
+                w.insert(tuple);
             }
-        }
-    }
-
-    /// Visits the probe candidates for `key`: the whole window for
-    /// nested-loop, the matching bucket for hash. Returns a concrete
-    /// iterator — this is the innermost loop of the whole crate, and a
-    /// boxed iterator's virtual dispatch costs ~3× per comparison.
-    fn probe(&self, key: u32) -> ProbeIter<'_> {
-        match self {
-            SwWindow::Nested(w) => ProbeIter::Nested(w.into_iter()),
-            SwWindow::Hash { index, .. } => {
-                ProbeIter::Hash(index.get(&key).map(|b| b.iter()))
-            }
-        }
-    }
-}
-
-/// Concrete probe iterator over a [`SwWindow`].
-enum ProbeIter<'a> {
-    Nested(std::collections::vec_deque::Iter<'a, Tuple>),
-    Hash(Option<std::collections::vec_deque::Iter<'a, Tuple>>),
-}
-
-impl Iterator for ProbeIter<'_> {
-    type Item = Tuple;
-
-    #[inline]
-    fn next(&mut self) -> Option<Tuple> {
-        match self {
-            ProbeIter::Nested(it) => it.next().copied(),
-            ProbeIter::Hash(Some(it)) => it.next().copied(),
-            ProbeIter::Hash(None) => None,
-        }
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        match self {
-            ProbeIter::Nested(it) => it.size_hint(),
-            ProbeIter::Hash(Some(it)) => it.size_hint(),
-            ProbeIter::Hash(None) => (0, Some(0)),
         }
     }
 }
@@ -346,26 +461,59 @@ struct WorkerState<'a> {
     r_count: u64,
     s_count: u64,
     stats: WorkerStats,
-    results: &'a Sender<MatchPair>,
+    /// Locally buffered matches awaiting a chunked send (empty when
+    /// counting-only).
+    out: Vec<MatchPair>,
+    out_chunk: usize,
+    results: Option<&'a Sender<Vec<MatchPair>>>,
 }
 
 impl WorkerState<'_> {
     fn handle_tuple(&mut self, tag: StreamTag, tuple: Tuple) {
         self.stats.tuples_seen += 1;
-        // Probe the opposite sub-window.
+        // Probe the opposite sub-window. The nested-loop path scans the
+        // contiguous key segments of the flat window and touches a
+        // payload only when the key predicate holds.
         let opposite = match tag {
             StreamTag::R => &self.window_s,
             StreamTag::S => &self.window_r,
         };
-        for stored in opposite.probe(tuple.key()) {
-            self.stats.comparisons += 1;
-            let (r, s) = match tag {
-                StreamTag::R => (tuple, stored),
-                StreamTag::S => (stored, tuple),
-            };
-            if self.predicate.matches(r, s) {
-                self.stats.matches += 1;
-                self.results.send(MatchPair { r, s }).expect("collector alive");
+        let probe_key = tuple.key();
+        match opposite {
+            SwWindow::Nested(w) => {
+                for (keys, payloads) in w.segments() {
+                    for (i, &key) in keys.iter().enumerate() {
+                        self.stats.comparisons += 1;
+                        let key_match = match tag {
+                            StreamTag::R => self.predicate.matches_keys(probe_key, key),
+                            StreamTag::S => self.predicate.matches_keys(key, probe_key),
+                        };
+                        if key_match {
+                            let stored = Tuple::new(key, payloads[i]);
+                            self.stats.matches += 1;
+                            if let Some(tx) = self.results {
+                                self.out.push(MatchPair::oriented(tag, tuple, stored));
+                                if self.out.len() >= self.out_chunk {
+                                    tx.send(std::mem::take(&mut self.out))
+                                        .expect("collector alive");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            SwWindow::Hash(w) => {
+                for stored in w.probe(probe_key) {
+                    self.stats.comparisons += 1;
+                    self.stats.matches += 1;
+                    if let Some(tx) = self.results {
+                        self.out.push(MatchPair::oriented(tag, tuple, stored));
+                        if self.out.len() >= self.out_chunk {
+                            tx.send(std::mem::take(&mut self.out))
+                                .expect("collector alive");
+                        }
+                    }
+                }
             }
         }
         self.store(tag, tuple, true);
@@ -389,13 +537,23 @@ impl WorkerState<'_> {
             };
         }
     }
+
+    /// Hands any buffered matches to the collector (barrier points and
+    /// shutdown).
+    fn flush_results(&mut self) {
+        if let Some(tx) = self.results {
+            if !self.out.is_empty() {
+                tx.send(std::mem::take(&mut self.out)).expect("collector alive");
+            }
+        }
+    }
 }
 
 fn worker_loop(
     position: usize,
     config: &SplitJoinConfig,
     rx: &Receiver<Msg>,
-    results: &Sender<MatchPair>,
+    results: Option<&Sender<Vec<MatchPair>>>,
 ) -> WorkerStats {
     let sub = config.sub_window();
     let mut w = WorkerState {
@@ -407,29 +565,32 @@ fn worker_loop(
         r_count: 0,
         s_count: 0,
         stats: WorkerStats::default(),
+        out: Vec::new(),
+        out_chunk: config.batch_size.max(1),
         results,
     };
 
     for msg in rx.iter() {
         match msg {
-            Msg::Tuple(tag, tuple) => w.handle_tuple(tag, tuple),
             Msg::Batch(batch) => {
-                for (tag, tuple) in batch {
+                for &(tag, tuple) in batch.iter() {
                     w.handle_tuple(tag, tuple);
                 }
             }
             Msg::Prefill(tag, tuples) => {
                 // Same round-robin discipline, no probing.
-                for t in tuples {
+                for &t in tuples.iter() {
                     w.store(tag, t, false);
                 }
             }
             Msg::Flush(ack) => {
+                w.flush_results();
                 let _ = ack.send(());
             }
             Msg::Stop => break,
         }
     }
+    w.flush_results();
     w.stats
 }
 
@@ -477,6 +638,47 @@ mod tests {
     }
 
     #[test]
+    fn every_batch_size_yields_identical_results() {
+        let inputs: Vec<_> = WorkloadSpec::new(700, KeyDist::Uniform { domain: 12 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 48, JoinPredicate::Equi));
+        assert!(!want.is_empty());
+        for batch in [1usize, 2, 7, 64, 256, 4_096] {
+            let outcome = run_workload(
+                SplitJoinConfig::new(3, 48).with_batch_size(batch),
+                &inputs,
+            );
+            assert_eq!(
+                as_multiset(&outcome.results),
+                want,
+                "mismatch at batch size {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_partial_batches() {
+        // Regression: with `batch_size` larger than the whole stream, no
+        // batch is ever full — shutdown (without an explicit flush) must
+        // still deliver every buffered tuple before workers see channel
+        // close.
+        let inputs: Vec<_> = WorkloadSpec::new(40, KeyDist::Uniform { domain: 4 })
+            .generate()
+            .collect();
+        let want = reference_join(&inputs, 16, JoinPredicate::Equi);
+        assert!(!want.is_empty());
+        let join = SplitJoin::spawn(SplitJoinConfig::new(2, 16).with_batch_size(1_024));
+        for &(tag, t) in &inputs {
+            join.process(tag, t);
+        }
+        let outcome = join.shutdown(); // no flush
+        assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
+        assert_eq!(outcome.batch_sizes.total(), 1, "one partial batch");
+        assert_eq!(outcome.batch_sizes.max(), Some(40));
+    }
+
+    #[test]
     fn uneven_core_count_rounds_the_window_up() {
         let config = SplitJoinConfig::new(7, 64);
         assert_eq!(config.sub_window(), 10);
@@ -495,7 +697,10 @@ mod tests {
         let inputs: Vec<_> = WorkloadSpec::new(300, KeyDist::Uniform { domain: 8 })
             .generate()
             .collect();
-        let per_tuple = run_workload(SplitJoinConfig::new(4, 32), &inputs);
+        let per_tuple = run_workload(
+            SplitJoinConfig::new(4, 32).with_batch_size(1),
+            &inputs,
+        );
         let join = SplitJoin::spawn(SplitJoinConfig::new(4, 32));
         for chunk in inputs.chunks(37) {
             join.process_batch(chunk);
@@ -559,6 +764,22 @@ mod tests {
     }
 
     #[test]
+    fn counting_only_agrees_with_collection_at_every_batch_size() {
+        let inputs: Vec<_> = WorkloadSpec::new(900, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let collected = run_workload(SplitJoinConfig::new(3, 24), &inputs);
+        for batch in [1usize, 5, 256] {
+            let counted = run_workload(
+                SplitJoinConfig::new(3, 24).with_batch_size(batch).counting_only(),
+                &inputs,
+            );
+            assert_eq!(counted.result_count, collected.result_count);
+            assert!(counted.results.is_empty());
+        }
+    }
+
+    #[test]
     fn band_predicate_propagates_to_workers() {
         let config =
             SplitJoinConfig::new(3, 9).with_predicate(JoinPredicate::Band { delta: 5 });
@@ -602,6 +823,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "channel capacity must be positive")]
+    fn zero_channel_capacity_is_rejected() {
+        let _ = SplitJoinConfig::new(2, 8).with_channel_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let _ = SplitJoinConfig::new(2, 8).with_batch_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel capacity must be positive")]
+    fn spawn_validates_direct_field_writes() {
+        let mut config = SplitJoinConfig::new(2, 8);
+        config.channel_capacity = 0;
+        let _ = SplitJoin::spawn(config);
+    }
+
+    #[test]
     fn flush_is_a_real_barrier() {
         let config = SplitJoinConfig::new(4, 4_096);
         let join = SplitJoin::spawn(config);
@@ -614,5 +855,22 @@ mod tests {
         // After flush all probes are done: every R probed its key once.
         let outcome = join.shutdown();
         assert_eq!(outcome.result_count, 64);
+    }
+
+    #[test]
+    fn batch_histogram_records_distribution_shape() {
+        let join = SplitJoin::spawn(SplitJoinConfig::new(2, 8).with_batch_size(4));
+        for i in 0..10u32 {
+            join.process(StreamTag::R, Tuple::new(i, i));
+        }
+        join.flush(); // two full batches of 4, one partial of 2
+        assert_eq!(join.batches_sent(), 3);
+        let outcome = join.shutdown();
+        assert_eq!(outcome.batch_sizes.total(), 3);
+        assert_eq!(outcome.batch_sizes.max(), Some(4));
+        assert_eq!(outcome.batch_sizes.min(), Some(2));
+        let reg = outcome.registry();
+        assert_eq!(reg.get("splitjoin.batches"), Some(3));
+        assert!(reg.get("splitjoin.worker0.probes").is_some());
     }
 }

@@ -9,7 +9,10 @@
 //!   model with the 2-bit bus header of the hardware design;
 //! * [`Record`], [`Schema`] — wider, schema-described records for the
 //!   Flexible Query Processor;
-//! * [`SlidingWindow`] — count-based sliding window semantics;
+//! * [`SlidingWindow`] — count-based sliding window semantics (the
+//!   generic `VecDeque` reference backend), plus the flat
+//!   struct-of-arrays backends [`FlatWindow`] and [`HashIndexWindow`]
+//!   used by the software join hot paths;
 //! * [`workload`] — reproducible stream generators with controllable key
 //!   domains and match selectivity;
 //! * [`metrics`] — throughput and latency recorders used by every
@@ -42,4 +45,4 @@ pub mod workload;
 pub use predicate::JoinPredicate;
 pub use record::{Field, Record, Schema, SchemaError};
 pub use tuple::{Frame, MatchPair, StreamTag, Tuple};
-pub use window::SlidingWindow;
+pub use window::{FlatWindow, HashIndexWindow, ProbeHits, SlidingWindow};

@@ -35,10 +35,21 @@ pub enum JoinPredicate {
 impl JoinPredicate {
     /// Evaluates the predicate on an (R, S) tuple pair.
     pub fn matches(&self, r: Tuple, s: Tuple) -> bool {
+        self.matches_keys(r.key(), s.key())
+    }
+
+    /// Evaluates the predicate on the join keys alone.
+    ///
+    /// Every predicate in this vocabulary depends only on the keys, which
+    /// lets struct-of-arrays window scans (see
+    /// [`FlatWindow`](crate::FlatWindow)) walk the contiguous key array
+    /// and touch payloads only for actual matches.
+    #[inline]
+    pub fn matches_keys(&self, r_key: u32, s_key: u32) -> bool {
         match *self {
-            JoinPredicate::Equi => r.key() == s.key(),
-            JoinPredicate::Band { delta } => r.key().abs_diff(s.key()) <= delta,
-            JoinPredicate::LessThan => r.key() < s.key(),
+            JoinPredicate::Equi => r_key == s_key,
+            JoinPredicate::Band { delta } => r_key.abs_diff(s_key) <= delta,
+            JoinPredicate::LessThan => r_key < s_key,
             JoinPredicate::All => true,
         }
     }
