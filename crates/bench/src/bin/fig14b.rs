@@ -1,9 +1,13 @@
 //! Regenerates the paper's fig14b experiment. Run with --release.
 //!
 //! Prints the table to stdout and writes a run manifest to
-//! `target/obs/fig14b.json` (or `$ACCEL_OBS_DIR`).
+//! `target/obs/fig14b.json` (or `$ACCEL_OBS_DIR`). Pass `--trace [N]`
+//! to also record span rings and 1-in-N tuple provenance and export a
+//! Chrome/Perfetto timeline to `target/obs/fig14b.trace.json`.
 fn main() {
+    bench::trace_setup();
     let (t, m) = bench::fig14b_run();
     println!("{t}");
     bench::obsout::emit(&m);
+    bench::obsout::emit_harvest("fig14b");
 }

@@ -4,11 +4,16 @@
 //! simulation pool and report the wall-clock speedup (the measured
 //! throughput itself is engine-invariant). The run manifest written to
 //! `target/obs/fig14c.json` then carries per-worker busy/wait cycles.
+//! Pass `--trace [N]` to also record span rings and 1-in-N tuple
+//! provenance and export a Chrome/Perfetto timeline to
+//! `target/obs/fig14c.trace.json`.
 fn main() {
+    bench::trace_setup();
     let (t, m) = match bench::threads_from_args() {
         Some(threads) => bench::fig14c_threads_run(threads),
         None => bench::fig14c_run(),
     };
     println!("{t}");
     bench::obsout::emit(&m);
+    bench::obsout::emit_harvest("fig14c");
 }

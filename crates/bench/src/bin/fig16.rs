@@ -1,13 +1,17 @@
 //! Regenerates the paper's fig16 experiment. Run with --release.
 //!
 //! Accepts `--batch N`, `--cores A,B,...`, `--windows LO..HI` (inclusive
-//! exponent range), and `--samples N`. Prints the table to stdout, writes
-//! a run manifest to `target/obs/fig16.json` (or `$ACCEL_OBS_DIR`), and
-//! upserts every measured point into `BENCH_swjoin.json` alongside it.
+//! exponent range), `--samples N`, and `--trace [N]` (export worker span
+//! rings to `target/obs/fig16.trace.json`). Prints the table to stdout,
+//! writes a run manifest to `target/obs/fig16.json` (or
+//! `$ACCEL_OBS_DIR`), and upserts every measured point into
+//! `BENCH_swjoin.json` alongside it.
 fn main() {
     let opts = bench::swjoin::SwRunOpts::from_args();
+    opts.setup_trace();
     let (t, m, entries) = bench::fig16_run_opts(&opts);
     println!("{t}");
     bench::obsout::emit(&m);
     bench::swjoin::record(&entries);
+    bench::obsout::emit_harvest("fig16");
 }

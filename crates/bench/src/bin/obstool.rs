@@ -1,0 +1,290 @@
+//! Inspects the artifacts the bench harness drops under `target/obs/`:
+//! run manifests (`<figure>.json`) and Chrome/Perfetto trace exports
+//! (`<figure>.trace.json`).
+//!
+//! ```text
+//! obstool summarize <manifest.json>
+//! obstool diff <baseline.json> <candidate.json> [--tolerance PCT]
+//! obstool trace <file.trace.json>
+//! ```
+//!
+//! `summarize` prints a manifest's config, counters, and histogram
+//! digests. `diff` compares two manifests counter by counter and
+//! histogram by histogram, flags relative drifts beyond the tolerance
+//! (default 10%), and exits non-zero when anything drifted — the CI
+//! determinism smoke runs a figure twice and diffs the manifests.
+//! `trace` validates a trace export against the Chrome trace-event
+//! schema and summarizes spans per track.
+
+use std::process::ExitCode;
+
+use obs::json::Json;
+use obs::RunManifest;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obstool summarize <manifest.json>\n\
+        \x20      obstool diff <baseline.json> <candidate.json> [--tolerance PCT]\n\
+        \x20      obstool trace <file.trace.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("summarize") if args.len() == 2 => summarize(&args[1]),
+        Some("diff") => match parse_diff_args(&args[1..]) {
+            Some((a, b, tol)) => diff(a, b, tol),
+            None => return usage(),
+        },
+        Some("trace") if args.len() == 2 => trace(&args[1]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_diff_args(rest: &[String]) -> Option<(&str, &str, f64)> {
+    let mut paths = Vec::new();
+    let mut tolerance = 10.0;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--tolerance" => {
+                tolerance = rest.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            flag if flag.starts_with("--tolerance=") => {
+                tolerance = flag["--tolerance=".len()..].parse().ok()?;
+                i += 1;
+            }
+            path => {
+                paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if paths.len() == 2 && tolerance >= 0.0 {
+        Some((paths[0], paths[1], tolerance))
+    } else {
+        None
+    }
+}
+
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    RunManifest::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(path: &str) -> Result<bool, String> {
+    let m = load_manifest(path)?;
+    println!("manifest {} (git {}, threads {})", m.name(), obs_rev(&m), m.threads());
+    if !m.config_entries().is_empty() {
+        println!("config:");
+        for (k, v) in m.config_entries() {
+            println!("  {k} = {v}");
+        }
+    }
+    let mut counters: Vec<(&str, u64)> = m.counters().iter().collect();
+    counters.sort();
+    if !counters.is_empty() {
+        println!("counters:");
+        for (k, v) in counters {
+            println!("  {k} = {v}");
+        }
+    }
+    if !m.histograms().is_empty() {
+        println!("histograms:");
+        for (name, h) in m.histograms() {
+            println!(
+                "  {name}: n={} sum={} p50={} p99={} max={}",
+                h.total(),
+                h.sum().unwrap_or(0),
+                h.p50().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+        }
+    }
+    Ok(true)
+}
+
+/// The manifest's recorded git revision. (A free function only because
+/// `RunManifest` exposes it via serialization, not a getter.)
+fn obs_rev(m: &RunManifest) -> String {
+    Json::parse(&m.to_json())
+        .ok()
+        .and_then(|j| j.get("git_rev").and_then(Json::as_str).map(String::from))
+        .unwrap_or_default()
+}
+
+/// One drifted metric: `(metric, baseline, candidate, relative %)`.
+type Drift = (String, f64, f64, f64);
+
+/// Relative drift of `b` versus baseline `a`, in percent. A change from
+/// zero is infinite drift — any tolerance flags it.
+fn drift_pct(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        f64::INFINITY
+    } else {
+        100.0 * (b - a).abs() / a.abs()
+    }
+}
+
+/// Compares every counter and histogram digest present in either
+/// manifest; returns the drifts beyond `tolerance` percent. A metric
+/// missing on one side counts as zero there (infinite drift).
+fn manifest_drifts(a: &RunManifest, b: &RunManifest, tolerance: f64) -> Vec<Drift> {
+    let mut out = Vec::new();
+    let mut check = |metric: String, va: f64, vb: f64| {
+        if drift_pct(va, vb) > tolerance {
+            out.push((metric, va, vb, drift_pct(va, vb)));
+        }
+    };
+    let mut names: Vec<&str> = a.counters().iter().map(|(k, _)| k).collect();
+    for (k, _) in b.counters().iter() {
+        if !names.contains(&k) {
+            names.push(k);
+        }
+    }
+    names.sort_unstable();
+    for name in names {
+        let va = a.counters().get(name).unwrap_or(0) as f64;
+        let vb = b.counters().get(name).unwrap_or(0) as f64;
+        check(name.to_string(), va, vb);
+    }
+    let digest = |m: &RunManifest, name: &str| -> Option<(f64, f64)> {
+        m.histograms()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| (h.total() as f64, h.sum().unwrap_or(0) as f64))
+    };
+    let mut hnames: Vec<&str> = a.histograms().iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in b.histograms() {
+        if !hnames.contains(&n.as_str()) {
+            hnames.push(n);
+        }
+    }
+    hnames.sort_unstable();
+    for name in hnames {
+        let (na, sa) = digest(a, name).unwrap_or((0.0, 0.0));
+        let (nb, sb) = digest(b, name).unwrap_or((0.0, 0.0));
+        check(format!("hist {name} (count)"), na, nb);
+        check(format!("hist {name} (sum)"), sa, sb);
+    }
+    out
+}
+
+fn diff(a_path: &str, b_path: &str, tolerance: f64) -> Result<bool, String> {
+    let a = load_manifest(a_path)?;
+    let b = load_manifest(b_path)?;
+    let drifts = manifest_drifts(&a, &b, tolerance);
+    if drifts.is_empty() {
+        println!(
+            "OK: `{}` matches `{}` within {tolerance}% ({} counters, {} histograms)",
+            b.name(),
+            a.name(),
+            a.counters().len(),
+            a.histograms().len(),
+        );
+        return Ok(true);
+    }
+    println!(
+        "{} metric(s) drifted beyond {tolerance}% ({a_path} -> {b_path}):",
+        drifts.len()
+    );
+    for (metric, va, vb, pct) in &drifts {
+        println!("  {metric}: {va} -> {vb} ({pct:.1}%)");
+    }
+    Ok(false)
+}
+
+fn trace(path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let summary = obs::trace::validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!("valid Chrome trace: {} span(s), {} dropped", summary.spans, summary.dropped);
+    for (track, spans) in &summary.tracks {
+        println!("  {track}: {spans} span(s)");
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(counter: u64, hist_vals: &[u64]) -> RunManifest {
+        let mut m = RunManifest::new("t");
+        m.counter("tuples", counter);
+        let mut h = obs::Histogram::new();
+        for &v in hist_vals {
+            h.record_value(v);
+        }
+        m.histogram("lat", h);
+        m
+    }
+
+    #[test]
+    fn identical_manifests_have_no_drift() {
+        let a = manifest(100, &[5, 9]);
+        assert!(manifest_drifts(&a, &manifest(100, &[5, 9]), 0.0).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_beyond_tolerance_is_flagged() {
+        let a = manifest(100, &[5]);
+        let b = manifest(125, &[5]);
+        assert!(manifest_drifts(&a, &b, 30.0).is_empty());
+        let drifts = manifest_drifts(&a, &b, 20.0);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].0, "tuples");
+        assert_eq!(drifts[0].3, 25.0);
+    }
+
+    #[test]
+    fn metric_appearing_from_zero_is_infinite_drift() {
+        let mut a = RunManifest::new("t");
+        a.counter("only_in_b", 0);
+        let mut b = RunManifest::new("t");
+        b.counter("only_in_b", 7);
+        let drifts = manifest_drifts(&a, &b, 1e9);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].3.is_infinite());
+    }
+
+    #[test]
+    fn histogram_sum_drift_is_flagged_separately_from_count() {
+        let a = manifest(1, &[10, 10]);
+        let b = manifest(1, &[10, 100]); // same count, bigger sum
+        let drifts = manifest_drifts(&a, &b, 10.0);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].0.contains("sum"));
+    }
+
+    #[test]
+    fn diff_args_accept_tolerance_forms() {
+        let args: Vec<String> =
+            ["a.json", "b.json", "--tolerance", "5"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 5.0)));
+        let args: Vec<String> =
+            ["--tolerance=2.5", "a.json", "b.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 2.5)));
+        let args: Vec<String> = ["a.json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_diff_args(&args), None);
+    }
+}

@@ -3,19 +3,24 @@
 //! Run with --release.
 //!
 //! Accepts `--batch N` (both flows run their data paths at that batch
-//! size) and `--windows LO..HI`. Measured points are upserted into
-//! `BENCH_swjoin.json`.
+//! size), `--windows LO..HI`, and `--trace [N]` (export worker/core span
+//! rings from the first window to `target/obs/swflow.trace.json`).
+//! Measured points are upserted into `BENCH_swjoin.json`.
 
 use joinsw::handshake::HandshakeConfig;
-use joinsw::harness::{measure_handshake_throughput, measure_throughput};
+use joinsw::harness::{
+    measure_handshake_throughput, measure_handshake_throughput_outcome, measure_throughput,
+    measure_throughput_outcome,
+};
 use joinsw::splitjoin::SplitJoinConfig;
 
 use bench::swjoin::{SwJoinEntry, SwRunOpts};
 
 fn main() {
     let opts = SwRunOpts::from_args();
+    let mut traced = !opts.setup_trace();
     let batch = opts.batch_size;
-    let windows = opts.windows.unwrap_or(10..=14);
+    let windows = opts.windows.clone().unwrap_or(10..=14);
     let mut t = bench::Table::new(
         "Ablation — software uni-flow vs bi-flow throughput (4 threads)",
         &["window", "uni-flow Mt/s", "bi-flow Mt/s", "uni/bi"],
@@ -35,18 +40,39 @@ fn main() {
     for exp in windows.step_by(2) {
         let window = 1usize << exp;
         let tuples = (40_000_000 / window as u64).clamp(500, 8_192);
-        let uni = measure_throughput(
-            SplitJoinConfig::new(4, window).with_batch_size(batch),
-            tuples,
-            1 << 20,
-        )
-        .million_per_second();
-        let bi = measure_handshake_throughput(
-            HandshakeConfig::new(4, window).with_batch_size(batch),
-            tuples,
-            1 << 20,
-        )
-        .million_per_second();
+        // Under `--trace`, the first window's runs also donate their span
+        // rings to the exported timeline; later windows run untouched.
+        let (uni, bi) = if !traced {
+            traced = true;
+            let (uni, outcome) = measure_throughput_outcome(
+                SplitJoinConfig::new(4, window).with_batch_size(batch),
+                tuples,
+                1 << 20,
+            );
+            bench::obsout::harvest(outcome.trace);
+            let (bi, outcome) = measure_handshake_throughput_outcome(
+                HandshakeConfig::new(4, window).with_batch_size(batch),
+                tuples,
+                1 << 20,
+            );
+            bench::obsout::harvest(outcome.trace);
+            (uni, bi)
+        } else {
+            (
+                measure_throughput(
+                    SplitJoinConfig::new(4, window).with_batch_size(batch),
+                    tuples,
+                    1 << 20,
+                ),
+                measure_handshake_throughput(
+                    HandshakeConfig::new(4, window).with_batch_size(batch),
+                    tuples,
+                    1 << 20,
+                ),
+            )
+        };
+        let uni = uni.million_per_second();
+        let bi = bi.million_per_second();
         entries.push(entry("splitjoin", window, tuples, uni));
         entries.push(entry("handshake", window, tuples, bi));
         t.row(vec![
@@ -65,4 +91,5 @@ fn main() {
     );
     println!("{t}");
     bench::swjoin::record(&entries);
+    bench::obsout::emit_harvest("swflow");
 }

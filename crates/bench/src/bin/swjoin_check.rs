@@ -1,22 +1,83 @@
-//! Validates a `BENCH_swjoin.json` artifact (CI bench-smoke gate).
+//! Validates a `BENCH_swjoin.json` artifact and gates it against the
+//! committed baseline (CI bench-smoke gate).
 //!
-//! Usage: `swjoin_check [path]` — defaults to the artifact in the
-//! manifest directory (`target/obs/BENCH_swjoin.json`, or
-//! `$ACCEL_OBS_DIR`). Exits non-zero when the file is missing, is not
-//! valid schema-1 JSON, or holds no entries; prints a per-figure summary
-//! otherwise.
+//! Usage: `swjoin_check [path] [--baseline PATH] [--tolerance PCT]`.
+//!
+//! `path` defaults to the artifact in the manifest directory
+//! (`target/obs/BENCH_swjoin.json`, or `$ACCEL_OBS_DIR`). The file must
+//! exist, parse as schema-1 JSON, and hold entries; a per-figure summary
+//! is printed. Then every point is compared against the matching point
+//! in the baseline — the committed `BENCH_swjoin.json` at the repo root
+//! unless `--baseline` overrides it — and the run fails when throughput
+//! fell (or latency rose) more than the tolerance, default 20%. A
+//! missing baseline only warns: fresh checkouts and pruned worktrees
+//! must not fail CI.
 
-use bench::swjoin::{default_path, SwJoinDoc};
+use std::path::PathBuf;
+
+use bench::swjoin::{default_path, regressions, SwJoinDoc};
+
+/// The committed before/after evidence this repo gates against.
+const BASELINE: &str = "BENCH_swjoin.json";
+
+struct Opts {
+    path: PathBuf,
+    baseline: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        path: default_path(),
+        baseline: PathBuf::from(BASELINE),
+        tolerance: 20.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let v = args.get(i).ok_or("--baseline requires a value")?;
+                opts.baseline = PathBuf::from(v);
+            }
+            "--tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--tolerance requires a value")?;
+                opts.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t >= 0.0)
+                    .ok_or_else(|| format!("--tolerance must be a non-negative percent, got `{v}`"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => positional.push(path.to_string()),
+        }
+        i += 1;
+    }
+    match positional.len() {
+        0 => {}
+        1 => opts.path = PathBuf::from(&positional[0]),
+        _ => return Err(format!("at most one path, got {positional:?}")),
+    }
+    Ok(opts)
+}
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .map_or_else(default_path, std::path::PathBuf::from);
-    if !path.exists() {
-        eprintln!("error: {} does not exist", path.display());
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: swjoin_check [path] [--baseline PATH] [--tolerance PCT]");
+            std::process::exit(2);
+        }
+    };
+    if !opts.path.exists() {
+        eprintln!("error: {} does not exist", opts.path.display());
         std::process::exit(1);
     }
-    let doc = match SwJoinDoc::load(&path) {
+    let doc = match SwJoinDoc::load(&opts.path) {
         Ok(doc) => doc,
         Err(e) => {
             eprintln!("error: {e}");
@@ -24,10 +85,10 @@ fn main() {
         }
     };
     if doc.entries.is_empty() {
-        eprintln!("error: {} holds no entries", path.display());
+        eprintln!("error: {} holds no entries", opts.path.display());
         std::process::exit(1);
     }
-    println!("{}: {} entries OK", path.display(), doc.entries.len());
+    println!("{}: {} entries OK", opts.path.display(), doc.entries.len());
     let mut figures: Vec<&str> = doc.entries.iter().map(|e| e.figure.as_str()).collect();
     figures.sort_unstable();
     figures.dedup();
@@ -44,4 +105,41 @@ fn main() {
             rows.len()
         );
     }
+
+    if !opts.baseline.exists() {
+        eprintln!(
+            "warning: baseline {} missing; regression gate skipped",
+            opts.baseline.display()
+        );
+        return;
+    }
+    let baseline = match SwJoinDoc::load(&opts.baseline) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: baseline {e}");
+            std::process::exit(1);
+        }
+    };
+    let (compared, found) = regressions(&baseline, &doc, opts.tolerance);
+    if found.is_empty() {
+        println!(
+            "baseline {}: {compared} matching point(s) within {}%",
+            opts.baseline.display(),
+            opts.tolerance
+        );
+        return;
+    }
+    eprintln!(
+        "error: {} point(s) regressed beyond {}% vs {}:",
+        found.len(),
+        opts.tolerance,
+        opts.baseline.display()
+    );
+    for r in &found {
+        eprintln!(
+            "  {}: {:.5} -> {:.5} ({:.1}% worse)",
+            r.point, r.baseline, r.candidate, r.worse_pct
+        );
+    }
+    std::process::exit(1);
 }

@@ -10,6 +10,7 @@ use joinhw::harness::{
     run_latency_with, run_throughput, run_throughput_observed, run_throughput_with,
     uniflow_throughput_model, LatencyRun, ThroughputRun,
 };
+use obs::provenance::ProvenanceTracker;
 use obs::{Histogram, Registry, RunManifest};
 use joinhw::{DesignParams, FlowModel, JoinAlgorithm, NetworkKind};
 use streamcore::{StreamTag, Tuple};
@@ -30,20 +31,63 @@ fn tuples_for(sub_window: usize) -> u64 {
 /// Runs one cycle-accurate throughput point and converts to M tuples/s.
 #[cfg(test)]
 fn measure_mtps(params: &DesignParams, clock_mhz: f64) -> f64 {
-    measure_observed(params).0.at_clock(clock_mhz).million_per_second()
+    measure_observed_traced(params, false, &mut None)
+        .0
+        .at_clock(clock_mhz)
+        .million_per_second()
 }
 
 /// One cycle-accurate throughput point plus its service-gap histogram
-/// (cycles between consecutive input acceptances).
-fn measure_observed(params: &DesignParams) -> (ThroughputRun, Histogram) {
+/// (cycles between consecutive input acceptances). After the run, the
+/// join's span rings go to the crate harvest when `rings` is set and
+/// its provenance breakdown merges into `prov` — a no-op side channel
+/// unless [`obs::trace::enabled`].
+fn measure_observed_traced(
+    params: &DesignParams,
+    rings: bool,
+    prov: &mut Option<ProvenanceTracker>,
+) -> (ThroughputRun, Histogram) {
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
-    run_throughput_observed(
+    let out = run_throughput_observed(
         &mut Simulator::new(),
         join.as_mut(),
         tuples_for(params.sub_window()),
         THROUGHPUT_KEY_DOMAIN,
-    )
+    );
+    harvest_join(join.as_mut(), rings, prov);
+    out
+}
+
+/// Harvests a finished join's observability side channel: span rings go
+/// to the crate-wide harvest (only when `rings` — one representative
+/// point per series keeps exports bounded), the per-stage provenance
+/// breakdown merges into the figure-wide accumulator `prov`.
+fn harvest_join(
+    join: &mut dyn harness::StreamJoin,
+    rings: bool,
+    prov: &mut Option<ProvenanceTracker>,
+) {
+    if !obs::trace::enabled() {
+        return;
+    }
+    if rings {
+        crate::obsout::harvest(join.take_trace());
+    }
+    if let Some(p) = join.take_provenance() {
+        match prov.as_mut() {
+            Some(acc) => acc.merge(&p),
+            None => *prov = Some(p),
+        }
+    }
+}
+
+/// Records an accumulated provenance breakdown (when tracing produced
+/// one) into the manifest, in cycles.
+fn record_provenance(m: &mut RunManifest, prov: &Option<ProvenanceTracker>) {
+    if let Some(p) = prov {
+        p.record_into(m, "cycles");
+    }
 }
 
 /// Records one throughput point's counters under `{key}` in `m`.
@@ -66,6 +110,7 @@ pub fn fig14a_run() -> (Table, RunManifest) {
     m.config("device", "XC5VLX50T");
     m.config("target_clock_mhz", 100);
     let mut gaps_all = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 14a — uni-flow throughput on Virtex-5 (100 MHz)",
         &["cores", "window", "model Mt/s", "measured Mt/s"],
@@ -77,7 +122,7 @@ pub fn fig14a_run() -> (Table, RunManifest) {
                 Ok(report) => {
                     let clock = report.clock.mhz();
                     let model = uniflow_throughput_model(window, cores, clock) / 1e6;
-                    let (run, gaps) = measure_observed(&params);
+                    let (run, gaps) = measure_observed_traced(&params, cores == 2, &mut prov);
                     let measured = run.at_clock(clock).million_per_second();
                     record_run(&mut m, &format!("c{cores}.w2e{}.", window.ilog2()), &run);
                     gaps_all.merge(&gaps);
@@ -99,6 +144,7 @@ pub fn fig14a_run() -> (Table, RunManifest) {
     }
     t.note("paper: linear speedup with cores; window 2^13 infeasible at 32/64 cores");
     m.histogram("service_gap_cycles", gaps_all);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 
@@ -117,6 +163,7 @@ pub fn fig14b_run() -> (Table, RunManifest) {
     m.config("cores", 16);
     let mut uni_gaps = Histogram::new();
     let mut bi_gaps = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 14b — uni-flow vs bi-flow at 16 cores, Virtex-5 (100 MHz)",
         &["window", "uni Mt/s", "bi Mt/s", "uni/bi"],
@@ -126,13 +173,13 @@ pub fn fig14b_run() -> (Table, RunManifest) {
         let window = 1usize << exp;
         let uni = DesignParams::new(FlowModel::UniFlow, cores, window);
         let bi = DesignParams::new(FlowModel::BiFlow, cores, window);
-        let (uni_run, gaps) = measure_observed(&uni);
+        let (uni_run, gaps) = measure_observed_traced(&uni, exp == 7, &mut prov);
         let uni_mtps = uni_run.at_clock(100.0).million_per_second();
         record_run(&mut m, &format!("uni.w2e{exp}."), &uni_run);
         uni_gaps.merge(&gaps);
         let bi_cell = match bi.synthesize_at(&XC5VLX50T, 100.0) {
             Ok(_) => {
-                let (bi_run, gaps) = measure_biflow_run(&bi);
+                let (bi_run, gaps) = measure_biflow_run(&bi, exp == 7, &mut prov);
                 record_run(&mut m, &format!("bi.w2e{exp}."), &bi_run);
                 bi_gaps.merge(&gaps);
                 format!("{:.4}", bi_run.at_clock(100.0).million_per_second())
@@ -158,10 +205,15 @@ pub fn fig14b_run() -> (Table, RunManifest) {
     ));
     m.histogram("uni_service_gap_cycles", uni_gaps);
     m.histogram("bi_service_gap_cycles", bi_gaps);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 
-fn measure_biflow_run(params: &DesignParams) -> (ThroughputRun, Histogram) {
+fn measure_biflow_run(
+    params: &DesignParams,
+    rings: bool,
+    prov: &mut Option<ProvenanceTracker>,
+) -> (ThroughputRun, Histogram) {
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
     // Bi-flow service time scales with the total window; keep runs short.
@@ -170,7 +222,14 @@ fn measure_biflow_run(params: &DesignParams) -> (ThroughputRun, Histogram) {
             as u64
             + 1))
         .clamp(16, 256);
-    run_throughput_observed(&mut Simulator::new(), join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN)
+    let out = run_throughput_observed(
+        &mut Simulator::new(),
+        join.as_mut(),
+        tuples,
+        THROUGHPUT_KEY_DOMAIN,
+    );
+    harvest_join(join.as_mut(), rings, prov);
+    out
 }
 
 /// One throughput point timed under both engines.
@@ -189,7 +248,12 @@ struct TimedRun {
 /// — the identical run on a [`ParSimulator`] pool, with the pool's
 /// per-worker busy/wait accounting. Panics if the two engines disagree,
 /// which would break the parallel layer's cycle-exact contract.
-fn measure_run_timed(params: &DesignParams, threads: usize) -> TimedRun {
+fn measure_run_timed(
+    params: &DesignParams,
+    threads: usize,
+    rings: bool,
+    prov: &mut Option<ProvenanceTracker>,
+) -> TimedRun {
     let tuples = tuples_for(params.sub_window());
     let mut join = harness::build(params);
     prefill_steady_state(join.as_mut(), params.window_size);
@@ -197,6 +261,9 @@ fn measure_run_timed(params: &DesignParams, threads: usize) -> TimedRun {
     let (seq, gaps) =
         run_throughput_observed(&mut Simulator::new(), join.as_mut(), tuples, THROUGHPUT_KEY_DOMAIN);
     let seq_wall = seq_start.elapsed().as_secs_f64();
+    // Harvest from the sequential run only; the parallel run is
+    // cycle-identical, so folding both in would double-count samples.
+    harvest_join(join.as_mut(), rings, prov);
     if threads <= 1 {
         return TimedRun { run: seq, gaps, seq_wall, par: None };
     }
@@ -226,6 +293,7 @@ pub fn fig14c_run() -> (Table, RunManifest) {
     m.config("cores", 512);
     m.config("network", "scalable");
     let mut gaps_all = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 14c — uni-flow, 512 cores, Virtex-7 (300 MHz, scalable networks)",
         &["window", "model Mt/s", "measured Mt/s"],
@@ -238,7 +306,7 @@ pub fn fig14c_run() -> (Table, RunManifest) {
         match params.synthesize_at(&XC7VX485T, 300.0) {
             Ok(_) => {
                 let model = uniflow_throughput_model(window, cores, 300.0) / 1e6;
-                let (run, gaps) = measure_observed(&params);
+                let (run, gaps) = measure_observed_traced(&params, exp == 11, &mut prov);
                 let measured = run.at_clock(300.0).million_per_second();
                 record_run(&mut m, &format!("w2e{exp}."), &run);
                 gaps_all.merge(&gaps);
@@ -253,6 +321,7 @@ pub fn fig14c_run() -> (Table, RunManifest) {
     }
     t.note("paper: ~2 orders of magnitude over the Virtex-5 realization at window 2^13");
     m.histogram("service_gap_cycles", gaps_all);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 
@@ -282,6 +351,7 @@ pub fn fig14c_threads_run(threads: usize) -> (Table, RunManifest) {
     m.config("cores", 512);
     m.config("network", "scalable");
     let mut gaps_all = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 14c — uni-flow, 512 cores, Virtex-7 (300 MHz, scalable networks)",
         &["window", "model Mt/s", "measured Mt/s", "seq wall s", "par wall s", "speedup"],
@@ -296,7 +366,7 @@ pub fn fig14c_threads_run(threads: usize) -> (Table, RunManifest) {
         match params.synthesize_at(&XC7VX485T, 300.0) {
             Ok(_) => {
                 let model = uniflow_throughput_model(window, cores, 300.0) / 1e6;
-                let timed = measure_run_timed(&params, threads);
+                let timed = measure_run_timed(&params, threads, exp == 11, &mut prov);
                 let (run, seq_wall) = (timed.run, timed.seq_wall);
                 let measured = run.at_clock(300.0).million_per_second();
                 let key = format!("w2e{exp}.");
@@ -304,11 +374,14 @@ pub fn fig14c_threads_run(threads: usize) -> (Table, RunManifest) {
                 gaps_all.merge(&timed.gaps);
                 seq_total += seq_wall;
                 let (par_cell, speedup_cell) = match timed.par {
-                    Some((p, stats)) => {
+                    Some((p, mut stats)) => {
                         par_total += p;
                         let mut reg = Registry::new();
                         stats.observe(&mut reg, &format!("{key}par."));
                         m.record_registry(&reg);
+                        if exp == 11 {
+                            crate::obsout::harvest(stats.rings.drain(..));
+                        }
                         (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
                     }
                     None => ("-".into(), "-".into()),
@@ -343,6 +416,7 @@ pub fn fig14c_threads_run(threads: usize) -> (Table, RunManifest) {
         t.note("run with --threads N to time the parallel simulation engine");
     }
     m.histogram("service_gap_cycles", gaps_all);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 
@@ -357,6 +431,7 @@ pub fn fig15() -> Table {
 pub fn fig15_run() -> (Table, RunManifest) {
     let mut m = crate::obsout::manifest("fig15");
     let mut latencies = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 15 — uni-flow latency (planted match per core)",
         &["series", "cores", "cycles", "clock MHz", "latency us"],
@@ -387,6 +462,7 @@ pub fn fig15_run() -> (Table, RunManifest) {
                 20_000_000,
             )
             .expect("latency probe quiesces");
+            harvest_join(join.as_mut(), exp == 1, &mut prov);
             let cycles = run.cycles_to_last_result;
             m.counter(format!("s{s}.c{cores}.latency_cycles"), cycles);
             latencies.record_value(cycles);
@@ -402,6 +478,7 @@ pub fn fig15_run() -> (Table, RunManifest) {
     }
     t.note("paper: cycles similar across networks; lightweight loses in time via clock drop");
     m.histogram("latency_cycles", latencies);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 
@@ -412,6 +489,8 @@ pub fn fig15_run() -> (Table, RunManifest) {
 fn measure_latency_timed(
     params: &DesignParams,
     threads: usize,
+    rings: bool,
+    prov: &mut Option<ProvenanceTracker>,
 ) -> (LatencyRun, f64, Option<(f64, ParStats)>) {
     const PROBE_KEY: u32 = 7;
     const MAX_CYCLES: u64 = 20_000_000;
@@ -421,6 +500,9 @@ fn measure_latency_timed(
     let seq_start = Instant::now();
     let seq = run_latency(join.as_mut(), probe, MAX_CYCLES).expect("latency probe quiesces");
     let seq_wall = seq_start.elapsed().as_secs_f64();
+    // Harvest from the sequential run only; the parallel run is
+    // cycle-identical, so folding both in would double-count samples.
+    harvest_join(join.as_mut(), rings, prov);
     if threads <= 1 {
         return (seq, seq_wall, None);
     }
@@ -453,6 +535,7 @@ pub fn fig15_threads_run(threads: usize) -> (Table, RunManifest) {
     let mut m = crate::obsout::manifest("fig15");
     m.set_threads(threads);
     let mut latencies = Histogram::new();
+    let mut prov = None;
     let mut t = Table::new(
         "Fig. 15 — uni-flow latency (planted match per core)",
         &["series", "cores", "cycles", "latency us", "seq wall s", "par wall s", "speedup"],
@@ -477,14 +560,18 @@ pub fn fig15_threads_run(threads: usize) -> (Table, RunManifest) {
             let Ok(report) = report else {
                 continue; // beyond the device's capacity for this series
             };
-            let (run, seq_wall, par_wall) = measure_latency_timed(&params, threads);
+            let (run, seq_wall, par_wall) =
+                measure_latency_timed(&params, threads, exp == 1, &mut prov);
             seq_total += seq_wall;
             let (par_cell, speedup_cell) = match par_wall {
-                Some((p, stats)) => {
+                Some((p, mut stats)) => {
                     par_total += p;
                     let mut reg = Registry::new();
                     stats.observe(&mut reg, &format!("s{s}.c{cores}.par."));
                     m.record_registry(&reg);
+                    if exp == 1 {
+                        crate::obsout::harvest(stats.rings.drain(..));
+                    }
                     (format!("{p:.3}"), format!("{:.2}x", seq_wall / p))
                 }
                 None => ("-".into(), "-".into()),
@@ -514,6 +601,7 @@ pub fn fig15_threads_run(threads: usize) -> (Table, RunManifest) {
         t.note("run with --threads N to time the parallel simulation engine");
     }
     m.histogram("latency_cycles", latencies);
+    record_provenance(&mut m, &prov);
     (t, m)
 }
 

@@ -98,6 +98,49 @@ pub fn threads_from_args() -> Option<usize> {
     None
 }
 
+/// Parses a `--trace [N]` (or `--trace=N`) flag from the process
+/// arguments: enable span tracing with 1-in-`N` provenance sampling.
+/// Bare `--trace` samples every 64th tuple; `None` when absent.
+///
+/// The figure binaries pass the parsed period to [`obs::trace::enable`]
+/// before measuring and export the harvested rings afterwards (see
+/// [`obsout::take_harvest`]); tracing never changes measured cycle
+/// counts or results, only what gets recorded on the side.
+pub fn trace_from_args() -> Option<u64> {
+    fn bad(got: &str) -> ! {
+        eprintln!("error: --trace takes an optional positive integer sample period, got `{got}`");
+        std::process::exit(2);
+    }
+    let parse = |v: &str| v.parse::<u64>().ok().filter(|&n| n > 0).unwrap_or_else(|| bad(v));
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--trace" {
+            return Some(match args.get(i + 1) {
+                Some(v) if !v.starts_with('-') => parse(v),
+                _ => 64,
+            });
+        }
+        if let Some(v) = arg.strip_prefix("--trace=") {
+            return Some(parse(v));
+        }
+    }
+    None
+}
+
+/// [`trace_from_args`] plus the side effect every figure binary wants:
+/// when `--trace` is present, turns tracing on via [`obs::trace::enable`].
+/// Returns whether tracing was requested. Without the `obs` feature the
+/// enable call is a no-op and no spans are ever recorded.
+pub fn trace_setup() -> bool {
+    match trace_from_args() {
+        Some(n) => {
+            obs::trace::enable(n);
+            true
+        }
+        None => false,
+    }
+}
+
 /// Every figure and table, in paper order.
 pub fn all() -> Vec<Table> {
     vec![

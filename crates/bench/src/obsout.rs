@@ -7,7 +7,52 @@
 //! diffed and archived. Manifests land in `target/obs/<name>.json` (or
 //! `$ACCEL_OBS_DIR` when set); see `EXPERIMENTS.md` for the schema.
 
+use std::sync::Mutex;
+
+use obs::trace::{TraceRing, TraceSet};
 use obs::RunManifest;
+
+/// Span rings harvested by the figure functions while tracing is
+/// enabled, awaiting export by the binary (see [`take_harvest`]).
+static HARVEST: Mutex<Vec<TraceRing>> = Mutex::new(Vec::new());
+
+/// Stashes harvested span rings for the running figure. Figure
+/// functions call this after a measured point; the binary drains the
+/// collection once with [`take_harvest`] and writes it via
+/// [`emit_trace`].
+pub fn harvest(rings: impl IntoIterator<Item = TraceRing>) {
+    HARVEST.lock().expect("harvest lock").extend(rings);
+}
+
+/// Drains every harvested ring into a trace set named after the figure.
+pub fn take_harvest(figure: &str) -> TraceSet {
+    let mut set = TraceSet::new(figure);
+    set.extend(HARVEST.lock().expect("harvest lock").drain(..));
+    set
+}
+
+/// Writes a Chrome-trace/Perfetto export of `set` to the default
+/// manifest directory, reporting the path on stderr. A no-op when the
+/// set holds no rings; a failure to write is a warning, never a failed
+/// run.
+/// Drains the harvest into a [`TraceSet`] named `figure` and writes it
+/// out — the one-call exit path for figure binaries. Does nothing when
+/// no rings were harvested (tracing off, or the figure has none).
+pub fn emit_harvest(figure: &str) {
+    emit_trace(&take_harvest(figure));
+}
+
+/// Writes a non-empty [`TraceSet`] next to the run manifests and prints
+/// where it landed; write failures warn instead of aborting the run.
+pub fn emit_trace(set: &TraceSet) {
+    if set.is_empty() {
+        return;
+    }
+    match set.write_default() {
+        Ok(path) => eprintln!("trace: {}", path.display()),
+        Err(e) => eprintln!("warning: trace `{}` not written: {e}", set.name()),
+    }
+}
 
 /// Starts a manifest for the named figure. The git revision is stamped
 /// by the manifest itself; callers add config, counters, and histograms.

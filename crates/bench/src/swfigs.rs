@@ -18,8 +18,8 @@
 use std::time::Duration;
 
 use joinsw::harness::{
-    host_parallelism, measure_latency_hist, measure_throughput,
-    modeled_throughput, PARALLEL_EFFICIENCY,
+    host_parallelism, measure_latency_hist, measure_latency_outcome, measure_throughput,
+    measure_throughput_outcome, modeled_throughput, PARALLEL_EFFICIENCY,
 };
 use joinsw::splitjoin::SplitJoinConfig;
 use obs::{Histogram, RunManifest};
@@ -111,9 +111,22 @@ fn fig14d_into(
     );
     let max_cores = cores.iter().copied().max().unwrap_or(1);
     let direct = host_parallelism() >= max_cores;
+    // Harvest worker span rings from one representative point (the
+    // widest sweep config at the first window) to keep exports bounded.
+    let mut traced = !obs::trace::enabled();
     for exp in exponents {
         let window = 1usize << exp;
         let tuples = tuples_for(window);
+        if !traced {
+            // One extra multi-worker run, purely for its timeline.
+            traced = true;
+            let (_, outcome) = measure_throughput_outcome(
+                SplitJoinConfig::new(max_cores, window).with_batch_size(batch),
+                tuples,
+                KEY_DOMAIN,
+            );
+            crate::obsout::harvest(outcome.trace);
+        }
         let single = measure_throughput(
             SplitJoinConfig::new(1, window).with_batch_size(batch),
             tuples,
@@ -241,6 +254,19 @@ fn fig16_config_into(
     );
     let mut all_samples = Histogram::new();
     let direct = host_parallelism() >= cores.iter().copied().max().unwrap_or(1);
+    // Under `--trace`, harvest worker span rings from the first measured
+    // point only (bounded export size); later points run untouched.
+    let mut traced = !obs::trace::enabled();
+    let mut measure = |config: SplitJoinConfig, samples: usize| {
+        if !traced {
+            traced = true;
+            let (s, hist, outcome) = measure_latency_outcome(config, samples, KEY_DOMAIN);
+            crate::obsout::harvest(outcome.trace);
+            (s, hist)
+        } else {
+            measure_latency_hist(config, samples, KEY_DOMAIN)
+        }
+    };
     let latency_entry = |n: usize, window: usize, p50: Duration, measured: bool| {
         SwJoinEntry {
             figure: "fig16".into(),
@@ -258,10 +284,9 @@ fn fig16_config_into(
         let window = 1usize << exp;
         if direct {
             for &n in cores {
-                let (s, hist) = measure_latency_hist(
+                let (s, hist) = measure(
                     SplitJoinConfig::new(n, window).with_batch_size(batch),
                     samples,
-                    KEY_DOMAIN,
                 );
                 all_samples.merge(&hist);
                 if let Some(m) = manifest.as_deref_mut() {
@@ -279,17 +304,15 @@ fn fig16_config_into(
         } else {
             // Hybrid model: real single-core scan time for this window plus
             // real N-thread flush-barrier overhead, scan divided by N.
-            let (lat1, hist) = measure_latency_hist(
+            let (lat1, hist) = measure(
                 SplitJoinConfig::new(1, window).with_batch_size(batch),
                 samples,
-                KEY_DOMAIN,
             );
             all_samples.merge(&hist);
             for &n in cores {
-                let (overhead, hist) = measure_latency_hist(
+                let (overhead, hist) = measure(
                     SplitJoinConfig::new(n, n).with_batch_size(batch),
                     samples,
-                    KEY_DOMAIN,
                 );
                 all_samples.merge(&hist);
                 let scan = lat1.p50.saturating_sub(overhead.p50);
@@ -354,6 +377,7 @@ mod tests {
             cores: Some(vec![2]),
             windows: Some(10..=11),
             samples: None,
+            trace: None,
         };
         let mut entries = Vec::new();
         let t = fig14d_into(&opts, None, Some(&mut entries));

@@ -218,6 +218,62 @@ impl SwJoinDoc {
     }
 }
 
+/// One point that got worse between two `BENCH_swjoin.json` documents,
+/// found by [`regressions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Human-readable point identity
+    /// (`figure/variant cores=N window=W batch=B metric`).
+    pub point: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The candidate value.
+    pub candidate: f64,
+    /// How much worse the candidate is, in percent (always positive).
+    pub worse_pct: f64,
+}
+
+/// Compares `candidate` against `baseline` point by point (matched on
+/// the upsert key) and returns `(points compared, regressions beyond
+/// tolerance)`. Direction follows the metric: lower `throughput_mtps`
+/// is a regression, higher `latency_p50_ns` is. Points present on only
+/// one side are ignored — sweeps legitimately cover different ranges.
+#[must_use]
+pub fn regressions(
+    baseline: &SwJoinDoc,
+    candidate: &SwJoinDoc,
+    tolerance_pct: f64,
+) -> (usize, Vec<Regression>) {
+    let mut compared = 0;
+    let mut out = Vec::new();
+    for base in &baseline.entries {
+        let Some(cand) = candidate.entries.iter().find(|e| e.key() == base.key()) else {
+            continue;
+        };
+        compared += 1;
+        let worse_pct = if base.value == 0.0 {
+            0.0
+        } else if base.metric == "latency_p50_ns" {
+            100.0 * (cand.value - base.value) / base.value
+        } else {
+            100.0 * (base.value - cand.value) / base.value
+        };
+        if worse_pct > tolerance_pct {
+            out.push(Regression {
+                point: format!(
+                    "{}/{} cores={} window={} batch={} {}",
+                    base.figure, base.variant, base.cores, base.window,
+                    base.batch_size, base.metric,
+                ),
+                baseline: base.value,
+                candidate: cand.value,
+                worse_pct,
+            });
+        }
+    }
+    (compared, out)
+}
+
 /// The default artifact path: `BENCH_swjoin.json` in the manifest
 /// directory (`target/obs/`, or `$ACCEL_OBS_DIR`).
 #[must_use]
@@ -256,6 +312,9 @@ pub fn record(entries: &[SwJoinEntry]) {
 /// * `--windows LO..HI` — inclusive window exponent range (`10..12`
 ///   means windows 2^10, 2^11, 2^12).
 /// * `--samples N` — latency samples per point (fig16).
+/// * `--trace [N]` — enable span tracing with 1-in-`N` provenance
+///   sampling (`64` when the period is omitted); harvested rings are
+///   written as a Perfetto trace next to the manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwRunOpts {
     /// Distribution batch size.
@@ -266,6 +325,8 @@ pub struct SwRunOpts {
     pub windows: Option<std::ops::RangeInclusive<u32>>,
     /// Latency samples per point, `None` for the default.
     pub samples: Option<usize>,
+    /// Span-tracing sample period, `None` when tracing is off.
+    pub trace: Option<u64>,
 }
 
 impl Default for SwRunOpts {
@@ -275,6 +336,7 @@ impl Default for SwRunOpts {
             cores: None,
             windows: None,
             samples: None,
+            trace: None,
         }
     }
 }
@@ -290,11 +352,22 @@ impl SwRunOpts {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--batch N] [--cores A,B,...] [--windows LO..HI] [--samples N]"
+                    "usage: [--batch N] [--cores A,B,...] [--windows LO..HI] [--samples N] \
+                     [--trace [N]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Applies the `--trace` flag: enables span tracing at the parsed
+    /// sampling period for the whole process. Returns whether tracing
+    /// was requested (the binary then exports the harvest at exit).
+    pub fn setup_trace(&self) -> bool {
+        if let Some(n) = self.trace {
+            obs::trace::enable(n);
+        }
+        self.trace.is_some()
     }
 
     /// Parses an argument list (`from_args` without the process exit).
@@ -368,6 +441,24 @@ impl SwRunOpts {
                     return Err("--samples must be positive".into());
                 }
                 opts.samples = Some(n);
+            } else if let Some(v) = arg.strip_prefix("--trace=") {
+                let n = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--trace takes a positive integer sample period, got `{v}`")
+                })?;
+                opts.trace = Some(n);
+            } else if arg == "--trace" {
+                // The period is optional: consume the next argument only
+                // when it is a bare number; default to sampling 1-in-64.
+                opts.trace = match args.get(i + 1) {
+                    Some(v) if !v.starts_with('-') => {
+                        let n = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("--trace takes a positive integer sample period, got `{v}`")
+                        })?;
+                        i += 1;
+                        Some(n)
+                    }
+                    _ => Some(64),
+                };
             } else {
                 return Err(format!("unknown flag `{arg}`"));
             }
@@ -453,6 +544,83 @@ mod tests {
         assert_eq!(opts.windows, Some(10..=12));
         let eq_style = SwRunOpts::parse(&["--samples=5".to_string()]).unwrap();
         assert_eq!(eq_style.samples, Some(5));
+    }
+
+    #[test]
+    fn opts_parse_trace_flag_forms() {
+        let with_period =
+            SwRunOpts::parse(&["--trace".to_string(), "16".to_string()]).unwrap();
+        assert_eq!(with_period.trace, Some(16));
+        let eq_style = SwRunOpts::parse(&["--trace=8".to_string()]).unwrap();
+        assert_eq!(eq_style.trace, Some(8));
+        // Bare `--trace` defaults to 64, including before another flag.
+        let bare = SwRunOpts::parse(&["--trace".to_string()]).unwrap();
+        assert_eq!(bare.trace, Some(64));
+        let before_flag = SwRunOpts::parse(&[
+            "--trace".to_string(),
+            "--batch".to_string(),
+            "32".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(before_flag.trace, Some(64));
+        assert_eq!(before_flag.batch_size, 32);
+        assert!(SwRunOpts::parse(&["--trace".to_string(), "0".to_string()]).is_err());
+        assert!(SwRunOpts::parse(&["--trace=x".to_string()]).is_err());
+    }
+
+    fn point(figure: &str, metric: &str, value: f64) -> SwJoinEntry {
+        SwJoinEntry {
+            figure: figure.into(),
+            variant: "splitjoin".into(),
+            cores: 4,
+            window: 1024,
+            batch_size: 256,
+            tuples: 1000,
+            metric: metric.into(),
+            value,
+            mode: "measured".into(),
+        }
+    }
+
+    #[test]
+    fn regressions_flag_slower_throughput_beyond_tolerance() {
+        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)] };
+        let ok = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.7)] };
+        let bad = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.5)] };
+        assert_eq!(regressions(&base, &ok, 20.0), (1, vec![]));
+        let (compared, found) = regressions(&base, &bad, 20.0);
+        assert_eq!(compared, 1);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].worse_pct, 25.0);
+        assert!(found[0].point.contains("fig14d/splitjoin"));
+    }
+
+    #[test]
+    fn regressions_treat_higher_latency_as_worse_and_faster_as_fine() {
+        let base = SwJoinDoc {
+            entries: vec![
+                point("fig16", "latency_p50_ns", 1000.0),
+                point("fig14d", "throughput_mtps", 1.0),
+            ],
+        };
+        // Latency doubled (worse); throughput doubled (better).
+        let cand = SwJoinDoc {
+            entries: vec![
+                point("fig16", "latency_p50_ns", 2000.0),
+                point("fig14d", "throughput_mtps", 2.0),
+            ],
+        };
+        let (compared, found) = regressions(&base, &cand, 20.0);
+        assert_eq!(compared, 2);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].point.contains("latency_p50_ns"));
+    }
+
+    #[test]
+    fn regressions_ignore_points_present_on_one_side_only() {
+        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)] };
+        let cand = SwJoinDoc { entries: vec![point("swflow", "throughput_mtps", 0.1)] };
+        assert_eq!(regressions(&base, &cand, 0.0), (0, vec![]));
     }
 
     #[test]

@@ -253,6 +253,11 @@ pub struct ParStats {
     pub coord_ns: u64,
     /// Per-worker accounting; index 0 is the driving thread.
     pub workers: Vec<WorkerStats>,
+    /// Per-worker wall-clock span rings (`sim.worker.N` tracks, one span
+    /// per shard phase chunk), collected only while
+    /// [`obs::trace::enabled`] — empty otherwise and under the
+    /// sequential fallback.
+    pub rings: Vec<obs::trace::TraceRing>,
 }
 
 impl ParStats {
@@ -315,6 +320,23 @@ const OP_EVAL: u64 = 1;
 const OP_COMMIT: u64 = 2;
 const OP_EXIT: u64 = 3;
 
+fn op_name(op: u64) -> &'static str {
+    match op {
+        OP_BEGIN => "begin",
+        OP_EVAL => "eval",
+        _ => "commit",
+    }
+}
+
+/// A worker's span ring, allocated only when tracing is on at pool
+/// start-up so the traced-off hot path carries a `None` check and
+/// nothing else.
+fn worker_ring(index: usize) -> Option<obs::trace::TraceRing> {
+    obs::trace::enabled().then(|| {
+        obs::trace::TraceRing::new(format!("sim.worker.{index}"), obs::trace::TimeDomain::Wall)
+    })
+}
+
 /// A raw pointer to a shard that may cross a thread boundary.
 ///
 /// Safety rests on the pool protocol, not the type: each pointer is
@@ -342,9 +364,9 @@ struct Gate {
     dead: AtomicUsize,
     /// Shard pointers for the current phase, re-staged every phase.
     jobs: Mutex<Vec<SendPtr>>,
-    /// Per-worker utilization, published by each worker at `OP_EXIT` and
-    /// collected by the coordinator after the pool joins.
-    stats: Mutex<Vec<(usize, WorkerStats)>>,
+    /// Per-worker utilization and span ring, published by each worker at
+    /// `OP_EXIT` and collected by the coordinator after the pool joins.
+    stats: Mutex<Vec<(usize, WorkerStats, Option<obs::trace::TraceRing>)>>,
     /// Pool size including the coordinator.
     threads: usize,
 }
@@ -459,6 +481,7 @@ fn worker_loop(gate: &Gate, index: usize) {
     let mut scratch: Vec<SendPtr> = Vec::new();
     let mut guard = WorkerPanicGuard { gate, in_phase: false };
     let mut stats = WorkerStats::default();
+    let mut ring = worker_ring(index);
     let mut cycle_had_work = false;
     loop {
         let waiting = stamp();
@@ -467,12 +490,17 @@ fn worker_loop(gate: &Gate, index: usize) {
         seen = gate.epoch.load(Ordering::Acquire);
         let op = gate.op.load(Ordering::Acquire);
         if op == OP_EXIT {
-            gate.stats.lock().expect("pool poisoned").push((index, stats));
+            gate.stats.lock().expect("pool poisoned").push((index, stats, ring));
             return;
         }
         guard.in_phase = true;
         let busy = stamp();
+        let span = ring.as_ref().map(|_| obs::trace::now_ns());
         let executed = gate.run_chunk(index, op, &mut scratch);
+        if let (Some(ring), Some(t0)) = (ring.as_mut(), span) {
+            let dur = obs::trace::now_ns().saturating_sub(t0);
+            ring.record_arg(op_name(op), t0, dur, executed as u64);
+        }
         stats.busy_ns += lap(busy);
         guard.in_phase = false;
         stats.shards_executed += executed as u64;
@@ -650,6 +678,7 @@ impl ParSimulator {
                 busy_ns: run_ns,
                 wait_ns: 0,
             }],
+            rings: Vec::new(),
         });
         stopped
     }
@@ -665,6 +694,7 @@ impl ParSimulator {
         let run_start = stamp();
         let gate = Gate::new(threads);
         let mut coord = WorkerStats::default();
+        let mut coord_ring = worker_ring(0);
         let mut coord_ns = 0u64;
         let stopped = std::thread::scope(|scope| {
             for index in 1..threads {
@@ -697,7 +727,13 @@ impl ParSimulator {
                 coord_ns += lap(t);
                 gate.release(OP_BEGIN);
                 let t = stamp();
-                executed += gate.run_chunk(0, OP_BEGIN, &mut scratch);
+                let span = coord_ring.as_ref().map(|_| obs::trace::now_ns());
+                let ran = gate.run_chunk(0, OP_BEGIN, &mut scratch);
+                if let (Some(ring), Some(t0)) = (coord_ring.as_mut(), span) {
+                    let dur = obs::trace::now_ns().saturating_sub(t0);
+                    ring.record_arg("begin", t0, dur, ran as u64);
+                }
+                executed += ran;
                 coord.busy_ns += lap(t);
                 let t = stamp();
                 gate.wait_workers();
@@ -709,7 +745,13 @@ impl ParSimulator {
                 coord_ns += lap(t);
                 gate.release(OP_EVAL);
                 let t = stamp();
-                executed += gate.run_chunk(0, OP_EVAL, &mut scratch);
+                let span = coord_ring.as_ref().map(|_| obs::trace::now_ns());
+                let ran = gate.run_chunk(0, OP_EVAL, &mut scratch);
+                if let (Some(ring), Some(t0)) = (coord_ring.as_mut(), span) {
+                    let dur = obs::trace::now_ns().saturating_sub(t0);
+                    ring.record_arg("eval", t0, dur, ran as u64);
+                }
+                executed += ran;
                 coord.busy_ns += lap(t);
                 let t = stamp();
                 gate.wait_workers();
@@ -722,7 +764,13 @@ impl ParSimulator {
                 coord_ns += lap(t);
                 gate.release(OP_COMMIT);
                 let t = stamp();
-                executed += gate.run_chunk(0, OP_COMMIT, &mut scratch);
+                let span = coord_ring.as_ref().map(|_| obs::trace::now_ns());
+                let ran = gate.run_chunk(0, OP_COMMIT, &mut scratch);
+                if let (Some(ring), Some(t0)) = (coord_ring.as_mut(), span) {
+                    let dur = obs::trace::now_ns().saturating_sub(t0);
+                    ring.record_arg("commit", t0, dur, ran as u64);
+                }
+                executed += ran;
                 coord.busy_ns += lap(t);
                 let t = stamp();
                 gate.wait_workers();
@@ -742,15 +790,20 @@ impl ParSimulator {
         // stats are complete; slot them in by index (worker 0 is us).
         let mut workers = vec![WorkerStats::default(); threads];
         workers[0] = coord;
-        for (index, stats) in gate.stats.into_inner().expect("pool poisoned") {
+        let mut indexed_rings: Vec<(usize, obs::trace::TraceRing)> =
+            coord_ring.into_iter().map(|r| (0, r)).collect();
+        for (index, stats, ring) in gate.stats.into_inner().expect("pool poisoned") {
             workers[index] = stats;
+            indexed_rings.extend(ring.map(|r| (index, r)));
         }
+        indexed_rings.sort_by_key(|(index, _)| *index);
         self.last_stats = Some(ParStats {
             threads,
             cycles: self.cycle - start_cycle,
             run_ns: lap(run_start),
             coord_ns,
             workers,
+            rings: indexed_rings.into_iter().map(|(_, r)| r).collect(),
         });
         stopped
     }
@@ -1028,6 +1081,31 @@ mod tests {
         for w in &stats.workers {
             assert_eq!(w.busy_cycles + w.wait_cycles, 3);
         }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn tracing_collects_worker_rings_without_changing_results() {
+        obs::trace::enable(1);
+        let mut bank = Bank::new(7);
+        let mut sim = ParSimulator::new(4);
+        sim.run(&mut bank, 50);
+        obs::trace::disable();
+        check_bank(&bank, 50);
+        let stats = sim.take_stats().unwrap();
+        assert_eq!(stats.rings.len(), 4);
+        assert_eq!(stats.rings[0].track(), "sim.worker.0");
+        for ring in &stats.rings {
+            assert!(!ring.is_empty(), "{} recorded no spans", ring.track());
+            assert_eq!(ring.domain(), obs::trace::TimeDomain::Wall);
+            for e in ring.events() {
+                assert!(matches!(e.name, "begin" | "eval" | "commit"));
+            }
+        }
+        // Tracing off: the next run collects no rings.
+        let mut bank = Bank::new(7);
+        sim.run(&mut bank, 10);
+        assert!(sim.take_stats().unwrap().rings.is_empty());
     }
 
     #[test]

@@ -164,6 +164,14 @@ pub struct BiFlowJoin {
     probe_cycles: obs::Counter,
     /// Probe cycles lost to result-FIFO backpressure.
     probe_stalls: obs::Counter,
+    /// Completed cycles (ticks in `begin_cycle`).
+    cycle: u64,
+    /// Cycle the in-flight wave entered its current core segment.
+    seg_start: u64,
+    /// Cycle-stamped wave-segment spans (`biflow.chain`, one span per
+    /// core the wave visits); `None` unless tracing was enabled at
+    /// build time.
+    ring: Option<obs::trace::TraceRing>,
 }
 
 impl BiFlowJoin {
@@ -197,7 +205,18 @@ impl BiFlowJoin {
             handshake_cycles: obs::Counter::new(),
             probe_cycles: obs::Counter::new(),
             probe_stalls: obs::Counter::new(),
+            cycle: 0,
+            seg_start: 0,
+            ring: obs::trace::enabled().then(|| {
+                obs::trace::TraceRing::new("biflow.chain", obs::trace::TimeDomain::Cycles)
+            }),
         }
+    }
+
+    /// Detaches the chain's wave-segment span ring. Empty unless tracing
+    /// was enabled when the design was built.
+    pub fn take_trace(&mut self) -> Vec<obs::trace::TraceRing> {
+        self.ring.take().into_iter().collect()
     }
 
     /// The design parameters.
@@ -382,6 +401,10 @@ impl BiFlowJoin {
         };
         match wave.phase {
             WavePhase::Handshake(k) => {
+                if k == HANDSHAKE_CYCLES {
+                    // First cycle at this core: the segment span opens.
+                    self.seg_start = self.cycle;
+                }
                 self.handshake_cycles.incr();
                 if k > 1 {
                     wave.phase = WavePhase::Handshake(k - 1);
@@ -422,6 +445,15 @@ impl BiFlowJoin {
                 self.wave = Some(wave);
             }
             WavePhase::Park => {
+                if let Some(ring) = self.ring.as_mut() {
+                    // The park cycle closes this core's segment.
+                    ring.record_arg(
+                        "wave",
+                        self.seg_start,
+                        self.cycle - self.seg_start + 1,
+                        wave.core as u64,
+                    );
+                }
                 // Storage cascade: the carried tuple parks at the deepest
                 // segment with room; in steady state (all full) it parks
                 // here and displaces this segment's oldest, which the wave
@@ -474,6 +506,7 @@ impl BiFlowJoin {
 
 impl Component for BiFlowJoin {
     fn begin_cycle(&mut self) {
+        self.cycle += 1;
         for c in &mut self.cores {
             c.results.begin_cycle();
             c.window_r.begin_cycle();
@@ -742,6 +775,39 @@ mod tests {
             got.len(),
             want.len()
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn tracing_records_wave_segments_without_changing_results() {
+        let inputs = workload(60, 6);
+        let params = DesignParams::new(FlowModel::BiFlow, 4, 16);
+        let mut plain = BiFlowJoin::new(&params);
+        plain.program(JoinOperator::equi(4));
+        let want = drive(&mut plain, &inputs, 2_000_000);
+        assert!(plain.take_trace().is_empty(), "tracing off: no ring");
+
+        obs::trace::enable(1);
+        let mut traced = BiFlowJoin::new(&params);
+        traced.program(JoinOperator::equi(4));
+        let got = drive(&mut traced, &inputs, 2_000_000);
+        obs::trace::disable();
+
+        assert_eq!(as_multiset(&got), as_multiset(&want));
+        let rings = traced.take_trace();
+        assert_eq!(rings.len(), 1);
+        let ring = &rings[0];
+        assert_eq!(ring.track(), "biflow.chain");
+        assert_eq!(ring.domain(), obs::trace::TimeDomain::Cycles);
+        let events = ring.events();
+        assert!(!events.is_empty());
+        // Every span is a wave segment at one of the 4 cores, at least
+        // handshake + park long.
+        for e in &events {
+            assert_eq!(e.name, "wave");
+            assert!(e.arg < 4, "core index in range");
+            assert!(e.dur > u64::from(HANDSHAKE_CYCLES));
+        }
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub trait StreamJoin: Sharded {
     /// designs' inherent `observe` methods for the emitted keys). Stall
     /// counters read 0 when the `obs` feature is off.
     fn observe(&self, reg: &mut obs::Registry, prefix: &str);
+    /// Detaches the design's cycle-stamped span rings (empty unless
+    /// tracing was enabled when the design was built; see `obs::trace`).
+    fn take_trace(&mut self) -> Vec<obs::trace::TraceRing> {
+        Vec::new()
+    }
+    /// Detaches the design's per-tuple provenance tracker, if the design
+    /// samples one (uni-flow does; bi-flow has no staged pipeline).
+    fn take_provenance(&mut self) -> Option<obs::provenance::ProvenanceTracker> {
+        None
+    }
 }
 
 impl StreamJoin for UniFlowJoin {
@@ -69,6 +79,12 @@ impl StreamJoin for UniFlowJoin {
     fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
         UniFlowJoin::observe(self, reg, prefix)
     }
+    fn take_trace(&mut self) -> Vec<obs::trace::TraceRing> {
+        UniFlowJoin::take_trace(self)
+    }
+    fn take_provenance(&mut self) -> Option<obs::provenance::ProvenanceTracker> {
+        UniFlowJoin::take_provenance(self)
+    }
 }
 
 impl StreamJoin for BiFlowJoin {
@@ -92,6 +108,9 @@ impl StreamJoin for BiFlowJoin {
     }
     fn observe(&self, reg: &mut obs::Registry, prefix: &str) {
         BiFlowJoin::observe(self, reg, prefix)
+    }
+    fn take_trace(&mut self) -> Vec<obs::trace::TraceRing> {
+        BiFlowJoin::take_trace(self)
     }
 }
 

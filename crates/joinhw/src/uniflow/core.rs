@@ -138,6 +138,21 @@ pub struct JoinCore {
     scan_idx: usize,
     scan_len: usize,
     stats: CoreStats,
+    /// Completed cycles (ticks in `begin_cycle`; engine-invariant).
+    cycle: u64,
+    /// Cycle the in-flight probe was accepted (span start).
+    probe_start: u64,
+    /// Matches emitted by the in-flight probe.
+    probe_matches: u64,
+    /// Provenance watch: the sampled tuple whose probe completion is
+    /// being awaited. Pure observation — never steers the FSMs.
+    watch: Option<(StreamTag, Tuple)>,
+    /// Latched `(completion_cycle, matches)` of the watched probe,
+    /// consumed by `take_watch_done`.
+    watch_done: Option<(u64, u64)>,
+    /// Cycle-stamped probe spans (`core.<position>`), recorded only when
+    /// tracing was enabled at construction time.
+    ring: Option<obs::trace::TraceRing>,
 }
 
 impl JoinCore {
@@ -171,6 +186,17 @@ impl JoinCore {
             scan_idx: 0,
             scan_len: 0,
             stats: CoreStats::default(),
+            cycle: 0,
+            probe_start: 0,
+            probe_matches: 0,
+            watch: None,
+            watch_done: None,
+            ring: obs::trace::enabled().then(|| {
+                obs::trace::TraceRing::new(
+                    format!("core.{position}"),
+                    obs::trace::TimeDomain::Cycles,
+                )
+            }),
         }
     }
 
@@ -259,8 +285,41 @@ impl JoinCore {
         }
     }
 
+    /// Starts watching `tuple`: `take_watch_done` latches the cycle its
+    /// probe completes and the match count it produced. One watch at a
+    /// time (a new watch replaces the old).
+    pub fn set_watch(&mut self, tag: StreamTag, tuple: Tuple) {
+        self.watch = Some((tag, tuple));
+        self.watch_done = None;
+    }
+
+    /// Consumes the `(completion_cycle, matches)` record of the watched
+    /// probe, if it finished since the last call.
+    pub fn take_watch_done(&mut self) -> Option<(u64, u64)> {
+        self.watch_done.take()
+    }
+
+    /// Detaches the core's probe-span ring (empty unless tracing was
+    /// enabled when the core was built).
+    pub fn take_ring(&mut self) -> Option<obs::trace::TraceRing> {
+        self.ring.take()
+    }
+
+    /// Records a completed probe into the span ring and resolves the
+    /// provenance watch if it targeted this tuple.
+    fn probe_finished(&mut self, tag: StreamTag, tuple: Tuple, matches: u64) {
+        if let Some(ring) = self.ring.as_mut() {
+            ring.record_arg("probe", self.probe_start, self.cycle - self.probe_start, matches);
+        }
+        if self.watch == Some((tag, tuple)) {
+            self.watch = None;
+            self.watch_done = Some((self.cycle, matches));
+        }
+    }
+
     /// Opens the clock cycle (FIFO snapshots, BRAM port accounting).
     pub fn begin_cycle(&mut self) {
+        self.cycle += 1;
         self.fetcher.begin_cycle();
         self.results.begin_cycle();
         self.window_r.begin_cycle();
@@ -357,11 +416,15 @@ impl JoinCore {
             // Processing Skip: nothing to compare against.
             self.processing = ProcessingState::JoinWait;
             self.stats.tuples_processed += 1;
+            self.probe_start = self.cycle;
+            self.probe_finished(tag, tuple, 0);
         } else {
             self.probe = Some((tag, tuple));
             self.scan_idx = 0;
             self.scan_len = opposite_occ;
             self.processing = ProcessingState::JoinProcessing;
+            self.probe_start = self.cycle;
+            self.probe_matches = 0;
         }
     }
 
@@ -405,12 +468,14 @@ impl JoinCore {
                 .push(MatchPair { r, s })
                 .expect("checked can_push");
             self.stats.matches += 1;
+            self.probe_matches += 1;
         }
         self.scan_idx += 1;
         if self.scan_idx == self.scan_len {
             self.processing = ProcessingState::JoinWait;
             self.probe = None;
             self.stats.tuples_processed += 1;
+            self.probe_finished(tag, probe, self.probe_matches);
         }
     }
 }

@@ -55,6 +55,33 @@ pub struct UniFlowJoin {
     collected: Vec<MatchPair>,
     accepted_tuples: u64,
     pending_program: Vec<Frame>,
+    /// Completed cycles (ticks in `coord_begin_cycle`; identical under
+    /// the sequential and parallel engines).
+    cycle: u64,
+    /// Cycle-stamped stage spans of the sampled tuples
+    /// (`uniflow.coord`); `None` unless tracing was enabled at build
+    /// time.
+    coord_ring: Option<obs::trace::TraceRing>,
+    /// Per-tuple provenance sampling state; `None` unless tracing was
+    /// enabled at build time.
+    prov: Option<ProvState>,
+}
+
+/// Bookkeeping for the one provenance-sampled tuple in flight: the
+/// tracker holds its stage stamps, the counters track how much of the
+/// pipeline it still has to clear.
+#[derive(Debug, Clone)]
+struct ProvState {
+    tracker: obs::provenance::ProvenanceTracker,
+    /// Cores whose probe of the sampled tuple has not completed yet.
+    probes_pending: usize,
+    /// Matches produced by the completed probes (= sink deliveries the
+    /// gather stage owes us).
+    results_expected: u64,
+    /// Watched sink deliveries observed so far. Kept separate from
+    /// `results_expected` because a match can reach the sink *before*
+    /// its (still-scanning) probe reports completion.
+    results_seen: u64,
 }
 
 impl UniFlowJoin {
@@ -84,6 +111,16 @@ impl UniFlowJoin {
             collected: Vec::new(),
             accepted_tuples: 0,
             pending_program: Vec::new(),
+            cycle: 0,
+            coord_ring: obs::trace::enabled().then(|| {
+                obs::trace::TraceRing::new("uniflow.coord", obs::trace::TimeDomain::Cycles)
+            }),
+            prov: obs::trace::enabled().then(|| ProvState {
+                tracker: obs::provenance::ProvenanceTracker::new(obs::trace::sample_every()),
+                probes_pending: 0,
+                results_expected: 0,
+                results_seen: 0,
+            }),
         }
     }
 
@@ -123,8 +160,35 @@ impl UniFlowJoin {
         let ok = self.dist.offer(Frame::tuple(tag, tuple));
         if ok {
             self.accepted_tuples += 1;
+            if let Some(p) = self.prov.as_mut() {
+                if p.tracker.offer(tuple.raw(), self.cycle) {
+                    // This tuple is the sample: arm the watch points along
+                    // its path (distribution fan-out, every core's probe,
+                    // sink arrival of its result pairs).
+                    self.dist.set_watch(Frame::tuple(tag, tuple));
+                    for core in &mut self.cores {
+                        core.set_watch(tag, tuple);
+                    }
+                    self.gather.set_watch(tuple);
+                    p.probes_pending = self.cores.len();
+                    p.results_expected = 0;
+                    p.results_seen = 0;
+                }
+            }
         }
         ok
+    }
+
+    /// Stamps `stage` for the in-flight sample at the current cycle (if
+    /// the sample is due for it) and mirrors the stage as a span on the
+    /// coordinator ring.
+    fn stamp_stage(&mut self, stage: obs::provenance::Stage, name: &'static str) {
+        let Some(p) = self.prov.as_mut() else { return };
+        if let Some((from, to)) = p.tracker.stamp(stage, self.cycle) {
+            if let Some(ring) = self.coord_ring.as_mut() {
+                ring.record(name, from, to - from);
+            }
+        }
     }
 
     /// Number of data tuples accepted by the input port so far.
@@ -134,7 +198,29 @@ impl UniFlowJoin {
 
     /// Removes and returns all results collected so far.
     pub fn drain_results(&mut self) -> Vec<MatchPair> {
+        // The sample's results leave the design when the harness drains
+        // them — that is its Emit stamp (a no-op until Gather is done).
+        self.stamp_stage(obs::provenance::Stage::Emit, "emit");
         std::mem::take(&mut self.collected)
+    }
+
+    /// Detaches every span ring in the design — the coordinator's
+    /// stage-latency ring plus one probe ring per core. Empty unless
+    /// tracing was enabled when the design was built.
+    pub fn take_trace(&mut self) -> Vec<obs::trace::TraceRing> {
+        let mut rings: Vec<_> = self.coord_ring.take().into_iter().collect();
+        rings.extend(self.cores.iter_mut().filter_map(JoinCore::take_ring));
+        rings
+    }
+
+    /// Detaches the per-tuple provenance tracker (abandoning any
+    /// incomplete sample). `None` unless tracing was enabled when the
+    /// design was built.
+    pub fn take_provenance(&mut self) -> Option<obs::provenance::ProvenanceTracker> {
+        self.prov.take().map(|mut p| {
+            p.tracker.abandon();
+            p.tracker
+        })
     }
 
     /// Results collected and not yet drained.
@@ -236,6 +322,7 @@ impl Component for UniFlowJoin {
 /// coordinator phases around the core loops).
 impl Sharded for UniFlowJoin {
     fn coord_begin_cycle(&mut self) {
+        self.cycle += 1;
         self.dist.begin_cycle();
         self.gather.begin_cycle();
     }
@@ -247,10 +334,39 @@ impl Sharded for UniFlowJoin {
             self.dist.offer(frame);
         }
         self.dist.eval(&mut self.cores);
+        if self.prov.is_some() && self.dist.take_watch_delivered() {
+            self.stamp_stage(obs::provenance::Stage::Distribute, "distribute");
+        }
     }
 
     fn coord_eval_post(&mut self) {
         self.gather.eval(&mut self.cores, &mut self.collected);
+        if self.prov.is_some() {
+            // Probe completions first (they raise the sink-delivery debt),
+            // then this cycle's watched sink arrivals.
+            let mut done = 0usize;
+            let mut matches = 0u64;
+            for core in &mut self.cores {
+                if let Some((_, m)) = core.take_watch_done() {
+                    done += 1;
+                    matches += m;
+                }
+            }
+            let hits = self.gather.take_watch_delivered();
+            let p = self.prov.as_mut().expect("checked above");
+            p.probes_pending = p.probes_pending.saturating_sub(done);
+            p.results_expected += matches;
+            p.results_seen += hits;
+            let probes_done = p.probes_pending == 0;
+            let gathered = probes_done && p.results_seen >= p.results_expected;
+            if probes_done {
+                self.stamp_stage(obs::provenance::Stage::Probe, "probe");
+            }
+            if gathered {
+                self.stamp_stage(obs::provenance::Stage::Gather, "gather");
+                self.gather.clear_watch();
+            }
+        }
     }
 
     fn coord_commit(&mut self) {
@@ -607,6 +723,78 @@ mod tests {
         assert_eq!(reg.get("uni.gather.delivered"), reg.get("uni.matches"));
         // At saturation the cores back-pressure the broadcast.
         assert!(reg.get("uni.dist.head_stalls").unwrap() > 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn provenance_sampling_breaks_down_latency_without_changing_results() {
+        let inputs = workload(200, 8);
+        let params = DesignParams::new(FlowModel::UniFlow, 4, 32);
+        let mut plain = UniFlowJoin::new(&params);
+        plain.program(JoinOperator::equi(4));
+        let want = drive(&mut plain, &inputs, 200_000);
+        assert!(plain.take_trace().is_empty(), "tracing off: no rings");
+        assert!(plain.take_provenance().is_none(), "tracing off: no tracker");
+
+        obs::trace::enable(16);
+        let mut traced = UniFlowJoin::new(&params);
+        traced.program(JoinOperator::equi(4));
+        // Drain every cycle (like the latency harness): Emit is stamped
+        // when the harness drains, so per-cycle draining lets samples
+        // complete throughout the run instead of once at the end.
+        let mut sim = Simulator::new();
+        let mut got = Vec::new();
+        let mut idx = 0;
+        while idx < inputs.len() {
+            let (tag, t) = inputs[idx];
+            if traced.offer(tag, t) {
+                idx += 1;
+            }
+            sim.step(&mut traced);
+            got.extend(traced.drain_results());
+            assert!(sim.cycle() < 200_000, "inputs not accepted in time");
+        }
+        while !traced.quiescent() {
+            sim.step(&mut traced);
+            got.extend(traced.drain_results());
+            assert!(sim.cycle() < 200_000, "design did not quiesce");
+        }
+        got.extend(traced.drain_results());
+        obs::trace::disable();
+
+        // Behavior-neutral: identical results with tracing on.
+        assert_eq!(as_multiset(&got), as_multiset(&want));
+
+        let tracker = traced.take_provenance().expect("tracing was on");
+        assert!(tracker.completed() >= 10, "200 tuples / 1-in-16 sampling");
+        // The headline invariant: stage deltas sum exactly to the
+        // end-to-end total.
+        assert_eq!(
+            tracker.stage_sums().iter().sum::<u64>(),
+            tracker.total_sum(),
+            "stage breakdown must account for the full latency"
+        );
+        assert!(tracker.total_sum() > 0, "latency cannot be zero cycles");
+
+        let rings = traced.take_trace();
+        let coord = rings
+            .iter()
+            .find(|r| r.track() == "uniflow.coord")
+            .expect("coordinator ring present");
+        assert!(!coord.is_empty(), "stage spans recorded");
+        let stage_names: Vec<&str> = coord.events().iter().map(|e| e.name).collect();
+        for name in ["distribute", "probe", "gather", "emit"] {
+            assert!(stage_names.contains(&name), "missing {name} span");
+        }
+        for i in 0..4 {
+            let track = format!("core.{i}");
+            let core = rings
+                .iter()
+                .find(|r| r.track() == track)
+                .unwrap_or_else(|| panic!("missing ring {track}"));
+            assert!(!core.is_empty(), "{track} recorded probe spans");
+            assert!(core.events().iter().all(|e| e.name == "probe"));
+        }
     }
 
     #[test]

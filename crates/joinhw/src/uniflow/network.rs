@@ -19,7 +19,7 @@
 //! per-stage fan-out's clock cost.
 
 use hwsim::Fifo;
-use streamcore::{Frame, MatchPair};
+use streamcore::{Frame, MatchPair, Tuple};
 
 use super::core::JoinCore;
 use crate::NetworkKind;
@@ -78,6 +78,14 @@ pub struct DistributionNetwork {
     head_stalls: obs::Counter,
     /// Frames pushed into core fetchers (counts each per-core copy).
     delivered: obs::Counter,
+    /// Provenance watch: the sampled frame currently traversing the
+    /// network, if any. Pure observation — never steers a frame.
+    watch: Option<Frame>,
+    /// Fetcher deliveries of the watched frame so far (a frame is fully
+    /// distributed once every core received its copy).
+    watch_count: usize,
+    /// Latched completion flag, consumed by `take_watch_delivered`.
+    watch_done: bool,
 }
 
 impl DistributionNetwork {
@@ -101,6 +109,35 @@ impl DistributionNetwork {
             offer_rejected: obs::Counter::new(),
             head_stalls: obs::Counter::new(),
             delivered: obs::Counter::new(),
+            watch: None,
+            watch_count: 0,
+            watch_done: false,
+        }
+    }
+
+    /// Starts watching `frame`: `take_watch_delivered` latches once every
+    /// core has received its copy. One watch at a time (a new watch
+    /// replaces the old).
+    pub fn set_watch(&mut self, frame: Frame) {
+        self.watch = Some(frame);
+        self.watch_count = 0;
+        self.watch_done = false;
+    }
+
+    /// Consumes the watch-completion flag (set the cycle the watched
+    /// frame's last per-core copy reached a fetcher).
+    pub fn take_watch_delivered(&mut self) -> bool {
+        std::mem::take(&mut self.watch_done)
+    }
+
+    /// Per-copy delivery accounting for the provenance watch.
+    fn note_delivery(&mut self, frame: Frame) {
+        if self.watch == Some(frame) {
+            self.watch_count += 1;
+            if self.watch_count >= self.num_cores {
+                self.watch = None;
+                self.watch_done = true;
+            }
         }
     }
 
@@ -169,6 +206,7 @@ impl DistributionNetwork {
                         for core in cores.iter_mut() {
                             core.fetcher().push(frame).expect("checked fetcher_ready");
                             self.delivered.incr();
+                            self.note_delivery(frame);
                         }
                     } else {
                         self.head_stalls.incr();
@@ -183,6 +221,7 @@ impl DistributionNetwork {
                             let f = self.input.pop().expect("frame available");
                             cores[0].fetcher().push(f).expect("checked ready");
                             self.delivered.incr();
+                            self.note_delivery(f);
                         } else {
                             self.head_stalls.incr();
                         }
@@ -226,6 +265,7 @@ impl DistributionNetwork {
                                 .push(frame)
                                 .expect("checked ready");
                             self.delivered.incr();
+                            self.note_delivery(frame);
                         }
                     }
                 }
@@ -261,6 +301,12 @@ pub struct GatheringNetwork {
     push_stalls: obs::Counter,
     /// Results delivered to the system output sink.
     delivered: obs::Counter,
+    /// Provenance watch: the sampled probe tuple whose result pairs are
+    /// being counted at the sink. Pure observation.
+    watch: Option<Tuple>,
+    /// Sink deliveries involving the watched tuple since the last
+    /// `take_watch_delivered` call.
+    watch_hits: u64,
 }
 
 impl GatheringNetwork {
@@ -283,6 +329,36 @@ impl GatheringNetwork {
             fanout,
             push_stalls: obs::Counter::new(),
             delivered: obs::Counter::new(),
+            watch: None,
+            watch_hits: 0,
+        }
+    }
+
+    /// Starts watching `probe`: sink deliveries whose pair involves this
+    /// tuple are counted until `clear_watch`.
+    pub fn set_watch(&mut self, probe: Tuple) {
+        self.watch = Some(probe);
+        self.watch_hits = 0;
+    }
+
+    /// Stops counting sink deliveries for the current watch.
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+        self.watch_hits = 0;
+    }
+
+    /// Consumes the count of watched-tuple sink deliveries since the last
+    /// call (intended to be polled once per cycle).
+    pub fn take_watch_delivered(&mut self) -> u64 {
+        std::mem::take(&mut self.watch_hits)
+    }
+
+    /// Watch accounting for one sink delivery.
+    fn note_sink(&mut self, m: &MatchPair) {
+        if let Some(w) = self.watch {
+            if m.r == w || m.s == w {
+                self.watch_hits += 1;
+            }
         }
     }
 
@@ -315,6 +391,7 @@ impl GatheringNetwork {
                 // is why lightweight collection latency grows with the
                 // core count.
                 if let Some(m) = cores[self.pointer].results().pop() {
+                    self.note_sink(&m);
                     sink.push(m);
                     self.delivered.incr();
                 }
@@ -323,6 +400,7 @@ impl GatheringNetwork {
             NetworkKind::Scalable => {
                 if self.num_cores == 1 {
                     if let Some(m) = cores[0].results().pop() {
+                        self.note_sink(&m);
                         sink.push(m);
                         self.delivered.incr();
                     }
@@ -330,6 +408,7 @@ impl GatheringNetwork {
                 }
                 // Root GNode drains to the sink, one result per cycle.
                 if let Some(m) = self.gnodes[0].pop() {
+                    self.note_sink(&m);
                     sink.push(m);
                     self.delivered.incr();
                 }

@@ -171,7 +171,7 @@ pub struct HandshakeJoin {
     entry_r: Sender<ChainMsg>,
     /// Entry of the leftward (S) lane: core N-1.
     entry_s: Sender<ChainMsg>,
-    workers: Vec<JoinHandle<u64>>,
+    workers: Vec<JoinHandle<(u64, Option<obs::trace::TraceRing>)>>,
     collector: Option<JoinHandle<Vec<MatchPair>>>,
     batch_size: usize,
     /// Caller-side wave buffers, one per lane; drained on flush/shutdown.
@@ -190,6 +190,10 @@ pub struct HandshakeOutcome {
     /// Sizes of the wave groups injected at the chain entries (tuples per
     /// message): `total()` is the number of entry messages.
     pub batch_sizes: obs::Histogram,
+    /// Wall-clock span rings, one per core (`hs.core.<position>`): receive
+    /// waits and per-group wave processing. Empty unless tracing was
+    /// enabled when the chain was spawned (see `obs::trace`).
+    pub trace: Vec<obs::trace::TraceRing>,
 }
 
 impl HandshakeJoin {
@@ -338,8 +342,11 @@ impl HandshakeJoin {
         drop(self.entry_r);
         drop(self.entry_s);
         let mut counted = 0u64;
+        let mut trace = Vec::new();
         for w in self.workers {
-            counted += w.join().expect("core thread panicked");
+            let (matches, ring) = w.join().expect("core thread panicked");
+            counted += matches;
+            trace.extend(ring);
         }
         let (results, result_count) = match self.collector {
             Some(c) => {
@@ -353,6 +360,7 @@ impl HandshakeJoin {
             results,
             result_count,
             batch_sizes: self.batch_hist.into_inner(),
+            trace,
         }
     }
 }
@@ -366,7 +374,7 @@ fn core_loop(
     r_next: Option<Sender<ChainMsg>>,
     s_next: Option<Sender<ChainMsg>>,
     results: Option<&Sender<Vec<MatchPair>>>,
-) -> u64 {
+) -> (u64, Option<obs::trace::TraceRing>) {
     let sub = config.sub_window();
     let n = config.num_cores;
     let mut window_r: SlidingWindow<Tuple> = SlidingWindow::new(sub);
@@ -382,6 +390,13 @@ fn core_loop(
     let mut s_open = true;
     let mut matches = 0u64;
     let mut out: Vec<MatchPair> = Vec::new();
+    let mut ring = obs::trace::enabled().then(|| {
+        obs::trace::TraceRing::new(
+            format!("hs.core.{position}"),
+            obs::trace::TimeDomain::Wall,
+        )
+    });
+    let mut idle_since = obs::trace::now_ns();
 
     while r_open || s_open {
         // Alternate lanes fairly; block on select when both lanes open.
@@ -403,10 +418,16 @@ fn core_loop(
             }
             continue;
         };
+        if let Some(r) = ring.as_mut() {
+            let t = obs::trace::now_ns();
+            r.record("recv", idle_since, t.saturating_sub(idle_since));
+        }
         match msg {
             ChainMsg::Waves { tag, waves } => {
                 // Process the group's waves in order, collecting the
                 // forwarded group for one downstream send.
+                let t0 = obs::trace::now_ns();
+                let group = waves.len() as u64;
                 let mut onward = Vec::with_capacity(waves.len());
                 for wave in waves {
                     let Wave { probe, store } = wave;
@@ -457,6 +478,10 @@ fn core_loop(
                     next.send(ChainMsg::Waves { tag, waves: onward })
                         .expect("chain alive");
                 }
+                if let Some(r) = ring.as_mut() {
+                    let t1 = obs::trace::now_ns();
+                    r.record_arg("wave", t0, t1.saturating_sub(t0), group);
+                }
             }
             ChainMsg::Flush(ack) => {
                 if let Some(tx) = results {
@@ -484,13 +509,14 @@ fn core_loop(
                 }
             }
         }
+        idle_since = obs::trace::now_ns();
     }
     if let Some(tx) = results {
         if !out.is_empty() {
             tx.send(out).expect("collector alive");
         }
     }
-    matches
+    (matches, ring)
 }
 
 #[cfg(test)]
@@ -692,6 +718,50 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_size_is_rejected() {
         let _ = HandshakeConfig::new(2, 8).with_batch_size(0);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn tracing_records_core_spans_without_changing_results() {
+        let inputs: Vec<_> = WorkloadSpec::new(120, KeyDist::Uniform { domain: 6 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 32, JoinPredicate::Equi));
+
+        obs::trace::enable(1);
+        let join = HandshakeJoin::spawn(HandshakeConfig::new(4, 32));
+        for &(tag, t) in &inputs {
+            join.process(tag, t);
+            join.flush();
+        }
+        let outcome = join.shutdown();
+        obs::trace::disable();
+
+        // Serialized feeding stays exact with tracing on.
+        assert_eq!(as_multiset(&outcome.results), want);
+
+        assert_eq!(outcome.trace.len(), 4);
+        let mut tracks: Vec<_> =
+            outcome.trace.iter().map(|r| r.track().to_string()).collect();
+        tracks.sort();
+        assert_eq!(tracks, ["hs.core.0", "hs.core.1", "hs.core.2", "hs.core.3"]);
+        for ring in &outcome.trace {
+            assert_eq!(ring.domain(), obs::trace::TimeDomain::Wall);
+            let events = ring.events();
+            assert!(!events.is_empty(), "core ring {} is empty", ring.track());
+            assert!(
+                events.iter().any(|e| e.name == "wave"),
+                "no wave spans on {}",
+                ring.track()
+            );
+            for e in &events {
+                assert!(
+                    ["recv", "wave"].contains(&e.name),
+                    "unexpected span name {}",
+                    e.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,18 @@ pub fn measure_handshake_throughput(
     tuples: u64,
     key_domain: u32,
 ) -> Throughput {
+    measure_handshake_throughput_outcome(config, tuples, key_domain).0
+}
+
+/// [`measure_handshake_throughput`] that also returns the shutdown
+/// [`HandshakeOutcome`](crate::handshake::HandshakeOutcome), so bench
+/// manifests can archive the batch-size histogram and any harvested
+/// span rings alongside the rate.
+pub fn measure_handshake_throughput_outcome(
+    config: HandshakeConfig,
+    tuples: u64,
+    key_domain: u32,
+) -> (Throughput, crate::handshake::HandshakeOutcome) {
     let window = config.window_size;
     let join = HandshakeJoin::spawn(HandshakeConfig {
         collect_results: false,
@@ -120,8 +132,8 @@ pub fn measure_handshake_throughput(
     let start = Instant::now();
     feed(&join, tuples);
     let elapsed = start.elapsed();
-    join.shutdown();
-    Throughput::over_duration(tuples, elapsed)
+    let outcome = join.shutdown();
+    (Throughput::over_duration(tuples, elapsed), outcome)
 }
 
 /// Measures per-tuple latency of the software SplitJoin: with pre-filled
@@ -148,6 +160,18 @@ pub fn measure_latency_hist(
     samples: usize,
     key_domain: u32,
 ) -> (LatencySummary, obs::Histogram) {
+    let (s, h, _) = measure_latency_outcome(config, samples, key_domain);
+    (s, h)
+}
+
+/// [`measure_latency_hist`] that also returns the shutdown
+/// [`JoinOutcome`], so bench manifests can archive per-worker counters
+/// and any harvested span rings alongside the latency distribution.
+pub fn measure_latency_outcome(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> (LatencySummary, obs::Histogram, JoinOutcome) {
     let window = config.window_size;
     let join = SplitJoin::spawn(config.counting_only());
     prefill_steady_state(&join, window);
@@ -160,8 +184,12 @@ pub fn measure_latency_hist(
         join.flush();
         recorder.record(start.elapsed());
     }
-    join.shutdown();
-    (recorder.summary().expect("samples recorded"), recorder.histogram())
+    let outcome = join.shutdown();
+    (
+        recorder.summary().expect("samples recorded"),
+        recorder.histogram(),
+        outcome,
+    )
 }
 
 #[cfg(test)]

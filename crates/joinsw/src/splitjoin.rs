@@ -231,6 +231,11 @@ pub struct JoinOutcome {
     /// by the distributor: `total()` is the number of batch messages
     /// sent per worker.
     pub batch_sizes: obs::Histogram,
+    /// Wall-clock span rings, one per worker (`sw.worker.<position>`):
+    /// receive waits and per-batch probe/prefill/flush work. Empty
+    /// unless tracing was enabled when the workers were spawned (see
+    /// `obs::trace`).
+    pub trace: Vec<obs::trace::TraceRing>,
 }
 
 impl JoinOutcome {
@@ -258,7 +263,7 @@ impl JoinOutcome {
 #[derive(Debug)]
 pub struct SplitJoin {
     senders: Vec<Sender<Msg>>,
-    workers: Vec<JoinHandle<WorkerStats>>,
+    workers: Vec<JoinHandle<(WorkerStats, Option<obs::trace::TraceRing>)>>,
     collector: Option<JoinHandle<Vec<MatchPair>>>,
     batch_size: usize,
     /// Caller-side distribution buffer; drained on flush/shutdown so a
@@ -395,8 +400,11 @@ impl SplitJoin {
         }
         drop(self.senders);
         let mut worker_stats = Vec::with_capacity(self.workers.len());
+        let mut trace = Vec::new();
         for w in self.workers {
-            worker_stats.push(w.join().expect("worker thread panicked"));
+            let (stats, ring) = w.join().expect("worker thread panicked");
+            worker_stats.push(stats);
+            trace.extend(ring);
         }
         let (results, result_count) = match self.collector {
             Some(c) => {
@@ -412,6 +420,7 @@ impl SplitJoin {
             result_count,
             worker_stats,
             batch_sizes: self.batch_hist.into_inner(),
+            trace,
         }
     }
 }
@@ -554,7 +563,7 @@ fn worker_loop(
     config: &SplitJoinConfig,
     rx: &Receiver<Msg>,
     results: Option<&Sender<Vec<MatchPair>>>,
-) -> WorkerStats {
+) -> (WorkerStats, Option<obs::trace::TraceRing>) {
     let sub = config.sub_window();
     let mut w = WorkerState {
         position: position as u64,
@@ -570,28 +579,56 @@ fn worker_loop(
         results,
     };
 
+    let mut ring = obs::trace::enabled().then(|| {
+        obs::trace::TraceRing::new(
+            format!("sw.worker.{position}"),
+            obs::trace::TimeDomain::Wall,
+        )
+    });
+    let mut idle_since = obs::trace::now_ns();
+
     for msg in rx.iter() {
+        if let Some(r) = ring.as_mut() {
+            let t = obs::trace::now_ns();
+            r.record("recv", idle_since, t.saturating_sub(idle_since));
+        }
         match msg {
             Msg::Batch(batch) => {
+                let t0 = obs::trace::now_ns();
                 for &(tag, tuple) in batch.iter() {
                     w.handle_tuple(tag, tuple);
+                }
+                if let Some(r) = ring.as_mut() {
+                    let t1 = obs::trace::now_ns();
+                    r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
                 }
             }
             Msg::Prefill(tag, tuples) => {
                 // Same round-robin discipline, no probing.
+                let t0 = obs::trace::now_ns();
                 for &t in tuples.iter() {
                     w.store(tag, t, false);
                 }
+                if let Some(r) = ring.as_mut() {
+                    let t1 = obs::trace::now_ns();
+                    r.record_arg("insert", t0, t1.saturating_sub(t0), tuples.len() as u64);
+                }
             }
             Msg::Flush(ack) => {
+                let t0 = obs::trace::now_ns();
                 w.flush_results();
+                if let Some(r) = ring.as_mut() {
+                    let t1 = obs::trace::now_ns();
+                    r.record("send", t0, t1.saturating_sub(t0));
+                }
                 let _ = ack.send(());
             }
             Msg::Stop => break,
         }
+        idle_since = obs::trace::now_ns();
     }
     w.flush_results();
-    w.stats
+    (w.stats, ring)
 }
 
 #[cfg(test)]
@@ -872,5 +909,61 @@ mod tests {
         let reg = outcome.registry();
         assert_eq!(reg.get("splitjoin.batches"), Some(3));
         assert!(reg.get("splitjoin.worker0.probes").is_some());
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn tracing_records_worker_spans_without_changing_results() {
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let prefill: Vec<Tuple> = (0..32u32).map(|i| Tuple::new(i, i)).collect();
+        let config = || SplitJoinConfig::new(3, 64).with_batch_size(32);
+
+        let run = |traced: bool| {
+            if traced {
+                obs::trace::enable(1);
+            }
+            let join = SplitJoin::spawn(config());
+            join.prefill(StreamTag::S, &prefill);
+            for &(tag, t) in &inputs {
+                join.process(tag, t);
+            }
+            join.flush();
+            let outcome = join.shutdown();
+            if traced {
+                obs::trace::disable();
+            }
+            outcome
+        };
+
+        let plain = run(false);
+        assert!(plain.trace.is_empty());
+        let traced = run(true);
+
+        assert_eq!(as_multiset(&plain.results), as_multiset(&traced.results));
+        assert_eq!(plain.worker_stats, traced.worker_stats);
+
+        assert_eq!(traced.trace.len(), 3);
+        let mut tracks: Vec<_> = traced.trace.iter().map(|r| r.track().to_string()).collect();
+        tracks.sort();
+        assert_eq!(tracks, ["sw.worker.0", "sw.worker.1", "sw.worker.2"]);
+        for ring in &traced.trace {
+            assert_eq!(ring.domain(), obs::trace::TimeDomain::Wall);
+            assert!(!ring.is_empty(), "worker ring {} is empty", ring.track());
+            let names: HashMap<&str, u32> =
+                ring.events().iter().fold(HashMap::new(), |mut m, e| {
+                    *m.entry(e.name).or_insert(0) += 1;
+                    m
+                });
+            for name in names.keys() {
+                assert!(
+                    ["recv", "probe", "insert", "send"].contains(name),
+                    "unexpected span name {name}"
+                );
+            }
+            assert!(names.contains_key("probe"), "no probe spans on {}", ring.track());
+            assert!(names.contains_key("insert"), "no insert spans on {}", ring.track());
+        }
     }
 }

@@ -23,6 +23,14 @@
 //!    parser underneath (the workspace builds offline; there is no
 //!    serde).
 //!
+//! Two further modules answer *when* and *where* instead of *how much*:
+//! [`trace`] records bounded per-worker span rings (cycle-stamped in the
+//! simulation, wall-clock in the software data path) and exports them as
+//! Chrome trace-event JSON for <https://ui.perfetto.dev>; [`provenance`]
+//! samples 1-in-N tuples at ingest and attributes their end-to-end
+//! latency to pipeline stages (ingest → distribute → probe → gather →
+//! emit) with exact stage-sum accounting.
+//!
 //! Instrumentation must never change behaviour: counters carry no
 //! control-flow, and the simulation's golden cycle-count pins are tested
 //! with the feature both on and off.
@@ -61,6 +69,8 @@ mod cell;
 mod hist;
 pub mod json;
 mod manifest;
+pub mod provenance;
+pub mod trace;
 
 pub use cell::{Counter, Gauge, Registry};
 pub use hist::Histogram;

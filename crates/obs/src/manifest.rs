@@ -51,13 +51,28 @@ pub struct RunManifest {
 impl RunManifest {
     /// Creates a manifest for run `name` with the current git revision
     /// (see [`git_rev`]) and a thread count of 1.
+    ///
+    /// The config block is pre-seeded so artifacts are self-describing:
+    /// `obs_feature` records whether instrumentation was compiled in,
+    /// and each of the workspace's behaviour-shaping env overrides
+    /// (`ACCEL_SW_BATCH`, `ACCEL_THREADS`, `ACCEL_OBS_DIR`) is recorded
+    /// as `env.<NAME>` when set.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
+        let mut config = vec![(
+            "obs_feature".to_string(),
+            if cfg!(feature = "enabled") { "on" } else { "off" }.to_string(),
+        )];
+        for key in ["ACCEL_SW_BATCH", "ACCEL_THREADS", "ACCEL_OBS_DIR"] {
+            if let Ok(value) = std::env::var(key) {
+                config.push((format!("env.{key}"), value));
+            }
+        }
         Self {
             name: name.into(),
             git_rev: git_rev().to_string(),
             threads: 1,
-            config: Vec::new(),
+            config,
             counters: Registry::new(),
             histograms: Vec::new(),
         }
@@ -84,6 +99,12 @@ impl RunManifest {
     /// network variant, …). Order is preserved.
     pub fn config(&mut self, key: impl Into<String>, value: impl ToString) {
         self.config.push((key.into(), value.to_string()));
+    }
+
+    /// The recorded configuration pairs, in insertion order.
+    #[must_use]
+    pub fn config_entries(&self) -> &[(String, String)] {
+        &self.config
     }
 
     /// Records one named counter value.
@@ -373,6 +394,18 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(RunManifest::from_json(&text).unwrap(), sample());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn new_manifests_record_the_feature_state() {
+        let m = RunManifest::new("x");
+        let expected = if cfg!(feature = "enabled") { "on" } else { "off" };
+        assert_eq!(
+            m.config_entries().first(),
+            Some(&("obs_feature".to_string(), expected.to_string()))
+        );
+        // Every pre-seeded entry survives the JSON round trip.
+        assert_eq!(RunManifest::from_json(&m.to_json()).unwrap(), m);
     }
 
     #[test]

@@ -55,6 +55,42 @@ fn fig14b_biflow_throughput_cycles_match_golden() {
 }
 
 #[test]
+fn golden_cycles_are_identical_with_tracing_on() {
+    // Span tracing and provenance sampling must be behavior-neutral:
+    // re-run a pin from each golden table with tracing at its most
+    // intrusive setting (every tuple sampled) and demand the exact
+    // cycle counts. Under --no-default-features `enable` is a no-op
+    // and this degenerates to a plain golden re-run — which is the
+    // point: the pins hold in every build configuration.
+    use accel_landscape::obs::trace;
+    trace::enable(1);
+
+    let &(cores, tuples, cycles, results) = &golden::FIG14A_THROUGHPUT[0];
+    let params = DesignParams::new(FlowModel::UniFlow, cores, 1 << 11);
+    let (seq, par) = throughput_both(&params, 128);
+    assert_eq!(seq, ThroughputRun { tuples, cycles, results }, "traced fig14a seq drifted");
+    assert_eq!(par, ThroughputRun { tuples, cycles, results }, "traced fig14a par drifted");
+
+    let &(cores, window, tuples, cycles, results) = &golden::FIG14B_BIFLOW_THROUGHPUT[0];
+    let params = DesignParams::new(FlowModel::BiFlow, cores, window);
+    let (seq, _) = throughput_both(&params, 24);
+    assert_eq!(seq, ThroughputRun { tuples, cycles, results }, "traced fig14b drifted");
+
+    let &(cores, scalable, last, quiescent, results) = &golden::FIG15_LATENCY[0];
+    let network = if scalable { NetworkKind::Scalable } else { NetworkKind::Lightweight };
+    let params = DesignParams::new(FlowModel::UniFlow, cores, 1 << 13).with_network(network);
+    let mut join = build(&params);
+    prefill_planted(join.as_mut(), &params, 7);
+    let probe = (StreamTag::R, Tuple::new(7, u32::MAX));
+    let seq = run_latency_with(&mut Simulator::new(), join.as_mut(), probe, 10_000_000)
+        .expect("quiesces");
+    let want = LatencyRun { cycles_to_last_result: last, cycles_to_quiescent: quiescent, results };
+    assert_eq!(seq, want, "traced fig15 drifted");
+
+    trace::disable();
+}
+
+#[test]
 fn fig15_latency_cycles_match_golden() {
     for &(cores, scalable, last, quiescent, results) in golden::FIG15_LATENCY {
         let network = if scalable { NetworkKind::Scalable } else { NetworkKind::Lightweight };
