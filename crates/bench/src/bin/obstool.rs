@@ -5,6 +5,7 @@
 //! ```text
 //! obstool summarize <manifest.json>
 //! obstool diff <baseline.json> <candidate.json> [--tolerance PCT]
+//!             [--require PREFIX]
 //! obstool trace <file.trace.json>
 //! ```
 //!
@@ -13,6 +14,9 @@
 //! histogram by histogram, flags relative drifts beyond the tolerance
 //! (default 10%), and exits non-zero when anything drifted — the CI
 //! determinism smoke runs a figure twice and diffs the manifests.
+//! `--require PREFIX` additionally fails the diff unless the candidate
+//! manifest carries at least one counter or histogram under that prefix
+//! (the CI fault leg asserts `fault.*` made it into the schema).
 //! `trace` validates a trace export against the Chrome trace-event
 //! schema and summarizes spans per track.
 
@@ -25,6 +29,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: obstool summarize <manifest.json>\n\
         \x20      obstool diff <baseline.json> <candidate.json> [--tolerance PCT]\n\
+        \x20                   [--require PREFIX]\n\
         \x20      obstool trace <file.trace.json>"
     );
     ExitCode::from(2)
@@ -35,7 +40,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("summarize") if args.len() == 2 => summarize(&args[1]),
         Some("diff") => match parse_diff_args(&args[1..]) {
-            Some((a, b, tol)) => diff(a, b, tol),
+            Some((a, b, tol, require)) => diff(a, b, tol, require),
             None => return usage(),
         },
         Some("trace") if args.len() == 2 => trace(&args[1]),
@@ -56,9 +61,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_diff_args(rest: &[String]) -> Option<(&str, &str, f64)> {
+fn parse_diff_args(rest: &[String]) -> Option<(&str, &str, f64, Option<&str>)> {
     let mut paths = Vec::new();
     let mut tolerance = 10.0;
+    let mut require = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -70,6 +76,14 @@ fn parse_diff_args(rest: &[String]) -> Option<(&str, &str, f64)> {
                 tolerance = flag["--tolerance=".len()..].parse().ok()?;
                 i += 1;
             }
+            "--require" => {
+                require = Some(rest.get(i + 1)?.as_str());
+                i += 2;
+            }
+            flag if flag.starts_with("--require=") => {
+                require = Some(&rest[i]["--require=".len()..]);
+                i += 1;
+            }
             path => {
                 paths.push(path);
                 i += 1;
@@ -77,7 +91,7 @@ fn parse_diff_args(rest: &[String]) -> Option<(&str, &str, f64)> {
         }
     }
     if paths.len() == 2 && tolerance >= 0.0 {
-        Some((paths[0], paths[1], tolerance))
+        Some((paths[0], paths[1], tolerance, require))
     } else {
         None
     }
@@ -189,9 +203,47 @@ fn manifest_drifts(a: &RunManifest, b: &RunManifest, tolerance: f64) -> Vec<Drif
     out
 }
 
-fn diff(a_path: &str, b_path: &str, tolerance: f64) -> Result<bool, String> {
+/// Metric names (counters and histograms) in `m` under `prefix`.
+fn metrics_under<'m>(m: &'m RunManifest, prefix: &str) -> Vec<&'m str> {
+    let mut names: Vec<&str> = m
+        .counters()
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| k.starts_with(prefix))
+        .collect();
+    names.extend(
+        m.histograms()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with(prefix)),
+    );
+    names.sort_unstable();
+    names
+}
+
+fn diff(
+    a_path: &str,
+    b_path: &str,
+    tolerance: f64,
+    require: Option<&str>,
+) -> Result<bool, String> {
     let a = load_manifest(a_path)?;
     let b = load_manifest(b_path)?;
+    if let Some(prefix) = require {
+        let present = metrics_under(&b, prefix);
+        if present.is_empty() {
+            println!(
+                "FAIL: `{}` carries no counter or histogram under `{prefix}*`",
+                b.name()
+            );
+            return Ok(false);
+        }
+        println!(
+            "required `{prefix}*` present in `{}`: {}",
+            b.name(),
+            present.join(", ")
+        );
+    }
     let drifts = manifest_drifts(&a, &b, tolerance);
     if drifts.is_empty() {
         println!(
@@ -280,11 +332,44 @@ mod tests {
     fn diff_args_accept_tolerance_forms() {
         let args: Vec<String> =
             ["a.json", "b.json", "--tolerance", "5"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 5.0)));
+        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 5.0, None)));
         let args: Vec<String> =
             ["--tolerance=2.5", "a.json", "b.json"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 2.5)));
+        assert_eq!(parse_diff_args(&args), Some(("a.json", "b.json", 2.5, None)));
         let args: Vec<String> = ["a.json"].iter().map(|s| s.to_string()).collect();
         assert_eq!(parse_diff_args(&args), None);
+    }
+
+    #[test]
+    fn diff_args_accept_require_forms() {
+        let args: Vec<String> = ["a.json", "b.json", "--require", "fault."]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_diff_args(&args),
+            Some(("a.json", "b.json", 10.0, Some("fault.")))
+        );
+        let args: Vec<String> = ["--require=fault.", "a.json", "b.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_diff_args(&args),
+            Some(("a.json", "b.json", 10.0, Some("fault.")))
+        );
+    }
+
+    #[test]
+    fn metrics_under_finds_counters_and_histograms() {
+        let mut m = RunManifest::new("t");
+        m.counter("fault.workers_lost", 1);
+        m.counter("sw.tuples", 9);
+        m.histogram("fault.recovery_ns", obs::Histogram::new());
+        assert_eq!(
+            metrics_under(&m, "fault."),
+            vec!["fault.recovery_ns", "fault.workers_lost"]
+        );
+        assert!(metrics_under(&m, "hw.").is_empty());
     }
 }

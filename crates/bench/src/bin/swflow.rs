@@ -48,13 +48,15 @@ fn main() {
                 SplitJoinConfig::new(4, window).with_batch_size(batch),
                 tuples,
                 1 << 20,
-            );
+            )
+            .expect("swflow run failed");
             bench::obsout::harvest(outcome.trace);
             let (bi, outcome) = measure_handshake_throughput_outcome(
                 HandshakeConfig::new(4, window).with_batch_size(batch),
                 tuples,
                 1 << 20,
-            );
+            )
+            .expect("swflow run failed");
             bench::obsout::harvest(outcome.trace);
             (uni, bi)
         } else {
@@ -63,12 +65,14 @@ fn main() {
                     SplitJoinConfig::new(4, window).with_batch_size(batch),
                     tuples,
                     1 << 20,
-                ),
+                )
+                .expect("swflow run failed"),
                 measure_handshake_throughput(
                     HandshakeConfig::new(4, window).with_batch_size(batch),
                     tuples,
                     1 << 20,
-                ),
+                )
+                .expect("swflow run failed"),
             )
         };
         let uni = uni.million_per_second();

@@ -34,7 +34,8 @@ fn main() {
                     SplitJoinConfig::new(n, window).with_batch_size(batch),
                     tuples,
                     1 << 20,
-                );
+                )
+                .expect("swjoin_baseline run failed");
                 let mtps = rate.million_per_second();
                 entries.push(SwJoinEntry {
                     figure: "fig14d".into(),

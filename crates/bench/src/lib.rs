@@ -62,10 +62,10 @@ pub fn precision_ablation() -> Table {
             HandshakeConfig::new(4, window).with_channel_capacity(capacity),
         );
         for &(tag, tuple) in &inputs {
-            join.process(tag, tuple);
+            join.process(tag, tuple).expect("handshake chain died");
         }
-        join.flush();
-        let got = join.shutdown().result_count as f64;
+        join.flush().expect("handshake chain died");
+        let got = join.shutdown().expect("handshake chain died").result_count as f64;
         t.row(vec![
             capacity.to_string(),
             format!("{got}"),

@@ -124,14 +124,16 @@ fn fig14d_into(
                 SplitJoinConfig::new(max_cores, window).with_batch_size(batch),
                 tuples,
                 KEY_DOMAIN,
-            );
+            )
+            .expect("fig14d trace run failed");
             crate::obsout::harvest(outcome.trace);
         }
         let single = measure_throughput(
             SplitJoinConfig::new(1, window).with_batch_size(batch),
             tuples,
             KEY_DOMAIN,
-        );
+        )
+        .expect("fig14d single-core run failed");
         if let Some(e) = entries.as_deref_mut() {
             e.push(throughput_entry(
                 1,
@@ -160,6 +162,7 @@ fn fig14d_into(
                     tuples * 8,
                     KEY_DOMAIN,
                 )
+                .expect("fig14d multi-core run failed")
                 .per_second()
                     / 1e6
             } else {
@@ -260,11 +263,13 @@ fn fig16_config_into(
     let mut measure = |config: SplitJoinConfig, samples: usize| {
         if !traced {
             traced = true;
-            let (s, hist, outcome) = measure_latency_outcome(config, samples, KEY_DOMAIN);
+            let (s, hist, outcome) = measure_latency_outcome(config, samples, KEY_DOMAIN)
+                .expect("fig16 trace run failed");
             crate::obsout::harvest(outcome.trace);
             (s, hist)
         } else {
             measure_latency_hist(config, samples, KEY_DOMAIN)
+                .expect("fig16 run failed")
         }
     };
     let latency_entry = |n: usize, window: usize, p50: Duration, measured: bool| {

@@ -1,8 +1,20 @@
 //! Single-threaded nested-loop stream join: the strict-semantics
 //! reference implementation and the "1 core" baseline of the software
 //! experiments.
+//!
+//! [`NestedLoopJoin`] is the raw incremental join; [`BaselineJoin`]
+//! wraps it behind the unified [`StreamJoin`] surface so harnesses and
+//! figure binaries can drive the baseline, the SplitJoin router, and
+//! the handshake chain through the same verbs.
 
+use std::cell::RefCell;
+
+use accel_error::JoinError;
 use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+
+use crate::config::JoinConfig;
+use crate::splitjoin::JoinOutcome;
+use crate::streamjoin::StreamJoin;
 
 /// An incremental single-threaded sliding-window join.
 ///
@@ -102,9 +114,134 @@ pub fn reference_join(
     out
 }
 
+/// The single-threaded baseline behind the unified [`StreamJoin`]
+/// surface: a [`NestedLoopJoin`] plus the bookkeeping the trait's
+/// outcome contract asks for. Single-threaded means nothing can die, so
+/// every verb succeeds and the outcome's fault report is always clean —
+/// which makes it the control arm of the fault-injection sweeps.
+///
+/// `window_size` is used as-is (one core, no sub-windows); the
+/// `num_cores`, `channel_capacity`, and `fault_plan` fields of its
+/// [`JoinConfig`] are ignored.
+#[derive(Debug)]
+pub struct BaselineJoin {
+    inner: RefCell<BaselineState>,
+}
+
+#[derive(Debug)]
+struct BaselineState {
+    join: NestedLoopJoin,
+    results: Vec<MatchPair>,
+    collect: bool,
+    matches: u64,
+    tuples_seen: u64,
+    stored: u64,
+    batch_sizes: obs::Histogram,
+}
+
+impl StreamJoin for BaselineJoin {
+    type Config = JoinConfig;
+    type Outcome = JoinOutcome;
+
+    fn spawn(config: JoinConfig) -> Self {
+        Self {
+            inner: RefCell::new(BaselineState {
+                join: NestedLoopJoin::new(config.window_size, config.predicate),
+                results: Vec::new(),
+                collect: config.collect_results,
+                matches: 0,
+                tuples_seen: 0,
+                stored: 0,
+                batch_sizes: obs::Histogram::new(),
+            }),
+        }
+    }
+
+    fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
+        let mut s = self.inner.borrow_mut();
+        s.tuples_seen += 1;
+        s.stored += 1;
+        let found = s.join.process(tag, tuple);
+        s.matches += found.len() as u64;
+        if s.collect {
+            s.results.extend(found);
+        }
+        Ok(())
+    }
+
+    fn process_batch(&self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
+        self.inner
+            .borrow_mut()
+            .batch_sizes
+            .record_value(batch.len() as u64);
+        for &(tag, tuple) in batch {
+            self.process(tag, tuple)?;
+        }
+        Ok(())
+    }
+
+    fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        let mut s = self.inner.borrow_mut();
+        for &t in tuples {
+            s.join.prefill(tag, t);
+            s.stored += 1;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), JoinError> {
+        Ok(()) // synchronous: nothing is ever in flight
+    }
+
+    fn shutdown(self) -> Result<JoinOutcome, JoinError> {
+        let s = self.inner.into_inner();
+        Ok(JoinOutcome {
+            results: s.results,
+            result_count: s.matches,
+            worker_stats: vec![accel_error::WorkerStats {
+                tuples_seen: s.tuples_seen,
+                stored: s.stored,
+                comparisons: s.join.comparisons(),
+                matches: s.matches,
+            }],
+            batch_sizes: s.batch_sizes,
+            trace: Vec::new(),
+            fault: crate::fault::FaultReport::default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_join_implements_the_unified_surface() {
+        let join = BaselineJoin::spawn(JoinConfig::new(1, 16));
+        join.process(StreamTag::S, Tuple::new(1, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(1, 1)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
+        assert_eq!(outcome.result_count, 1);
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.worker_stats.len(), 1);
+        assert_eq!(outcome.worker_stats[0].tuples_seen, 2);
+        assert!(!outcome.fault.degraded());
+    }
+
+    #[test]
+    fn baseline_join_agrees_with_reference_join() {
+        use streamcore::workload::{KeyDist, WorkloadSpec};
+        let inputs: Vec<_> = WorkloadSpec::new(300, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let join = BaselineJoin::spawn(JoinConfig::new(1, 32));
+        join.process_batch(&inputs).unwrap();
+        let outcome = join.shutdown().unwrap();
+        let want = reference_join(&inputs, 32, JoinPredicate::Equi);
+        assert_eq!(outcome.result_count, want.len() as u64);
+        assert_eq!(outcome.results.len(), want.len());
+    }
 
     #[test]
     fn probe_happens_before_insert() {

@@ -21,7 +21,7 @@
 //! # Batched waves
 //!
 //! Like [`SplitJoin`](crate::splitjoin::SplitJoin), the chain can batch
-//! its data path: [`HandshakeConfig::batch_size`] tuples accumulate on the
+//! its data path: [`JoinConfig::batch_size`] tuples accumulate on the
 //! caller side and enter the chain as one multi-wave message, and each
 //! core forwards the whole group downstream as one message after
 //! processing it. Within a lane the waves of a batch are processed in
@@ -33,39 +33,70 @@
 //! larger `channel_capacity` does. Serialized feeding (flush after every
 //! tuple) remains exact at any batch size, since `flush` drains the
 //! partial batch first.
+//!
+//! # Fault tolerance
+//!
+//! The chain has no partition map to re-route over — a core *is* a link
+//! in both lanes — so degradation here means **severing**: a core lost to
+//! a scripted [`FaultPlan`](crate::fault::FaultPlan) kill (or a panic, or
+//! organic death) cuts both lanes at its position, and its neighbours
+//! detect the cut on their next forward, stop forwarding into it, and
+//! count every wave-carried window tuple that can no longer be parked as
+//! orphaned. Entry sends are supervised (bounded-backoff `send_timeout`
+//! watching the entry core's heartbeat); tuples offered to a severed
+//! entry are counted as orphaned rather than panicking the caller, and
+//! [`HandshakeJoin::flush`] degrades to a survivors-only barrier. The
+//! damage tally arrives in [`HandshakeOutcome::fault`]; with an empty
+//! plan and no organic failures it is all-zero and the data path is the
+//! pre-fault-model one.
 
 use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use streamcore::{JoinPredicate, MatchPair, SlidingWindow, StreamTag, Tuple};
+use accel_error::JoinError;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use streamcore::{MatchPair, SlidingWindow, StreamTag, Tuple};
+
+use crate::config::{JoinConfig, JoinParams};
+use crate::fault::FaultReport;
+use crate::supervise::{supervised_send, AliveGuard, SendStatus, WorkerCell};
 
 /// Result-collection chunk size (matches per message to the collector).
 const RESULT_CHUNK: usize = 256;
 
-/// Configuration of a [`HandshakeJoin`] chain.
+/// Configuration of a [`HandshakeJoin`] chain: the shared [`JoinConfig`]
+/// with chain-appropriate defaults (entry capacity 256, unbatched
+/// waves). Derefs to [`JoinConfig`], so the shared fields read and write
+/// exactly as before the convergence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HandshakeConfig {
-    /// Number of join cores (threads) in the chain.
-    pub num_cores: usize,
-    /// Sliding-window size per stream (tuples), divided across cores.
-    pub window_size: usize,
-    /// Join condition.
-    pub predicate: JoinPredicate,
-    /// Per-link channel capacity, counted in **messages** — i.e. wave
-    /// groups of up to `batch_size` tuples each, so the in-flight tuple
-    /// bound is `channel_capacity × batch_size` per lane. Must be
-    /// non-zero.
-    pub channel_capacity: usize,
-    /// Tuples per wave-group message (see the module docs). `1` — the
-    /// default — reproduces the unbatched one-wave-per-tuple chain
-    /// exactly; larger values amortize per-message channel cost at the
-    /// price of coarser lane interleaving. Must be non-zero.
-    pub batch_size: usize,
-    /// Retain results (`true`) or only count them. When `false` no
-    /// collector thread is spawned; cores count matches locally and the
-    /// totals are folded at shutdown.
-    pub collect_results: bool,
+    /// The engine-independent configuration fields.
+    pub common: JoinConfig,
+}
+
+impl std::ops::Deref for HandshakeConfig {
+    type Target = JoinConfig;
+    fn deref(&self) -> &JoinConfig {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for HandshakeConfig {
+    fn deref_mut(&mut self) -> &mut JoinConfig {
+        &mut self.common
+    }
+}
+
+impl JoinParams for HandshakeConfig {
+    fn common(&self) -> &JoinConfig {
+        &self.common
+    }
+    fn common_mut(&mut self) -> &mut JoinConfig {
+        &mut self.common
+    }
 }
 
 impl HandshakeConfig {
@@ -76,21 +107,16 @@ impl HandshakeConfig {
     ///
     /// Panics if `num_cores` or `window_size` is zero.
     pub fn new(num_cores: usize, window_size: usize) -> Self {
-        assert!(num_cores > 0, "need at least one join core");
-        assert!(window_size > 0, "window size must be positive");
-        Self {
-            num_cores,
-            window_size,
-            predicate: JoinPredicate::Equi,
-            channel_capacity: 256,
-            batch_size: 1,
-            collect_results: true,
-        }
+        let mut common = JoinConfig::new(num_cores, window_size);
+        common.channel_capacity = 256;
+        common.batch_size = 1;
+        Self { common }
     }
 
     /// Replaces the join predicate.
-    pub fn with_predicate(mut self, predicate: JoinPredicate) -> Self {
-        self.predicate = predicate;
+    #[must_use]
+    pub fn with_predicate(mut self, predicate: streamcore::JoinPredicate) -> Self {
+        self.common = self.common.with_predicate(predicate);
         self
     }
 
@@ -102,33 +128,42 @@ impl HandshakeConfig {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    #[must_use]
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "channel capacity must be positive");
-        self.channel_capacity = capacity;
+        self.common = self.common.with_channel_capacity(capacity);
         self
     }
 
     /// Sets the wave-group batch size (see
-    /// [`HandshakeConfig::batch_size`]).
+    /// [`JoinConfig::batch_size`] and the module docs).
     ///
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
+    #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
-        self.batch_size = batch_size;
+        self.common = self.common.with_batch_size(batch_size);
         self
     }
 
     /// Disables result retention and collection (counting only).
+    #[must_use]
     pub fn counting_only(mut self) -> Self {
-        self.collect_results = false;
+        self.common = self.common.counting_only();
         self
     }
 
-    /// Per-core segment capacity.
-    pub fn sub_window(&self) -> usize {
-        self.window_size.div_ceil(self.num_cores)
+    /// Installs a fault plan (validated against the core count). Batch
+    /// numbers count the wave-group messages each core processes, both
+    /// lanes combined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets a core `>= num_cores`.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.common = self.common.with_fault_plan(plan);
+        self
     }
 }
 
@@ -158,11 +193,11 @@ enum ChainMsg {
 /// use streamcore::{StreamTag, Tuple};
 ///
 /// let join = HandshakeJoin::spawn(HandshakeConfig::new(3, 12));
-/// join.process(StreamTag::S, Tuple::new(4, 0));
-/// join.flush();
-/// join.process(StreamTag::R, Tuple::new(4, 1));
-/// join.flush();
-/// let outcome = join.shutdown();
+/// join.process(StreamTag::S, Tuple::new(4, 0)).unwrap();
+/// join.flush().unwrap();
+/// join.process(StreamTag::R, Tuple::new(4, 1)).unwrap();
+/// join.flush().unwrap();
+/// let outcome = join.shutdown().unwrap();
 /// assert_eq!(outcome.result_count, 1);
 /// ```
 #[derive(Debug)]
@@ -172,12 +207,16 @@ pub struct HandshakeJoin {
     /// Entry of the leftward (S) lane: core N-1.
     entry_s: Sender<ChainMsg>,
     workers: Vec<JoinHandle<(u64, Option<obs::trace::TraceRing>)>>,
+    cells: Vec<Arc<WorkerCell>>,
     collector: Option<JoinHandle<Vec<MatchPair>>>,
     batch_size: usize,
     /// Caller-side wave buffers, one per lane; drained on flush/shutdown.
     pending_r: RefCell<Vec<Wave>>,
     pending_s: RefCell<Vec<Wave>>,
     batch_hist: RefCell<obs::Histogram>,
+    /// Caller-side damage tally: tuples that could not even enter the
+    /// chain because an entry core was gone.
+    report: RefCell<FaultReport>,
 }
 
 /// Shutdown outcome of a [`HandshakeJoin`].
@@ -194,6 +233,10 @@ pub struct HandshakeOutcome {
     /// waits and per-group wave processing. Empty unless tracing was
     /// enabled when the chain was spawned (see `obs::trace`).
     pub trace: Vec<obs::trace::TraceRing>,
+    /// What went wrong, if anything: severed cores, window tuples lost to
+    /// the cuts, scripted stalls and drops. All-zero (and
+    /// [`FaultReport::degraded`] is `false`) for a healthy run.
+    pub fault: FaultReport,
 }
 
 impl HandshakeJoin {
@@ -202,10 +245,10 @@ impl HandshakeJoin {
     /// # Panics
     ///
     /// Panics if `config.channel_capacity` or `config.batch_size` is
-    /// zero.
+    /// zero, or the fault plan targets a core out of range (the builder
+    /// methods reject these, but the fields are public).
     pub fn spawn(config: HandshakeConfig) -> Self {
-        assert!(config.channel_capacity > 0, "channel capacity must be positive");
-        assert!(config.batch_size > 0, "batch size must be positive");
+        config.common.validate();
         let n = config.num_cores;
         let (result_tx, collector) = if config.collect_results {
             let (tx, rx) = bounded::<Vec<MatchPair>>(8_192);
@@ -246,16 +289,19 @@ impl HandshakeJoin {
         let entry_r = r_lane[0].0.clone();
         let entry_s = s_lane[n - 1].0.clone();
 
+        let mut cells = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for position in 0..n {
             let cfg = config.clone();
+            let cell = Arc::new(WorkerCell::default());
+            cells.push(Arc::clone(&cell));
             let r_rx = r_lane[position].1.clone();
             let s_rx = s_lane[position].1.clone();
             let r_next = (position + 1 < n).then(|| r_lane[position + 1].0.clone());
             let s_next = position.checked_sub(1).map(|p| s_lane[p].0.clone());
             let results = result_tx.clone();
             workers.push(std::thread::spawn(move || {
-                core_loop(position, &cfg, &r_rx, &s_rx, r_next, s_next, results.as_ref())
+                core_loop(position, &cfg, &r_rx, &s_rx, r_next, s_next, results, &cell)
             }));
         }
         drop(result_tx);
@@ -263,19 +309,28 @@ impl HandshakeJoin {
             entry_r,
             entry_s,
             workers,
+            cells,
             collector,
             batch_size: config.batch_size,
             pending_r: RefCell::new(Vec::with_capacity(config.batch_size)),
             pending_s: RefCell::new(Vec::with_capacity(config.batch_size)),
             batch_hist: RefCell::new(obs::Histogram::new()),
+            report: RefCell::new(FaultReport::default()),
         }
     }
 
     /// Injects one tuple at the chain end of its stream. The tuple joins
     /// its lane's pending wave group; every
-    /// [`HandshakeConfig::batch_size`] tuples the group enters the chain
+    /// [`JoinConfig::batch_size`] tuples the group enters the chain
     /// as a single message.
-    pub fn process(&self, tag: StreamTag, tuple: Tuple) {
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::Saturated`] when the entry core's channel stays full
+    /// with a frozen heartbeat past the supervision deadline. A *severed*
+    /// entry (its core killed or panicked) is not an error: the tuples
+    /// are counted as orphaned in [`HandshakeOutcome::fault`] instead.
+    pub fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
         let pending = match tag {
             StreamTag::R => &self.pending_r,
             StreamTag::S => &self.pending_s,
@@ -288,79 +343,243 @@ impl HandshakeJoin {
         if pending.len() >= self.batch_size {
             let waves = std::mem::take(&mut *pending);
             drop(pending);
-            self.send_waves(tag, waves);
+            self.send_waves(tag, waves)?;
+        }
+        Ok(())
+    }
+
+    /// Loads `tuples` into the chain's windows by ordinary processing
+    /// (the chain has no probe-free fast path — storage *is* the wave
+    /// cascade), then flushes so the windows are settled.
+    ///
+    /// # Errors
+    ///
+    /// See [`HandshakeJoin::process`].
+    pub fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        for &t in tuples {
+            self.process(tag, t)?;
+        }
+        self.flush()
+    }
+
+    fn entry_for(&self, tag: StreamTag) -> (&Sender<ChainMsg>, usize) {
+        match tag {
+            StreamTag::R => (&self.entry_r, 0),
+            StreamTag::S => (&self.entry_s, self.cells.len() - 1),
         }
     }
 
-    fn send_waves(&self, tag: StreamTag, waves: Vec<Wave>) {
+    fn send_waves(&self, tag: StreamTag, waves: Vec<Wave>) -> Result<(), JoinError> {
         if waves.is_empty() {
-            return;
+            return Ok(());
         }
         self.batch_hist
             .borrow_mut()
             .record_value(waves.len() as u64);
-        let entry = match tag {
-            StreamTag::R => &self.entry_r,
-            StreamTag::S => &self.entry_s,
-        };
-        entry
-            .send(ChainMsg::Waves { tag, waves })
-            .expect("chain alive");
+        let (entry, core) = self.entry_for(tag);
+        let count = waves.len() as u64;
+        match supervised_send(entry, &self.cells[core], core, ChainMsg::Waves { tag, waves })? {
+            SendStatus::Sent => {}
+            SendStatus::Lost => {
+                // The entry core is gone: these tuples never enter the
+                // join at all.
+                self.report.borrow_mut().orphaned_tuples += count;
+            }
+        }
+        Ok(())
     }
 
-    fn drain_pending(&self) {
+    fn drain_pending(&self) -> Result<(), JoinError> {
         let r = std::mem::take(&mut *self.pending_r.borrow_mut());
-        self.send_waves(StreamTag::R, r);
+        self.send_waves(StreamTag::R, r)?;
         let s = std::mem::take(&mut *self.pending_s.borrow_mut());
-        self.send_waves(StreamTag::S, s);
+        self.send_waves(StreamTag::S, s)
     }
 
     /// Blocks until everything submitted before this call (including
     /// partial wave groups, which are injected first) has traversed the
     /// whole chain and all buffered results have reached the collector.
-    pub fn flush(&self) {
-        self.drain_pending();
+    ///
+    /// # Errors
+    ///
+    /// See [`HandshakeJoin::process`]. Once a core has died the barrier
+    /// degrades to best-effort: it covers the reachable part of the
+    /// chain and gives up waiting on acknowledgements that can no longer
+    /// arrive.
+    pub fn flush(&self) -> Result<(), JoinError> {
+        self.drain_pending()?;
         let (ack_tx, ack_rx) = bounded::<()>(2);
-        self.entry_r
-            .send(ChainMsg::Flush(ack_tx.clone()))
-            .expect("chain alive");
-        self.entry_s
-            .send(ChainMsg::Flush(ack_tx))
-            .expect("chain alive");
-        for _ in 0..2 {
-            ack_rx.recv().expect("flush ack");
+        let mut sent = 0usize;
+        for tag in [StreamTag::R, StreamTag::S] {
+            let (entry, core) = self.entry_for(tag);
+            match supervised_send(entry, &self.cells[core], core, ChainMsg::Flush(ack_tx.clone()))? {
+                SendStatus::Sent => sent += 1,
+                SendStatus::Lost => {}
+            }
         }
+        drop(ack_tx);
+        let mut acks = 0usize;
+        while acks < sent {
+            match ack_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(()) => acks += 1,
+                Err(RecvTimeoutError::Disconnected) => break,
+                // A dead core can strand a token (and its ack) in a
+                // severed link forever; stop waiting once any core is
+                // down — the barrier already covered the survivors that
+                // still forward.
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.cells.iter().any(|c| c.is_dead()) {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Stops the chain and returns the accumulated outcome. Pending
     /// partial wave groups are injected first, so no submitted tuple is
     /// lost even without an explicit [`HandshakeJoin::flush`].
-    pub fn shutdown(self) -> HandshakeOutcome {
-        self.drain_pending();
-        self.entry_r.send(ChainMsg::Stop).expect("chain alive");
-        self.entry_s.send(ChainMsg::Stop).expect("chain alive");
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::WorkerPanicked`] if a core thread panicked (with its
+    /// last published statistics snapshot);
+    /// [`JoinError::CollectorPanicked`] if the collector died. Cores
+    /// lost to *scripted kills* exit cleanly and do not error: their
+    /// damage is in [`HandshakeOutcome::fault`].
+    pub fn shutdown(self) -> Result<HandshakeOutcome, JoinError> {
+        // Best effort: with an entry core gone the buffered waves are
+        // already accounted as orphaned by `send_waves`.
+        let _ = self.drain_pending();
+        let _ = self.entry_r.send(ChainMsg::Stop);
+        let _ = self.entry_s.send(ChainMsg::Stop);
         drop(self.entry_r);
         drop(self.entry_s);
         let mut counted = 0u64;
         let mut trace = Vec::new();
-        for w in self.workers {
-            let (matches, ring) = w.join().expect("core thread panicked");
-            counted += matches;
-            trace.extend(ring);
+        let mut panicked: Option<usize> = None;
+        for (i, w) in self.workers.into_iter().enumerate() {
+            match w.join() {
+                Ok((matches, ring)) => {
+                    counted += matches;
+                    trace.extend(ring);
+                }
+                Err(_) => {
+                    if panicked.is_none() {
+                        panicked = Some(i);
+                    }
+                    counted += self.cells[i].matches.load(Ordering::Relaxed);
+                }
+            }
         }
-        let (results, result_count) = match self.collector {
-            Some(c) => {
-                let results = c.join().expect("collector thread panicked");
+        let collected = self.collector.map(|c| c.join());
+        let mut report = self.report.into_inner();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.killed.load(Ordering::Relaxed) {
+                report.workers_lost.push(i);
+            }
+            report.orphaned_tuples += cell.orphaned.load(Ordering::Relaxed);
+            report.injected_stalls += cell.stalls.load(Ordering::Relaxed);
+            report.injected_drops += cell.drops.load(Ordering::Relaxed);
+            report.results_dropped += cell.results_dropped.load(Ordering::Relaxed);
+        }
+        if let Some(worker) = panicked {
+            return Err(JoinError::WorkerPanicked {
+                worker,
+                stats_so_far: self.cells[worker].snapshot(),
+            });
+        }
+        let (results, result_count) = match collected {
+            Some(Ok(results)) => {
                 let count = results.len() as u64;
                 (results, count)
             }
+            Some(Err(_)) => return Err(JoinError::CollectorPanicked),
             None => (Vec::new(), counted),
         };
-        HandshakeOutcome {
+        Ok(HandshakeOutcome {
             results,
             result_count,
             batch_sizes: self.batch_hist.into_inner(),
             trace,
+            fault: report,
+        })
+    }
+
+    /// Pre-fault-model [`HandshakeJoin::process`]: panics on failure.
+    #[deprecated(note = "use the fallible `process` and handle `JoinError`")]
+    pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
+        self.process(tag, tuple).expect("chain alive");
+    }
+
+    /// Pre-fault-model [`HandshakeJoin::flush`]: panics on failure.
+    #[deprecated(note = "use the fallible `flush` and handle `JoinError`")]
+    pub fn flush_or_panic(&self) {
+        self.flush().expect("chain alive");
+    }
+
+    /// Pre-fault-model [`HandshakeJoin::shutdown`]: panics on failure.
+    #[deprecated(note = "use the fallible `shutdown` and handle `JoinError`")]
+    pub fn shutdown_or_panic(self) -> HandshakeOutcome {
+        self.shutdown().expect("core thread panicked")
+    }
+}
+
+impl crate::streamjoin::StreamJoin for HandshakeJoin {
+    type Config = HandshakeConfig;
+    type Outcome = HandshakeOutcome;
+
+    fn spawn(config: HandshakeConfig) -> Self {
+        HandshakeJoin::spawn(config)
+    }
+    fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
+        HandshakeJoin::process(self, tag, tuple)
+    }
+    fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        HandshakeJoin::prefill(self, tag, tuples)
+    }
+    fn flush(&self) -> Result<(), JoinError> {
+        HandshakeJoin::flush(self)
+    }
+    fn shutdown(self) -> Result<HandshakeOutcome, JoinError> {
+        HandshakeJoin::shutdown(self)
+    }
+}
+
+impl crate::streamjoin::JoinSummary for HandshakeOutcome {
+    fn result_count(&self) -> u64 {
+        self.result_count
+    }
+    fn results(&self) -> &[MatchPair] {
+        &self.results
+    }
+    fn batch_sizes(&self) -> &obs::Histogram {
+        &self.batch_sizes
+    }
+    fn trace(&self) -> &[obs::trace::TraceRing] {
+        &self.trace
+    }
+    fn fault(&self) -> &FaultReport {
+        &self.fault
+    }
+}
+
+/// Forwards `msg` downstream, severing the link on failure. Hands the
+/// message back when the link is (or just became) severed, so the
+/// caller can account for what it carried.
+fn forward(
+    next: &mut Option<Sender<ChainMsg>>,
+    msg: ChainMsg,
+) -> Result<(), ChainMsg> {
+    let Some(tx) = next else { return Err(msg) };
+    match tx.send(msg) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // The downstream core is gone: drop our sender so its queue
+            // can be freed, and stop forwarding into the cut.
+            *next = None;
+            Err(e.0)
         }
     }
 }
@@ -371,10 +590,13 @@ fn core_loop(
     config: &HandshakeConfig,
     r_rx: &Receiver<ChainMsg>,
     s_rx: &Receiver<ChainMsg>,
-    r_next: Option<Sender<ChainMsg>>,
-    s_next: Option<Sender<ChainMsg>>,
-    results: Option<&Sender<Vec<MatchPair>>>,
+    mut r_next: Option<Sender<ChainMsg>>,
+    mut s_next: Option<Sender<ChainMsg>>,
+    mut results: Option<Sender<Vec<MatchPair>>>,
+    cell: &Arc<WorkerCell>,
 ) -> (u64, Option<obs::trace::TraceRing>) {
+    let _guard = AliveGuard(Arc::clone(cell));
+    let plan = &config.fault_plan;
     let sub = config.sub_window();
     let n = config.num_cores;
     let mut window_r: SlidingWindow<Tuple> = SlidingWindow::new(sub);
@@ -388,8 +610,9 @@ fn core_loop(
     let mut s_forwarded = 0usize;
     let mut r_open = true;
     let mut s_open = true;
-    let mut matches = 0u64;
+    let mut stats = accel_error::WorkerStats::default();
     let mut out: Vec<MatchPair> = Vec::new();
+    let mut group_no: u64 = 0;
     let mut ring = obs::trace::enabled().then(|| {
         obs::trace::TraceRing::new(
             format!("hs.core.{position}"),
@@ -397,6 +620,14 @@ fn core_loop(
         )
     });
     let mut idle_since = obs::trace::now_ns();
+
+    let publish = |cell: &WorkerCell, stats: &accel_error::WorkerStats| {
+        cell.tuples_seen.store(stats.tuples_seen, Ordering::Relaxed);
+        cell.stored.store(stats.stored, Ordering::Relaxed);
+        cell.comparisons.store(stats.comparisons, Ordering::Relaxed);
+        cell.matches.store(stats.matches, Ordering::Relaxed);
+        cell.heartbeat.fetch_add(1, Ordering::Relaxed);
+    };
 
     while r_open || s_open {
         // Alternate lanes fairly; block on select when both lanes open.
@@ -424,6 +655,21 @@ fn core_loop(
         }
         match msg {
             ChainMsg::Waves { tag, waves } => {
+                group_no += 1;
+                let stall = plan.stall_ms(position, group_no);
+                if stall > 0 {
+                    cell.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(stall));
+                }
+                if plan.drops(position, group_no) {
+                    // The group is lost in transit: never probed, never
+                    // parked, never forwarded — downstream windows
+                    // silently diverge. Deliberate corruption.
+                    cell.drops.fetch_add(1, Ordering::Relaxed);
+                    publish(cell, &stats);
+                    idle_since = obs::trace::now_ns();
+                    continue;
+                }
                 // Process the group's waves in order, collecting the
                 // forwarded group for one downstream send.
                 let t0 = obs::trace::now_ns();
@@ -431,23 +677,29 @@ fn core_loop(
                 let mut onward = Vec::with_capacity(waves.len());
                 for wave in waves {
                     let Wave { probe, store } = wave;
+                    stats.tuples_seen += 1;
                     // Probe this core's opposite segment.
                     let opposite = match tag {
                         StreamTag::R => &window_s,
                         StreamTag::S => &window_r,
                     };
                     for &stored in opposite.iter() {
+                        stats.comparisons += 1;
                         let (r, s) = match tag {
                             StreamTag::R => (probe, stored),
                             StreamTag::S => (stored, probe),
                         };
                         if config.predicate.matches(r, s) {
-                            matches += 1;
-                            if let Some(tx) = results {
+                            stats.matches += 1;
+                            if results.is_some() {
                                 out.push(MatchPair { r, s });
                                 if out.len() >= RESULT_CHUNK {
-                                    tx.send(std::mem::take(&mut out))
-                                        .expect("collector alive");
+                                    let chunk = std::mem::take(&mut out);
+                                    let len = chunk.len() as u64;
+                                    if results.as_ref().expect("checked").send(chunk).is_err() {
+                                        cell.results_dropped.fetch_add(len, Ordering::Relaxed);
+                                        results = None;
+                                    }
                                 }
                             }
                         }
@@ -463,45 +715,81 @@ fn core_loop(
                             *forwarded += 1;
                             Some(t)
                         }
-                        Some(t) => own.insert(t),
+                        Some(t) => {
+                            stats.stored += 1;
+                            own.insert(t)
+                        }
                         None => None,
                     };
                     onward.push(Wave { probe, store });
                 }
                 // Fast-forward the whole group onward as one message.
-                // At the exit end, any carried tuples have expired.
+                // At the exit end, any carried tuples have expired; at a
+                // severed link, every carried tuple is a window tuple
+                // the join has now lost.
                 let next = match tag {
-                    StreamTag::R => &r_next,
-                    StreamTag::S => &s_next,
+                    StreamTag::R => &mut r_next,
+                    StreamTag::S => &mut s_next,
                 };
-                if let Some(next) = next {
-                    next.send(ChainMsg::Waves { tag, waves: onward })
-                        .expect("chain alive");
+                let at_exit = match tag {
+                    StreamTag::R => position + 1 == n,
+                    StreamTag::S => position == 0,
+                };
+                if !at_exit {
+                    if let Err(ChainMsg::Waves { waves: lost, .. }) =
+                        forward(next, ChainMsg::Waves { tag, waves: onward })
+                    {
+                        let stranded =
+                            lost.iter().filter(|w| w.store.is_some()).count() as u64;
+                        cell.orphaned.fetch_add(stranded, Ordering::Relaxed);
+                    }
                 }
                 if let Some(r) = ring.as_mut() {
                     let t1 = obs::trace::now_ns();
                     r.record_arg("wave", t0, t1.saturating_sub(t0), group);
                 }
+                if plan.panics(position, group_no) {
+                    publish(cell, &stats);
+                    panic!(
+                        "fault injection: core {position} scripted panic at group {group_no}"
+                    );
+                }
+                if plan.kills(position, group_no) {
+                    // Cooperative abrupt exit: both lanes sever here.
+                    // Everything parked in our segments is orphaned,
+                    // and buffered un-flushed results die with us.
+                    cell.orphaned.fetch_add(
+                        (window_r.len() + window_s.len()) as u64,
+                        Ordering::Relaxed,
+                    );
+                    cell.results_dropped
+                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                    cell.killed.store(true, Ordering::Relaxed);
+                    publish(cell, &stats);
+                    return (stats.matches, ring);
+                }
             }
             ChainMsg::Flush(ack) => {
-                if let Some(tx) = results {
+                if let Some(tx) = &results {
                     if !out.is_empty() {
-                        tx.send(std::mem::take(&mut out)).expect("collector alive");
+                        let chunk = std::mem::take(&mut out);
+                        let len = chunk.len() as u64;
+                        if tx.send(chunk).is_err() {
+                            cell.results_dropped.fetch_add(len, Ordering::Relaxed);
+                            results = None;
+                        }
                     }
                 }
-                let next = if from_r { &r_next } else { &s_next };
-                match next {
-                    Some(next) => next.send(ChainMsg::Flush(ack)).expect("chain alive"),
-                    None => {
-                        let _ = ack.send(());
-                    }
+                let next = if from_r { &mut r_next } else { &mut s_next };
+                // At the exit end — or a severed link — acknowledge
+                // directly: the barrier covers the reachable chain.
+                if let Err(ChainMsg::Flush(ack)) = forward(next, ChainMsg::Flush(ack)) {
+                    let _ = ack.send(());
                 }
             }
             ChainMsg::Stop => {
-                let next = if from_r { &r_next } else { &s_next };
-                if let Some(next) = next {
-                    next.send(ChainMsg::Stop).expect("chain alive");
-                }
+                let next = if from_r { &mut r_next } else { &mut s_next };
+                let _ = forward(next, ChainMsg::Stop);
                 if from_r {
                     r_open = false;
                 } else {
@@ -509,22 +797,29 @@ fn core_loop(
                 }
             }
         }
+        publish(cell, &stats);
         idle_since = obs::trace::now_ns();
     }
-    if let Some(tx) = results {
+    if let Some(tx) = &results {
         if !out.is_empty() {
-            tx.send(out).expect("collector alive");
+            let len = out.len() as u64;
+            if tx.send(out).is_err() {
+                cell.results_dropped.fetch_add(len, Ordering::Relaxed);
+            }
         }
     }
-    (matches, ring)
+    publish(cell, &stats);
+    (stats.matches, ring)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baseline::reference_join;
+    use crate::fault::FaultPlan;
     use std::collections::HashMap;
     use streamcore::workload::{KeyDist, WorkloadSpec};
+    use streamcore::JoinPredicate;
 
     fn as_multiset(results: &[MatchPair]) -> HashMap<(u64, u64), u32> {
         let mut m = HashMap::new();
@@ -544,16 +839,17 @@ mod tests {
         for cores in [1usize, 2, 4] {
             let join = HandshakeJoin::spawn(HandshakeConfig::new(cores, 32));
             for &(tag, t) in &inputs {
-                join.process(tag, t);
-                join.flush();
+                join.process(tag, t).unwrap();
+                join.flush().unwrap();
             }
-            let outcome = join.shutdown();
+            let outcome = join.shutdown().unwrap();
             let want = reference_join(&inputs, 32, JoinPredicate::Equi);
             assert_eq!(
                 as_multiset(&outcome.results),
                 as_multiset(&want),
                 "mismatch with {cores} cores"
             );
+            assert!(!outcome.fault.degraded(), "healthy run must not degrade");
         }
     }
 
@@ -569,10 +865,10 @@ mod tests {
             let join =
                 HandshakeJoin::spawn(HandshakeConfig::new(4, 32).with_batch_size(batch));
             for &(tag, t) in &inputs {
-                join.process(tag, t);
-                join.flush();
+                join.process(tag, t).unwrap();
+                join.flush().unwrap();
             }
-            let outcome = join.shutdown();
+            let outcome = join.shutdown().unwrap();
             assert_eq!(
                 as_multiset(&outcome.results),
                 want,
@@ -591,10 +887,10 @@ mod tests {
             .collect();
         let join = HandshakeJoin::spawn(HandshakeConfig::new(4, 16));
         for &(tag, t) in &inputs {
-            join.process(tag, t);
-            join.flush();
+            join.process(tag, t).unwrap();
+            join.flush().unwrap();
         }
-        let outcome = join.shutdown();
+        let outcome = join.shutdown().unwrap();
         let want = reference_join(&inputs, 16, JoinPredicate::Equi);
         assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
     }
@@ -611,10 +907,10 @@ mod tests {
             HandshakeConfig::new(4, 256).with_channel_capacity(8),
         );
         for &(tag, t) in &inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        join.flush();
-        let outcome = join.shutdown();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         let want = reference_join(&inputs, 256, JoinPredicate::Equi).len() as f64;
         let got = outcome.result_count as f64;
         let err = (got - want).abs() / want;
@@ -638,10 +934,10 @@ mod tests {
                 .with_batch_size(16),
         );
         for &(tag, t) in &inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        join.flush();
-        let outcome = join.shutdown();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         let want = reference_join(&inputs, 256, JoinPredicate::Equi).len() as f64;
         let got = outcome.result_count as f64;
         let err = (got - want).abs() / want;
@@ -665,10 +961,10 @@ mod tests {
                 HandshakeConfig::new(4, 128).with_channel_capacity(capacity),
             );
             for &(tag, t) in &inputs {
-                join.process(tag, t);
+                join.process(tag, t).unwrap();
             }
-            join.flush();
-            let got = join.shutdown().result_count as f64;
+            join.flush().unwrap();
+            let got = join.shutdown().unwrap().result_count as f64;
             errs.push((got - want).abs() / want);
         }
         assert!(
@@ -687,13 +983,13 @@ mod tests {
         let collect = HandshakeJoin::spawn(HandshakeConfig::new(2, 16));
         let count = HandshakeJoin::spawn(HandshakeConfig::new(2, 16).counting_only());
         for &(tag, t) in &inputs {
-            collect.process(tag, t);
-            collect.flush();
-            count.process(tag, t);
-            count.flush();
+            collect.process(tag, t).unwrap();
+            collect.flush().unwrap();
+            count.process(tag, t).unwrap();
+            count.flush().unwrap();
         }
-        let collected = collect.shutdown();
-        let counted = count.shutdown();
+        let collected = collect.shutdown().unwrap();
+        let counted = count.shutdown().unwrap();
         assert_eq!(counted.result_count, collected.result_count);
         assert!(counted.results.is_empty());
         assert!(collected.result_count > 0);
@@ -704,9 +1000,9 @@ mod tests {
         // batch_size bigger than the whole stream: shutdown alone must
         // still inject and process every buffered tuple.
         let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8).with_batch_size(512));
-        join.process(StreamTag::S, Tuple::new(7, 0));
-        join.process(StreamTag::R, Tuple::new(7, 1));
-        let outcome = join.shutdown(); // no flush
+        join.process(StreamTag::S, Tuple::new(7, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(7, 1)).unwrap();
+        let outcome = join.shutdown().unwrap(); // no flush
         // Both lanes race during shutdown, but the S tuple was injected
         // first and each lane is a single 1-wave group; with both groups
         // in flight the match may legitimately be observed from either
@@ -721,6 +1017,93 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "targets worker 7")]
+    fn spawn_validates_fault_plan_targets() {
+        let mut config = HandshakeConfig::new(2, 8);
+        config.common.fault_plan = FaultPlan::parse("kill7@1").unwrap();
+        let _ = HandshakeJoin::spawn(config);
+    }
+
+    #[test]
+    fn killing_an_interior_core_degrades_without_error() {
+        let inputs: Vec<_> = WorkloadSpec::new(3_000, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let plan = FaultPlan::parse("kill1@5").unwrap();
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(4, 64).with_fault_plan(plan),
+        );
+        for &(tag, t) in &inputs {
+            join.process(tag, t).unwrap();
+        }
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
+        assert_eq!(outcome.fault.workers_lost, vec![1]);
+        assert!(outcome.fault.degraded());
+        assert!(
+            outcome.fault.orphaned_tuples > 0,
+            "severing the chain mid-stream must strand window tuples"
+        );
+        // The reachable part of the chain kept joining.
+        let want = reference_join(&inputs, 64, JoinPredicate::Equi).len() as u64;
+        assert!(outcome.result_count < want, "a severed chain loses matches");
+    }
+
+    #[test]
+    fn scripted_stalls_and_drops_are_reported() {
+        let inputs: Vec<_> = WorkloadSpec::new(400, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let plan = FaultPlan::parse("stall0@2x5,drop1@3").unwrap();
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(2, 16).with_fault_plan(plan),
+        );
+        for &(tag, t) in &inputs {
+            join.process(tag, t).unwrap();
+        }
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
+        assert_eq!(outcome.fault.injected_stalls, 1);
+        assert_eq!(outcome.fault.injected_drops, 1);
+        assert!(outcome.fault.degraded());
+        assert!(outcome.fault.workers_lost.is_empty());
+    }
+
+    #[test]
+    fn scripted_panic_surfaces_as_worker_panicked() {
+        let inputs: Vec<_> = WorkloadSpec::new(200, KeyDist::Uniform { domain: 4 })
+            .generate()
+            .collect();
+        let plan = FaultPlan::parse("panic1@3").unwrap();
+        let join = HandshakeJoin::spawn(
+            HandshakeConfig::new(2, 16).with_fault_plan(plan),
+        );
+        for &(tag, t) in &inputs {
+            join.process(tag, t).unwrap();
+        }
+        let _ = join.flush();
+        match join.shutdown() {
+            Err(JoinError::WorkerPanicked { worker, stats_so_far }) => {
+                assert_eq!(worker, 1);
+                assert!(stats_so_far.tuples_seen > 0, "snapshot published pre-panic");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8));
+        join.process_or_panic(StreamTag::S, Tuple::new(3, 0));
+        join.flush_or_panic();
+        join.process_or_panic(StreamTag::R, Tuple::new(3, 1));
+        join.flush_or_panic();
+        let outcome = join.shutdown_or_panic();
+        assert_eq!(outcome.result_count, 1);
+    }
+
+    #[test]
     #[cfg(feature = "obs")]
     fn tracing_records_core_spans_without_changing_results() {
         let inputs: Vec<_> = WorkloadSpec::new(120, KeyDist::Uniform { domain: 6 })
@@ -731,10 +1114,10 @@ mod tests {
         obs::trace::enable(1);
         let join = HandshakeJoin::spawn(HandshakeConfig::new(4, 32));
         for &(tag, t) in &inputs {
-            join.process(tag, t);
-            join.flush();
+            join.process(tag, t).unwrap();
+            join.flush().unwrap();
         }
-        let outcome = join.shutdown();
+        let outcome = join.shutdown().unwrap();
         obs::trace::disable();
 
         // Serialized feeding stays exact with tracing on.
@@ -767,10 +1150,10 @@ mod tests {
     #[test]
     fn no_matches_before_windows_overlap() {
         let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8));
-        join.process(StreamTag::R, Tuple::new(1, 0));
-        join.process(StreamTag::R, Tuple::new(2, 1));
-        join.flush();
-        let outcome = join.shutdown();
+        join.process(StreamTag::R, Tuple::new(1, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(2, 1)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 0);
     }
 }

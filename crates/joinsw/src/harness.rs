@@ -1,12 +1,28 @@
 //! Measurement harness for the software joins (Figs. 14d and 16).
+//!
+//! Since the `StreamJoin` convergence the measurement loops are generic:
+//! [`measure_throughput_with`] and [`measure_latency_with`] drive any
+//! engine implementing [`StreamJoin`] — the SplitJoin router, the
+//! handshake chain, or the single-threaded baseline — through the same
+//! warm-up/feed/flush protocol, and the engine-named wrappers
+//! ([`measure_throughput`], [`measure_handshake_throughput`],
+//! [`measure_latency`]) are thin typed aliases kept for the figure
+//! binaries. All of them are fallible: a run that loses its last worker
+//! (or trips the saturation supervisor) reports a
+//! [`JoinError`] instead of panicking mid-measurement, and scripted
+//! fault scenarios surface their damage in the returned outcome's
+//! fault report.
 
 use std::time::Instant;
 
+use accel_error::JoinError;
 use streamcore::metrics::{LatencyRecorder, LatencySummary, Throughput};
 use streamcore::{StreamTag, Tuple};
 
-use crate::handshake::{HandshakeConfig, HandshakeJoin};
+use crate::config::JoinParams;
+use crate::handshake::{HandshakeConfig, HandshakeJoin, HandshakeOutcome};
 use crate::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
+use crate::streamjoin::StreamJoin;
 
 /// Parallel efficiency of the software SplitJoin when one thread per join
 /// core actually gets its own hardware core. Calibrated to the paper's
@@ -35,172 +51,210 @@ pub fn modeled_throughput(single_core: Throughput, num_cores: usize) -> f64 {
     single_core.per_second() * num_cores as f64 * PARALLEL_EFFICIENCY
 }
 
-/// Pre-fills both windows of a running [`SplitJoin`] to capacity with
-/// non-matching keys, leaving it in steady state.
-pub fn prefill_steady_state(join: &SplitJoin, window_size: usize) {
-    let r: Vec<Tuple> = (0..window_size as u32).map(|i| Tuple::new(i, i)).collect();
-    let s: Vec<Tuple> = (0..window_size as u32)
-        .map(|i| Tuple::new(i + window_size as u32, i))
-        .collect();
-    join.prefill(StreamTag::R, &r);
-    join.prefill(StreamTag::S, &s);
-    join.flush();
+/// Pre-fills both windows of any running [`StreamJoin`] to capacity with
+/// non-matching keys and flushes, leaving it in steady state.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn prefill_steady_state<J: StreamJoin>(
+    join: &J,
+    window_size: usize,
+) -> Result<(), JoinError> {
+    join.warm(window_size)?;
+    join.flush()
 }
 
-/// Measures steady-state input throughput of the software SplitJoin: the
-/// windows are pre-filled, then `tuples` inputs (alternating R/S, keys
-/// hashed over `key_domain`) are pushed as fast as the workers absorb
-/// them. Distribution batching follows
-/// [`SplitJoinConfig::batch_size`] — per-tuple cross-thread wake-ups
-/// (`batch_size = 1`) measure the channel implementation as much as the
-/// join, which is exactly the contrast `BENCH_swjoin.json` records.
+/// Measures steady-state input throughput of any [`StreamJoin`] engine:
+/// the windows are pre-filled (counting-only, so no collector work
+/// distorts the rate), then `tuples` inputs (alternating R/S, keys
+/// hashed over `key_domain`) are pushed as fast as the engine absorbs
+/// them. Returns the rate together with the shutdown outcome, so bench
+/// manifests can archive batch-size histograms, per-worker counters,
+/// and the fault report alongside the number.
 ///
-/// This is the experiment behind Fig. 14d.
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_throughput_with<J: StreamJoin>(
+    mut config: J::Config,
+    tuples: u64,
+    key_domain: u32,
+) -> Result<(Throughput, J::Outcome), JoinError> {
+    let window = config.common().window_size;
+    config.common_mut().collect_results = false;
+    let join = J::spawn(config);
+    prefill_steady_state(&join, window)?;
+    let start = Instant::now();
+    for seq in 0..tuples {
+        let tag = if seq % 2 == 0 { StreamTag::R } else { StreamTag::S };
+        let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
+        join.process(tag, Tuple::new(key, seq as u32))?;
+    }
+    join.flush()?;
+    let elapsed = start.elapsed();
+    let outcome = join.shutdown()?;
+    Ok((Throughput::over_duration(tuples, elapsed), outcome))
+}
+
+/// SplitJoin-typed [`measure_throughput_with`] — the experiment behind
+/// Fig. 14d. Per-tuple cross-thread wake-ups (`batch_size = 1`) measure
+/// the channel implementation as much as the join, which is exactly the
+/// contrast `BENCH_swjoin.json` records.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
 pub fn measure_throughput(
     config: SplitJoinConfig,
     tuples: u64,
     key_domain: u32,
-) -> Throughput {
-    measure_throughput_outcome(config, tuples, key_domain).0
+) -> Result<Throughput, JoinError> {
+    Ok(measure_throughput_outcome(config, tuples, key_domain)?.0)
 }
 
 /// [`measure_throughput`] that also returns the shutdown
 /// [`JoinOutcome`], so bench manifests can archive the batch-size
 /// histogram and per-worker counters alongside the rate.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
 pub fn measure_throughput_outcome(
     config: SplitJoinConfig,
     tuples: u64,
     key_domain: u32,
-) -> (Throughput, JoinOutcome) {
-    let window = config.window_size;
-    let join = SplitJoin::spawn(config.counting_only());
-    prefill_steady_state(&join, window);
-    let start = Instant::now();
-    for seq in 0..tuples {
-        let tag = if seq % 2 == 0 { StreamTag::R } else { StreamTag::S };
-        let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
-        join.process(tag, Tuple::new(key, seq as u32));
-    }
-    join.flush();
-    let elapsed = start.elapsed();
-    let outcome = join.shutdown();
-    (Throughput::over_duration(tuples, elapsed), outcome)
+) -> Result<(Throughput, JoinOutcome), JoinError> {
+    measure_throughput_with::<SplitJoin>(config, tuples, key_domain)
 }
 
-/// Measures steady-state input throughput of the software handshake join
-/// (bi-flow) — the uni-flow/bi-flow comparison of Fig. 14b, in software.
-/// The chain has no direct pre-fill path (window placement *is* the
-/// flow), so a warm-up of `2 × window` tuples fills both windows before
-/// the timed segment starts.
+/// Handshake-typed [`measure_throughput_with`] — the uni-flow/bi-flow
+/// comparison of Fig. 14b, in software. The chain has no probe-free
+/// pre-fill path (window placement *is* the flow), so the warm-up
+/// processes `2 × window` tuples through the chain before the timed
+/// segment starts.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
 pub fn measure_handshake_throughput(
     config: HandshakeConfig,
     tuples: u64,
     key_domain: u32,
-) -> Throughput {
-    measure_handshake_throughput_outcome(config, tuples, key_domain).0
+) -> Result<Throughput, JoinError> {
+    Ok(measure_handshake_throughput_outcome(config, tuples, key_domain)?.0)
 }
 
 /// [`measure_handshake_throughput`] that also returns the shutdown
-/// [`HandshakeOutcome`](crate::handshake::HandshakeOutcome), so bench
-/// manifests can archive the batch-size histogram and any harvested
-/// span rings alongside the rate.
+/// [`HandshakeOutcome`], so bench manifests can archive the batch-size
+/// histogram and any harvested span rings alongside the rate.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
 pub fn measure_handshake_throughput_outcome(
     config: HandshakeConfig,
     tuples: u64,
     key_domain: u32,
-) -> (Throughput, crate::handshake::HandshakeOutcome) {
-    let window = config.window_size;
-    let join = HandshakeJoin::spawn(HandshakeConfig {
-        collect_results: false,
-        ..config
-    });
-    let mut seq = 0u64;
-    let mut feed = |join: &HandshakeJoin, n: u64| {
-        for _ in 0..n {
-            let tag = if seq.is_multiple_of(2) {
-                StreamTag::R
-            } else {
-                StreamTag::S
-            };
-            let key = ((seq as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
-            join.process(tag, Tuple::new(key, seq as u32));
-            seq += 1;
-        }
-        join.flush();
-    };
-    feed(&join, 2 * window as u64); // warm-up: fill both windows
-    let start = Instant::now();
-    feed(&join, tuples);
-    let elapsed = start.elapsed();
-    let outcome = join.shutdown();
-    (Throughput::over_duration(tuples, elapsed), outcome)
+) -> Result<(Throughput, HandshakeOutcome), JoinError> {
+    measure_throughput_with::<HandshakeJoin>(config, tuples, key_domain)
 }
 
-/// Measures per-tuple latency of the software SplitJoin: with pre-filled
-/// windows, each sample submits one tuple and waits until every worker
-/// has processed it and emitted its results (flush barrier) — the paper's
-/// definition of latency ("time to process and emit all results for a
-/// newly inserted tuple").
+/// Measures per-tuple latency of any [`StreamJoin`] engine: with
+/// pre-filled windows, each sample submits one tuple and waits until the
+/// engine has processed it and emitted its results (flush barrier) — the
+/// paper's definition of latency ("time to process and emit all results
+/// for a newly inserted tuple"). Returns the summary, the full sample
+/// distribution as a log2-bucketed [`obs::Histogram`] (nanoseconds), and
+/// the shutdown outcome.
 ///
-/// This is the experiment behind Fig. 16.
-pub fn measure_latency(
-    config: SplitJoinConfig,
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_latency_with<J: StreamJoin>(
+    mut config: J::Config,
     samples: usize,
     key_domain: u32,
-) -> LatencySummary {
-    measure_latency_hist(config, samples, key_domain).0
-}
-
-/// [`measure_latency`] that also returns the full sample distribution as
-/// a log2-bucketed [`obs::Histogram`] (nanoseconds) — the summary's
-/// p50/p99 collapse the distribution; the histogram is what the bench
-/// manifests archive.
-pub fn measure_latency_hist(
-    config: SplitJoinConfig,
-    samples: usize,
-    key_domain: u32,
-) -> (LatencySummary, obs::Histogram) {
-    let (s, h, _) = measure_latency_outcome(config, samples, key_domain);
-    (s, h)
-}
-
-/// [`measure_latency_hist`] that also returns the shutdown
-/// [`JoinOutcome`], so bench manifests can archive per-worker counters
-/// and any harvested span rings alongside the latency distribution.
-pub fn measure_latency_outcome(
-    config: SplitJoinConfig,
-    samples: usize,
-    key_domain: u32,
-) -> (LatencySummary, obs::Histogram, JoinOutcome) {
-    let window = config.window_size;
-    let join = SplitJoin::spawn(config.counting_only());
-    prefill_steady_state(&join, window);
+) -> Result<(LatencySummary, obs::Histogram, J::Outcome), JoinError> {
+    let window = config.common().window_size;
+    config.common_mut().collect_results = false;
+    let join = J::spawn(config);
+    prefill_steady_state(&join, window)?;
     let mut recorder = LatencyRecorder::new();
     for i in 0..samples {
         let tag = if i % 2 == 0 { StreamTag::R } else { StreamTag::S };
         let key = ((i as u32).wrapping_mul(2_654_435_761) >> 16) % key_domain;
         let start = Instant::now();
-        join.process(tag, Tuple::new(key, i as u32));
-        join.flush();
+        join.process(tag, Tuple::new(key, i as u32))?;
+        join.flush()?;
         recorder.record(start.elapsed());
     }
-    let outcome = join.shutdown();
-    (
+    let outcome = join.shutdown()?;
+    Ok((
         recorder.summary().expect("samples recorded"),
         recorder.histogram(),
         outcome,
-    )
+    ))
+}
+
+/// SplitJoin-typed [`measure_latency_with`] returning just the summary —
+/// the experiment behind Fig. 16.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_latency(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> Result<LatencySummary, JoinError> {
+    Ok(measure_latency_hist(config, samples, key_domain)?.0)
+}
+
+/// [`measure_latency`] that also returns the full sample distribution —
+/// the summary's p50/p99 collapse the distribution; the histogram is
+/// what the bench manifests archive.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_latency_hist(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> Result<(LatencySummary, obs::Histogram), JoinError> {
+    let (s, h, _) = measure_latency_outcome(config, samples, key_domain)?;
+    Ok((s, h))
+}
+
+/// [`measure_latency_hist`] that also returns the shutdown
+/// [`JoinOutcome`], so bench manifests can archive per-worker counters
+/// and any harvested span rings alongside the latency distribution.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_latency_outcome(
+    config: SplitJoinConfig,
+    samples: usize,
+    key_domain: u32,
+) -> Result<(LatencySummary, obs::Histogram, JoinOutcome), JoinError> {
+    measure_latency_with::<SplitJoin>(config, samples, key_domain)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::BaselineJoin;
+    use crate::config::JoinConfig;
 
     #[test]
     fn throughput_decreases_with_window_size() {
         // Fig. 14d shape: 1/W scaling of the nested-loop probe.
-        let small = measure_throughput(SplitJoinConfig::new(2, 1 << 8), 2_000, 1 << 20);
-        let large = measure_throughput(SplitJoinConfig::new(2, 1 << 12), 2_000, 1 << 20);
+        let small =
+            measure_throughput(SplitJoinConfig::new(2, 1 << 8), 2_000, 1 << 20).unwrap();
+        let large =
+            measure_throughput(SplitJoinConfig::new(2, 1 << 12), 2_000, 1 << 20).unwrap();
         assert!(
             small.per_second() > 2.0 * large.per_second(),
             "16x window should cost well over 2x throughput: {small} vs {large}"
@@ -215,22 +269,23 @@ mod tests {
         // verify the property that *produces* the speedup — each core does
         // only 1/N of the probe work — plus the calibrated model.
         if host_parallelism() >= 4 {
-            let one =
-                measure_throughput(SplitJoinConfig::new(1, 1 << 12), 4_000, 1 << 20);
+            let one = measure_throughput(SplitJoinConfig::new(1, 1 << 12), 4_000, 1 << 20)
+                .unwrap();
             let four =
-                measure_throughput(SplitJoinConfig::new(4, 1 << 12), 4_000, 1 << 20);
+                measure_throughput(SplitJoinConfig::new(4, 1 << 12), 4_000, 1 << 20)
+                    .unwrap();
             assert!(
                 four.per_second() > 1.5 * one.per_second(),
                 "4 cores should beat 1 core clearly: {four} vs {one}"
             );
         } else {
             let join = SplitJoin::spawn(SplitJoinConfig::new(4, 1 << 8));
-            prefill_steady_state(&join, 1 << 8);
+            prefill_steady_state(&join, 1 << 8).unwrap();
             for i in 0..100u32 {
-                join.process(StreamTag::R, Tuple::new(1 << 30, i));
+                join.process(StreamTag::R, Tuple::new(1 << 30, i)).unwrap();
             }
-            join.flush();
-            let outcome = join.shutdown();
+            join.flush().unwrap();
+            let outcome = join.shutdown().unwrap();
             for ws in &outcome.worker_stats {
                 // Each probe scans only the 64-tuple sub-window, not 256.
                 assert_eq!(ws.comparisons, 100 * 64);
@@ -249,14 +304,41 @@ mod tests {
             crate::handshake::HandshakeConfig::new(2, 1 << 8),
             2_000,
             1 << 20,
-        );
+        )
+        .unwrap();
         assert!(t.per_second() > 0.0);
         assert_eq!(t.events(), 2_000);
     }
 
     #[test]
+    fn every_engine_measures_through_the_unified_surface() {
+        let (t, _) = measure_throughput_with::<BaselineJoin>(
+            JoinConfig::new(1, 1 << 6),
+            500,
+            1 << 20,
+        )
+        .unwrap();
+        assert!(t.per_second() > 0.0);
+        let (t, outcome) = measure_throughput_with::<SplitJoin>(
+            SplitJoinConfig::new(2, 1 << 6),
+            500,
+            1 << 20,
+        )
+        .unwrap();
+        assert!(t.per_second() > 0.0);
+        assert!(!outcome.fault.degraded());
+        let (t, _) = measure_throughput_with::<HandshakeJoin>(
+            HandshakeConfig::new(2, 1 << 6),
+            500,
+            1 << 20,
+        )
+        .unwrap();
+        assert!(t.per_second() > 0.0);
+    }
+
+    #[test]
     fn latency_summary_is_populated() {
-        let s = measure_latency(SplitJoinConfig::new(2, 1 << 10), 50, 1 << 20);
+        let s = measure_latency(SplitJoinConfig::new(2, 1 << 10), 50, 1 << 20).unwrap();
         assert_eq!(s.samples, 50);
         assert!(s.mean.as_nanos() > 0);
         assert!(s.max >= s.p50);
@@ -265,8 +347,10 @@ mod tests {
     #[test]
     fn latency_grows_with_window() {
         // Fig. 16 shape: larger windows -> longer scans -> higher latency.
-        let small = measure_latency(SplitJoinConfig::new(2, 1 << 10), 40, 1 << 20);
-        let large = measure_latency(SplitJoinConfig::new(2, 1 << 15), 40, 1 << 20);
+        let small =
+            measure_latency(SplitJoinConfig::new(2, 1 << 10), 40, 1 << 20).unwrap();
+        let large =
+            measure_latency(SplitJoinConfig::new(2, 1 << 15), 40, 1 << 20).unwrap();
         assert!(
             large.p50 > small.p50,
             "latency should grow with window: {small} vs {large}"

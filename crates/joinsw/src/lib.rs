@@ -19,13 +19,36 @@
 //! * [`handshake`] — bi-flow: a chain of threads through which R flows
 //!   left-to-right and S right-to-left with low-latency fast-forwarding,
 //!   with the same optional wave batching.
-//! * [`baseline`] — the strict-semantics reference join.
-//! * [`harness`] — the measurement loops behind those figures:
-//!   [`harness::measure_throughput`], [`harness::measure_latency`] (and
-//!   [`harness::measure_latency_hist`], which also returns the full
-//!   sample distribution as an [`obs::Histogram`] for the bench
-//!   manifests), plus the calibrated multi-core scaling model used when
-//!   the host has fewer hardware threads than join cores.
+//! * [`baseline`] — the strict-semantics reference join, plus
+//!   [`baseline::BaselineJoin`] wrapping it behind the unified trait.
+//! * [`streamjoin`] — the unified [`StreamJoin`] surface: every engine
+//!   behind the same five fallible verbs (spawn, process, prefill,
+//!   flush, shutdown), with [`JoinSummary`] as the common outcome view.
+//! * [`config`] — the shared [`JoinConfig`] builder (cores, window,
+//!   predicate, batching, channel capacity, fault plan) that every
+//!   engine-specific config embeds and exposes via [`JoinParams`].
+//! * [`fault`] — deterministic fault injection: a seedless, scripted
+//!   [`FaultPlan`] (kill/stall/drop/panic worker k at batch n) and the
+//!   [`FaultReport`] each outcome carries describing exactly what
+//!   capacity and match-completeness was lost.
+//! * [`harness`] — the measurement loops behind those figures, now
+//!   generic over [`StreamJoin`]: [`harness::measure_throughput_with`],
+//!   [`harness::measure_latency_with`] and their engine-typed wrappers,
+//!   plus the calibrated multi-core scaling model used when the host has
+//!   fewer hardware threads than join cores.
+//!
+//! # Fault model
+//!
+//! The data path never panics on a dead peer. Channel sends are
+//! supervised (bounded exponential backoff with a saturation deadline),
+//! worker liveness is tracked through heartbeat counters, and losing a
+//! join core *degrades* the run instead of aborting it: the SplitJoin
+//! router re-partitions new tuples over the survivors (see
+//! `streamcore::PartitionMap`) and the handshake chain severs at the
+//! dead core. Each outcome's [`FaultReport`] accounts the exact
+//! match-completeness loss (orphaned sub-window tuples) and recovery
+//! latency. Only unrecoverable conditions — every worker gone, a worker
+//! panic, saturation past the deadline — surface as [`JoinError`].
 //!
 //! Latency here is wall-clock (nanoseconds), unlike `joinhw`'s simulated
 //! cycle counts: these joins run on real OS threads, so their harness
@@ -36,14 +59,15 @@
 //!
 //! ```
 //! use joinsw::splitjoin::{SplitJoin, SplitJoinConfig};
+//! use joinsw::StreamJoin;
 //! use streamcore::{StreamTag, Tuple};
 //!
 //! let config = SplitJoinConfig::new(4, 1024);
 //! let join = SplitJoin::spawn(config);
-//! join.process(StreamTag::S, Tuple::new(7, 0));
-//! join.process(StreamTag::R, Tuple::new(7, 1));
-//! join.flush();
-//! let outcome = join.shutdown();
+//! join.process(StreamTag::S, Tuple::new(7, 0)).unwrap();
+//! join.process(StreamTag::R, Tuple::new(7, 1)).unwrap();
+//! join.flush().unwrap();
+//! let outcome = join.shutdown().unwrap();
 //! assert_eq!(outcome.results.len(), 1);
 //! ```
 
@@ -51,6 +75,15 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod config;
+pub mod fault;
 pub mod handshake;
 pub mod harness;
 pub mod splitjoin;
+pub mod streamjoin;
+mod supervise;
+
+pub use accel_error::{JoinError, WorkerStats};
+pub use config::{JoinConfig, JoinParams};
+pub use fault::{FaultEvent, FaultPlan, FaultReport};
+pub use streamjoin::{JoinSummary, StreamJoin};

@@ -28,24 +28,69 @@
 //!
 //! * **Distribution** — [`SplitJoin::process`] accumulates tuples in a
 //!   caller-side buffer and ships one [`Arc`]-shared batch message per
-//!   [`SplitJoinConfig::batch_size`] tuples to every worker (one
-//!   allocation per batch, N reference-count bumps — not N copies).
+//!   [`JoinConfig::batch_size`](crate::config::JoinConfig::batch_size)
+//!   tuples to every worker (one allocation per batch, N reference-count
+//!   bumps — not N copies).
 //! * **Collection** — workers buffer matches locally and emit them to the
 //!   collector in chunks; in counting-only mode
-//!   ([`SplitJoinConfig::counting_only`]) no collector thread exists at
-//!   all and matches are folded from per-worker counters at shutdown.
+//!   ([`JoinConfig::counting_only`](crate::config::JoinConfig::counting_only))
+//!   no collector thread exists at all and matches are folded from
+//!   per-worker counters at shutdown.
 //!
 //! Batching never changes results: [`SplitJoin::flush`] and
 //! [`SplitJoin::shutdown`] both drain the partial batch first, so
 //! `batch_size = 1` reproduces the unbatched message-per-tuple path
 //! exactly and every batch size yields the same result multiset.
+//!
+//! # Fault tolerance
+//!
+//! Every data-path operation is fallible ([`accel_error::JoinError`])
+//! instead of `.expect`-ing channel peers alive, and the distribution
+//! side is a supervised *router*:
+//!
+//! * channel sends use bounded exponential backoff
+//!   (`send_timeout`, 1 ms doubling to 64 ms) and watch each worker's
+//!   heartbeat counter — back-pressure with progress waits forever, a
+//!   frozen heartbeat with a full channel for the whole supervision
+//!   deadline reports [`JoinError::Saturated`];
+//! * a worker found dead (scripted kill from the
+//!   [`FaultPlan`], scripted panic, or organic
+//!   death) is *recovered*: the router retires its position from the
+//!   shared [`PartitionMap`], broadcasts the new map so survivors
+//!   re-partition future storage turns at the same message boundary, and
+//!   records the exact completeness loss — the tuples orphaned inside the
+//!   dead worker's sub-window — in the outcome's
+//!   [`FaultReport`];
+//! * with [`SplitJoinConfig::with_replication`], the router additionally
+//!   keeps a replica ring of the last `effective_window` tuples per
+//!   stream and re-inserts the orphans into survivor sub-windows on
+//!   recovery.
+//!
+//! Scripted kills are recovered *proactively* at the exact batch boundary
+//! the plan names, which is what makes the orphan accounting exact: the
+//! dead worker's occupancy is the closed-form round-robin share of the
+//! streams sent so far, clamped to the sub-window size. With an empty
+//! plan none of this machinery runs per tuple: the router counts stream
+//! tags per batch and nothing else.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use streamcore::{FlatWindow, HashIndexWindow, JoinPredicate, MatchPair, StreamTag, Tuple};
+use accel_error::JoinError;
+pub use accel_error::WorkerStats;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use streamcore::{
+    FlatWindow, HashIndexWindow, JoinPredicate, MatchPair, PartitionMap, StreamTag, Tuple,
+};
+
+use crate::config::{JoinConfig, JoinParams};
+use crate::fault::{round_robin_share, FaultPlan, FaultReport};
+use crate::supervise::{supervised_send, AliveGuard, SendStatus, WorkerCell};
 
 /// Default distribution batch size (tuples per batch message), used by
 /// [`SplitJoinConfig::new`] unless overridden by the `ACCEL_SW_BATCH`
@@ -78,34 +123,44 @@ pub enum SwJoinAlgorithm {
     Hash,
 }
 
-/// Configuration of a [`SplitJoin`] instance.
+/// Configuration of a [`SplitJoin`] instance: the shared
+/// [`JoinConfig`] plus the SplitJoin-specific extensions. Derefs to
+/// [`JoinConfig`], so the shared fields and `&self` helpers
+/// (`config.window_size`, `config.sub_window()`) read and write exactly
+/// as before the convergence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitJoinConfig {
-    /// Number of join-core threads.
-    pub num_cores: usize,
-    /// Sliding-window size per stream (tuples), divided across cores.
-    pub window_size: usize,
-    /// Join condition.
-    pub predicate: JoinPredicate,
+    /// The engine-independent configuration fields.
+    pub common: JoinConfig,
     /// Join algorithm (default nested-loop, as the paper measures).
     pub algorithm: SwJoinAlgorithm,
-    /// Per-worker input channel capacity, counted in **messages** — i.e.
-    /// batches, not tuples. The caller can be up to
-    /// `channel_capacity × batch_size` tuples ahead of the slowest
-    /// worker before [`SplitJoin::process`] blocks (back-pressure), so
-    /// raising `batch_size` deepens the effective pipeline even at a
-    /// fixed capacity. Must be non-zero.
-    pub channel_capacity: usize,
-    /// Tuples accumulated per distribution batch message (and the chunk
-    /// size of the result-collection path). `1` reproduces the unbatched
-    /// message-per-tuple data path exactly; larger values amortize the
-    /// cross-thread wake-up cost. Must be non-zero. Results are
-    /// identical at every batch size.
-    pub batch_size: usize,
-    /// If `false`, the collector thread is not spawned at all: workers
-    /// count matches locally and the totals are folded at shutdown
-    /// (throughput runs over long streams pay zero collection traffic).
-    pub collect_results: bool,
+    /// Keep a coordinator-side replica ring of the last
+    /// `effective_window` tuples per stream and re-insert a dead
+    /// worker's orphans into survivor sub-windows on recovery. Costs a
+    /// per-tuple copy on the router thread; off by default.
+    pub replicate_on_loss: bool,
+}
+
+impl Deref for SplitJoinConfig {
+    type Target = JoinConfig;
+    fn deref(&self) -> &JoinConfig {
+        &self.common
+    }
+}
+
+impl DerefMut for SplitJoinConfig {
+    fn deref_mut(&mut self) -> &mut JoinConfig {
+        &mut self.common
+    }
+}
+
+impl JoinParams for SplitJoinConfig {
+    fn common(&self) -> &JoinConfig {
+        &self.common
+    }
+    fn common_mut(&mut self) -> &mut JoinConfig {
+        &mut self.common
+    }
 }
 
 impl SplitJoinConfig {
@@ -116,22 +171,17 @@ impl SplitJoinConfig {
     ///
     /// Panics if `num_cores` or `window_size` is zero.
     pub fn new(num_cores: usize, window_size: usize) -> Self {
-        assert!(num_cores > 0, "need at least one join core");
-        assert!(window_size > 0, "window size must be positive");
         Self {
-            num_cores,
-            window_size,
-            predicate: JoinPredicate::Equi,
+            common: JoinConfig::new(num_cores, window_size),
             algorithm: SwJoinAlgorithm::NestedLoop,
-            channel_capacity: 1_024,
-            batch_size: default_batch_size(),
-            collect_results: true,
+            replicate_on_loss: false,
         }
     }
 
     /// Replaces the join predicate.
+    #[must_use]
     pub fn with_predicate(mut self, predicate: JoinPredicate) -> Self {
-        self.predicate = predicate;
+        self.common = self.common.with_predicate(predicate);
         self
     }
 
@@ -141,6 +191,7 @@ impl SplitJoinConfig {
     ///
     /// Panics if [`SwJoinAlgorithm::Hash`] is combined with a non-equi
     /// predicate.
+    #[must_use]
     pub fn with_algorithm(mut self, algorithm: SwJoinAlgorithm) -> Self {
         assert!(
             algorithm != SwJoinAlgorithm::Hash || self.predicate == JoinPredicate::Equi,
@@ -151,46 +202,54 @@ impl SplitJoinConfig {
     }
 
     /// Sets the distribution batch size (see
-    /// [`SplitJoinConfig::batch_size`] for the semantics and the
-    /// interaction with `channel_capacity`).
+    /// [`JoinConfig::batch_size`] for the semantics and the interaction
+    /// with `channel_capacity`).
     ///
     /// # Panics
     ///
     /// Panics if `batch_size` is zero.
+    #[must_use]
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        assert!(batch_size > 0, "batch size must be positive");
-        self.batch_size = batch_size;
+        self.common = self.common.with_batch_size(batch_size);
         self
     }
 
     /// Sets the per-worker channel capacity (in batch messages; see
-    /// [`SplitJoinConfig::channel_capacity`]).
+    /// [`JoinConfig::channel_capacity`]).
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero — a zero-capacity bounded channel
-    /// would deadlock the distributor against its own workers.
+    /// Panics if `capacity` is zero.
+    #[must_use]
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "channel capacity must be positive");
-        self.channel_capacity = capacity;
+        self.common = self.common.with_channel_capacity(capacity);
         self
     }
 
     /// Disables result retention and collection (counting only).
+    #[must_use]
     pub fn counting_only(mut self) -> Self {
-        self.collect_results = false;
+        self.common = self.common.counting_only();
         self
     }
 
-    /// Per-core sub-window capacity.
-    pub fn sub_window(&self) -> usize {
-        self.window_size.div_ceil(self.num_cores)
+    /// Installs a fault plan (validated against the core count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets a worker `>= num_cores`.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.common = self.common.with_fault_plan(plan);
+        self
     }
 
-    /// The window size actually realized: `num_cores × sub_window()`.
-    /// Equals `window_size` whenever it divides evenly by the core count.
-    pub fn effective_window(&self) -> usize {
-        self.sub_window() * self.num_cores
+    /// Enables sub-window re-replication on worker loss (see
+    /// [`SplitJoinConfig::replicate_on_loss`]).
+    #[must_use]
+    pub fn with_replication(mut self) -> Self {
+        self.replicate_on_loss = true;
+        self
     }
 }
 
@@ -199,22 +258,17 @@ enum Msg {
     Batch(Arc<[(StreamTag, Tuple)]>),
     /// Window pre-fill (no probing), shared across all workers.
     Prefill(StreamTag, Arc<[Tuple]>),
+    /// Re-replicated orphans of a dead worker: insert directly into this
+    /// worker's own sub-window, without probing or advancing the
+    /// round-robin counters.
+    Adopt(StreamTag, Arc<[Tuple]>),
+    /// A worker died: switch to this partition map for future storage
+    /// turns. All survivors see it at the same position in their FIFO
+    /// queues, so they switch at an identical tuple boundary.
+    Reconfigure(Arc<PartitionMap>),
     /// Barrier token: drain local result buffers, then acknowledge.
     Flush(Sender<()>),
     Stop,
-}
-
-/// Statistics reported by each worker at shutdown.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// Tuples this worker received.
-    pub tuples_seen: u64,
-    /// Tuples this worker stored into a sub-window.
-    pub stored: u64,
-    /// Window comparisons (probe candidates visited).
-    pub comparisons: u64,
-    /// Matches emitted.
-    pub matches: u64,
 }
 
 /// Everything a [`SplitJoin`] leaves behind at shutdown.
@@ -225,24 +279,32 @@ pub struct JoinOutcome {
     /// Total matches: the collector's tally, or the per-worker counters
     /// folded together when counting-only.
     pub result_count: u64,
-    /// Per-worker statistics, indexed by core position.
+    /// Per-worker statistics, indexed by core position. A lost worker's
+    /// entry is its last published snapshot.
     pub worker_stats: Vec<WorkerStats>,
     /// Distribution batch sizes (tuples per batch message), as recorded
     /// by the distributor: `total()` is the number of batch messages
     /// sent per worker.
     pub batch_sizes: obs::Histogram,
     /// Wall-clock span rings, one per worker (`sw.worker.<position>`):
-    /// receive waits and per-batch probe/prefill/flush work. Empty
-    /// unless tracing was enabled when the workers were spawned (see
-    /// `obs::trace`).
+    /// receive waits and per-batch probe/prefill/flush work. A run that
+    /// recovered workers also carries a `sw.router` ring with one
+    /// `recover` span per loss. Empty unless tracing was enabled when
+    /// the workers were spawned (see `obs::trace`).
     pub trace: Vec<obs::trace::TraceRing>,
+    /// What went wrong, if anything: lost workers, orphaned tuples,
+    /// recovery latency. All-zero (and [`FaultReport::degraded`] is
+    /// `false`) for a healthy run.
+    pub fault: FaultReport,
 }
 
 impl JoinOutcome {
     /// Publishes the run's counters under stable dotted names
     /// (`splitjoin.worker<i>.probes`, `.stored`, `.matches`,
     /// `splitjoin.batches`, …) for a
-    /// [`RunManifest`](obs::RunManifest).
+    /// [`RunManifest`](obs::RunManifest). Degraded runs additionally
+    /// publish the `fault.*` namespace; healthy runs do **not**, so
+    /// manifests keep their exact pre-fault-model shape.
     pub fn registry(&self) -> obs::Registry {
         let mut reg = obs::Registry::new();
         reg.record("splitjoin.batches", self.batch_sizes.total());
@@ -252,7 +314,325 @@ impl JoinOutcome {
             reg.record(format!("splitjoin.worker{i}.stored"), ws.stored);
             reg.record(format!("splitjoin.worker{i}.matches"), ws.matches);
         }
+        if self.fault.degraded() {
+            self.fault.publish(&mut reg);
+        }
         reg
+    }
+}
+
+/// Coordinator-side replica ring: the last `cap` tuples of one stream,
+/// each tagged with the worker that owned its storage turn when it was
+/// sent.
+#[derive(Debug)]
+struct ReplicaBuf {
+    cap: usize,
+    buf: VecDeque<(u8, Tuple)>,
+}
+
+impl ReplicaBuf {
+    fn new(cap: usize) -> Self {
+        Self { cap, buf: VecDeque::with_capacity(cap) }
+    }
+
+    fn push(&mut self, owner: usize, tuple: Tuple) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((owner as u8, tuple));
+    }
+
+    /// The last `limit` tuples owned by `worker`, oldest first — exactly
+    /// the content of its sub-window ring at this moment.
+    fn orphans_of(&self, worker: usize, limit: usize) -> Vec<Tuple> {
+        let mut found: Vec<Tuple> = self
+            .buf
+            .iter()
+            .rev()
+            .filter(|&&(o, _)| o as usize == worker)
+            .take(limit)
+            .map(|&(_, t)| t)
+            .collect();
+        found.reverse();
+        found
+    }
+}
+
+/// The supervised distribution side: senders, supervision cells, the
+/// live partition map, and the bookkeeping that makes loss accounting
+/// exact.
+#[derive(Debug)]
+struct Router {
+    /// Per-position sender; `None` once the position is retired (the
+    /// drop disconnects the channel and frees queued messages once the
+    /// worker's receiver is gone too).
+    senders: Vec<Option<Sender<Msg>>>,
+    cells: Vec<Arc<WorkerCell>>,
+    map: PartitionMap,
+    plan: FaultPlan,
+    sub_window: usize,
+    batches_sent: u64,
+    batch_hist: obs::Histogram,
+    /// Tuples sent per stream (prefill included) — each healthy worker's
+    /// local per-stream count equals these.
+    r_sent: u64,
+    s_sent: u64,
+    /// Exact per-worker storage-turn counts `(R, S)`. `None` while the
+    /// map is full (the closed form reproduces them on demand); kept
+    /// incrementally once degraded.
+    owned: Option<(Vec<u64>, Vec<u64>)>,
+    /// Replica rings `(R, S)`, only with `replicate_on_loss`.
+    replicas: Option<(ReplicaBuf, ReplicaBuf)>,
+    report: FaultReport,
+    /// `sw.router` span ring (`recover` spans); attached to the outcome
+    /// trace only when non-empty, so healthy traced runs are unchanged.
+    ring: Option<obs::trace::TraceRing>,
+}
+
+impl Router {
+    fn live_sender(&self, worker: usize) -> Option<&Sender<Msg>> {
+        self.senders[worker].as_ref()
+    }
+
+    /// Per-stream accounting for an outgoing batch. Healthy fast path:
+    /// one tag-count pass. Degraded or replicating: per-tuple ownership
+    /// tracking.
+    fn note_batch(&mut self, batch: &[(StreamTag, Tuple)]) {
+        if self.owned.is_some() || self.replicas.is_some() {
+            for &(tag, tuple) in batch {
+                self.note_tuple(tag, tuple);
+            }
+        } else {
+            let r = batch.iter().filter(|&&(tag, _)| tag == StreamTag::R).count() as u64;
+            self.r_sent += r;
+            self.s_sent += batch.len() as u64 - r;
+        }
+    }
+
+    fn note_prefill(&mut self, tag: StreamTag, tuples: &[Tuple]) {
+        if self.owned.is_some() || self.replicas.is_some() {
+            for &t in tuples {
+                self.note_tuple(tag, t);
+            }
+        } else {
+            match tag {
+                StreamTag::R => self.r_sent += tuples.len() as u64,
+                StreamTag::S => self.s_sent += tuples.len() as u64,
+            }
+        }
+    }
+
+    fn note_tuple(&mut self, tag: StreamTag, tuple: Tuple) {
+        let seq = match tag {
+            StreamTag::R => self.r_sent,
+            StreamTag::S => self.s_sent,
+        };
+        let owner = self.map.owner(seq);
+        if let Some((owned_r, owned_s)) = &mut self.owned {
+            match tag {
+                StreamTag::R => owned_r[owner] += 1,
+                StreamTag::S => owned_s[owner] += 1,
+            }
+        }
+        if let Some((rep_r, rep_s)) = &mut self.replicas {
+            match tag {
+                StreamTag::R => rep_r.push(owner, tuple),
+                StreamTag::S => rep_s.push(owner, tuple),
+            }
+        }
+        match tag {
+            StreamTag::R => self.r_sent += 1,
+            StreamTag::S => self.s_sent += 1,
+        }
+    }
+
+    /// Sends `make()` to every live worker; workers found dead are
+    /// recovered and the broadcast continues over the survivors.
+    fn broadcast(&mut self, make: impl Fn() -> Msg) -> Result<(), JoinError> {
+        let mut lost = Vec::new();
+        for w in self.map.live().to_vec() {
+            let Some(tx) = self.live_sender(w) else { continue };
+            match supervised_send(tx, &self.cells[w], w, make())? {
+                SendStatus::Sent => {}
+                SendStatus::Lost => lost.push(w),
+            }
+        }
+        self.recover_all(lost)?;
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        Ok(())
+    }
+
+    fn send_batch(&mut self, batch: Vec<(StreamTag, Tuple)>) -> Result<(), JoinError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        self.batch_hist.record_value(batch.len() as u64);
+        self.batches_sent += 1;
+        let boundary = self.batches_sent;
+        self.note_batch(&batch);
+        let shared: Arc<[(StreamTag, Tuple)]> = batch.into();
+        self.broadcast(|| Msg::Batch(shared.clone()))?;
+        // Proactive recovery at the scripted kill boundary: the victim
+        // processes this batch and no more, so the ownership model above
+        // is exactly its occupancy at death.
+        let kills: Vec<usize> = self.plan.kills_after(boundary).collect();
+        if !kills.is_empty() {
+            self.recover_all(kills)?;
+            if self.map.live_count() == 0 {
+                return Err(JoinError::AllWorkersLost);
+            }
+        }
+        Ok(())
+    }
+
+    fn send_prefill(&mut self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        self.note_prefill(tag, tuples);
+        let shared: Arc<[Tuple]> = tuples.to_vec().into();
+        self.broadcast(|| Msg::Prefill(tag, shared.clone()))
+    }
+
+    fn recover_all(&mut self, mut pending: Vec<usize>) -> Result<(), JoinError> {
+        while let Some(w) = pending.pop() {
+            pending.extend(self.recover_one(w)?);
+        }
+        Ok(())
+    }
+
+    /// Retires one dead worker: exact orphan accounting, partition-map
+    /// broadcast, optional re-replication. Returns any further workers
+    /// discovered dead while notifying the survivors.
+    fn recover_one(&mut self, worker: usize) -> Result<Vec<usize>, JoinError> {
+        if !self.map.is_live(worker) {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let span_start = obs::trace::now_ns();
+        let sub = self.sub_window as u64;
+        // Materialize exact per-worker turn counts before mutating the
+        // map: while it is still full the closed form reproduces them
+        // from the two stream counters alone.
+        if self.owned.is_none() {
+            let n = self.map.total();
+            let owned_r = (0..n).map(|w| round_robin_share(&self.map, w, self.r_sent)).collect();
+            let owned_s = (0..n).map(|w| round_robin_share(&self.map, w, self.s_sent)).collect();
+            self.owned = Some((owned_r, owned_s));
+        }
+        let (owned_r, owned_s) = self.owned.as_ref().expect("just materialized");
+        let orphans = owned_r[worker].min(sub) + owned_s[worker].min(sub);
+        self.map.retire(worker);
+        self.senders[worker] = None;
+        self.report.workers_lost.push(worker);
+        self.report.orphaned_tuples += orphans;
+
+        let mut lost = Vec::new();
+        if self.map.live_count() > 0 {
+            let shared = Arc::new(self.map.clone());
+            for w in self.map.live().to_vec() {
+                let Some(tx) = self.live_sender(w) else { continue };
+                match supervised_send(tx, &self.cells[w], w, Msg::Reconfigure(shared.clone()))? {
+                    SendStatus::Sent => {}
+                    SendStatus::Lost => lost.push(w),
+                }
+            }
+            let adoptable = self.replicas.as_ref().map(|(rep_r, rep_s)| {
+                (
+                    rep_r.orphans_of(worker, sub as usize),
+                    rep_s.orphans_of(worker, sub as usize),
+                )
+            });
+            if let Some((adopt_r, adopt_s)) = adoptable {
+                for (tag, adoptees) in [(StreamTag::R, adopt_r), (StreamTag::S, adopt_s)] {
+                    if adoptees.is_empty() {
+                        continue;
+                    }
+                    self.report.readopted_tuples += adoptees.len() as u64;
+                    let live = self.map.live().to_vec();
+                    let mut per_worker: Vec<Vec<Tuple>> = vec![Vec::new(); live.len()];
+                    for (i, t) in adoptees.into_iter().enumerate() {
+                        per_worker[i % live.len()].push(t);
+                    }
+                    for (slot, tuples) in per_worker.into_iter().enumerate() {
+                        let w = live[slot];
+                        if tuples.is_empty() || lost.contains(&w) {
+                            continue;
+                        }
+                        let Some(tx) = self.live_sender(w) else { continue };
+                        let shared: Arc<[Tuple]> = tuples.into();
+                        if let SendStatus::Lost =
+                            supervised_send(tx, &self.cells[w], w, Msg::Adopt(tag, shared))?
+                        {
+                            lost.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        self.report
+            .recovery_ns
+            .record_value(t0.elapsed().as_nanos().max(1) as u64);
+        if let Some(r) = self.ring.as_mut() {
+            let now = obs::trace::now_ns();
+            r.record_arg("recover", span_start, now.saturating_sub(span_start), worker as u64);
+        }
+        Ok(lost)
+    }
+
+    /// Recovers any live-mapped worker whose cell reports it dead
+    /// (reactive detection: scripted panics and organic deaths).
+    fn reap_dead(&mut self) -> Result<(), JoinError> {
+        let dead: Vec<usize> = self
+            .map
+            .live()
+            .iter()
+            .copied()
+            .filter(|&w| self.cells[w].is_dead())
+            .collect();
+        self.recover_all(dead)
+    }
+
+    /// Flush barrier over the survivors. A worker that dies mid-flush
+    /// simply never acknowledges: recovering it drops its sender, which
+    /// (with its receiver already gone) frees the queued token and lets
+    /// the ack channel disconnect instead of deadlocking.
+    fn flush(&mut self) -> Result<(), JoinError> {
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        let (ack_tx, ack_rx) = bounded::<()>(self.map.total());
+        let mut sent = 0usize;
+        let mut lost = Vec::new();
+        for w in self.map.live().to_vec() {
+            let Some(tx) = self.live_sender(w) else { continue };
+            match supervised_send(tx, &self.cells[w], w, Msg::Flush(ack_tx.clone()))? {
+                SendStatus::Sent => sent += 1,
+                SendStatus::Lost => lost.push(w),
+            }
+        }
+        drop(ack_tx);
+        self.recover_all(lost)?;
+        let mut acks = 0usize;
+        while acks < sent {
+            match ack_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(()) => acks += 1,
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => self.reap_dead()?,
+            }
+        }
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        Ok(())
     }
 }
 
@@ -262,15 +642,13 @@ impl JoinOutcome {
 /// See the [crate-level example](crate) for basic usage.
 #[derive(Debug)]
 pub struct SplitJoin {
-    senders: Vec<Sender<Msg>>,
+    router: RefCell<Router>,
     workers: Vec<JoinHandle<(WorkerStats, Option<obs::trace::TraceRing>)>>,
     collector: Option<JoinHandle<Vec<MatchPair>>>,
     batch_size: usize,
     /// Caller-side distribution buffer; drained on flush/shutdown so a
     /// partial batch is never lost.
     pending: RefCell<Vec<(StreamTag, Tuple)>>,
-    batch_hist: RefCell<obs::Histogram>,
-    batches_sent: Cell<u64>,
 }
 
 impl SplitJoin {
@@ -279,11 +657,10 @@ impl SplitJoin {
     /// # Panics
     ///
     /// Panics if `config.channel_capacity` or `config.batch_size` is
-    /// zero (the builder methods reject these, but the fields are
-    /// public).
+    /// zero, or the fault plan targets a worker out of range (the
+    /// builder methods reject these, but the fields are public).
     pub fn spawn(config: SplitJoinConfig) -> Self {
-        assert!(config.channel_capacity > 0, "channel capacity must be positive");
-        assert!(config.batch_size > 0, "batch size must be positive");
+        config.common.validate();
         let (result_tx, collector) = if config.collect_results {
             let (tx, rx) = bounded::<Vec<MatchPair>>(1_024);
             (Some(tx), Some(std::thread::spawn(move || collector_loop(&rx))))
@@ -292,100 +669,119 @@ impl SplitJoin {
         };
 
         let mut senders = Vec::with_capacity(config.num_cores);
+        let mut cells = Vec::with_capacity(config.num_cores);
         let mut workers = Vec::with_capacity(config.num_cores);
         for position in 0..config.num_cores {
             let (tx, rx) = bounded::<Msg>(config.channel_capacity);
-            senders.push(tx);
+            let cell = Arc::new(WorkerCell::default());
+            senders.push(Some(tx));
+            cells.push(Arc::clone(&cell));
             let cfg = config.clone();
             let results = result_tx.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(position, &cfg, &rx, results.as_ref())
+                worker_loop(position, &cfg, &rx, results, &cell)
             }));
         }
         drop(result_tx); // collector exits once every worker has stopped
+        let replicas = config.replicate_on_loss.then(|| {
+            let cap = config.effective_window();
+            (ReplicaBuf::new(cap), ReplicaBuf::new(cap))
+        });
+        let ring = obs::trace::enabled().then(|| {
+            obs::trace::TraceRing::new("sw.router".to_string(), obs::trace::TimeDomain::Wall)
+        });
         Self {
-            senders,
+            router: RefCell::new(Router {
+                senders,
+                cells,
+                map: PartitionMap::identity(config.num_cores),
+                plan: config.fault_plan.clone(),
+                sub_window: config.sub_window(),
+                batches_sent: 0,
+                batch_hist: obs::Histogram::new(),
+                r_sent: 0,
+                s_sent: 0,
+                owned: None,
+                replicas,
+                report: FaultReport::default(),
+                ring,
+            }),
             workers,
             collector,
             batch_size: config.batch_size,
             pending: RefCell::new(Vec::with_capacity(config.batch_size)),
-            batch_hist: RefCell::new(obs::Histogram::new()),
-            batches_sent: Cell::new(0),
         }
     }
 
     /// Submits one tuple to the distribution network. The tuple is
-    /// buffered; every [`SplitJoinConfig::batch_size`] tuples, one batch
-    /// message is broadcast to all join cores. Blocks when worker queues
-    /// are full — natural back-pressure.
-    pub fn process(&self, tag: StreamTag, tuple: Tuple) {
+    /// buffered; every `batch_size` tuples, one batch message is
+    /// broadcast to all live join cores. Blocks (with supervision) when
+    /// worker queues are full — natural back-pressure.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::AllWorkersLost`] when no live worker remains;
+    /// [`JoinError::Saturated`] when a worker's channel stays full with
+    /// a frozen heartbeat past the supervision deadline. Losing *some*
+    /// workers is not an error — the router re-partitions over the
+    /// survivors and reports the damage in [`JoinOutcome::fault`].
+    pub fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
         let mut pending = self.pending.borrow_mut();
         pending.push((tag, tuple));
         if pending.len() >= self.batch_size {
             let batch = std::mem::take(&mut *pending);
             drop(pending);
-            self.send_batch(batch);
+            self.router.borrow_mut().send_batch(batch)?;
         }
+        Ok(())
     }
 
     /// Broadcasts a pre-assembled batch as a single message per worker
     /// (after draining any partial [`SplitJoin::process`] buffer, so
     /// submission order is preserved).
-    pub fn process_batch(&self, batch: &[(StreamTag, Tuple)]) {
-        self.drain_pending();
-        self.send_batch(batch.to_vec());
+    ///
+    /// # Errors
+    ///
+    /// See [`SplitJoin::process`].
+    pub fn process_batch(&self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
+        self.drain_pending()?;
+        self.router.borrow_mut().send_batch(batch.to_vec())
     }
 
-    fn drain_pending(&self) {
+    fn drain_pending(&self) -> Result<(), JoinError> {
         let batch = std::mem::take(&mut *self.pending.borrow_mut());
-        self.send_batch(batch);
-    }
-
-    fn send_batch(&self, batch: Vec<(StreamTag, Tuple)>) {
-        if batch.is_empty() {
-            return;
-        }
-        self.batch_hist
-            .borrow_mut()
-            .record_value(batch.len() as u64);
-        self.batches_sent.set(self.batches_sent.get() + 1);
-        let shared: Arc<[(StreamTag, Tuple)]> = batch.into();
-        for tx in &self.senders {
-            tx.send(Msg::Batch(shared.clone())).expect("worker alive");
-        }
+        self.router.borrow_mut().send_batch(batch)
     }
 
     /// Number of batch messages broadcast so far (per worker).
     pub fn batches_sent(&self) -> u64 {
-        self.batches_sent.get()
+        self.router.borrow().batches_sent
     }
 
     /// Loads `tuples` directly into the sliding windows without probing —
     /// measurement setup, mirroring the hardware pre-fill path. Drains
     /// the pending batch first so earlier `process` calls stay ordered.
-    pub fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) {
-        self.drain_pending();
-        let shared: Arc<[Tuple]> = tuples.to_vec().into();
-        for tx in &self.senders {
-            tx.send(Msg::Prefill(tag, shared.clone()))
-                .expect("worker alive");
-        }
+    ///
+    /// # Errors
+    ///
+    /// See [`SplitJoin::process`].
+    pub fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        self.drain_pending()?;
+        self.router.borrow_mut().send_prefill(tag, tuples)
     }
 
-    /// Blocks until every worker has drained its queue and processed
+    /// Blocks until every live worker has drained its queue and processed
     /// everything submitted before this call (including the partial
     /// batch, which is flushed first), and has handed any buffered
     /// results to the collector.
-    pub fn flush(&self) {
-        self.drain_pending();
-        let (ack_tx, ack_rx) = bounded::<()>(self.senders.len());
-        for tx in &self.senders {
-            tx.send(Msg::Flush(ack_tx.clone())).expect("worker alive");
-        }
-        drop(ack_tx);
-        // One ack per worker; channel closes afterwards.
-        let acks = ack_rx.iter().count();
-        assert_eq!(acks, self.senders.len(), "missing flush acks");
+    ///
+    /// # Errors
+    ///
+    /// See [`SplitJoin::process`]. A worker dying *during* the flush is
+    /// recovered, not an error: the barrier then covers the survivors.
+    pub fn flush(&self) -> Result<(), JoinError> {
+        self.drain_pending()?;
+        self.router.borrow_mut().flush()
     }
 
     /// Stops all threads and returns the accumulated outcome. Any
@@ -393,35 +789,150 @@ impl SplitJoin {
     /// channel close with submitted-but-unsent tuples outstanding, so an
     /// explicit [`SplitJoin::flush`] before shutdown is not required for
     /// completeness.
-    pub fn shutdown(self) -> JoinOutcome {
-        self.drain_pending();
-        for tx in &self.senders {
-            tx.send(Msg::Stop).expect("worker alive");
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::WorkerPanicked`] if a worker thread panicked (with
+    /// its last published statistics snapshot — the stats the
+    /// pre-fault-model shutdown used to lose by re-panicking);
+    /// [`JoinError::CollectorPanicked`] if the collector died. Workers
+    /// lost to *scripted kills* exit cleanly and do not error: their
+    /// damage is in [`JoinOutcome::fault`].
+    pub fn shutdown(self) -> Result<JoinOutcome, JoinError> {
+        // Best-effort drain: during shutdown a failed drain (e.g. every
+        // worker already dead) degrades to dropping the buffered batch,
+        // which the fault report already accounts as worker loss.
+        let _ = self.drain_pending();
+        let mut router = self.router.into_inner();
+        for w in router.map.live().to_vec() {
+            if let Some(tx) = router.live_sender(w) {
+                let _ = tx.send(Msg::Stop);
+            }
         }
-        drop(self.senders);
+        router.senders.clear();
         let mut worker_stats = Vec::with_capacity(self.workers.len());
         let mut trace = Vec::new();
-        for w in self.workers {
-            let (stats, ring) = w.join().expect("worker thread panicked");
-            worker_stats.push(stats);
-            trace.extend(ring);
+        let mut panicked: Option<usize> = None;
+        for (i, w) in self.workers.into_iter().enumerate() {
+            match w.join() {
+                Ok((stats, ring)) => {
+                    worker_stats.push(stats);
+                    trace.extend(ring);
+                }
+                Err(_) => {
+                    if panicked.is_none() {
+                        panicked = Some(i);
+                    }
+                    worker_stats.push(router.cells[i].snapshot());
+                }
+            }
         }
-        let (results, result_count) = match self.collector {
-            Some(c) => {
-                let results = c.join().expect("collector thread panicked");
+        let collected = self.collector.map(|c| c.join());
+        for cell in &router.cells {
+            router.report.injected_stalls += cell.stalls.load(Ordering::Relaxed);
+            router.report.injected_drops += cell.drops.load(Ordering::Relaxed);
+            router.report.results_dropped += cell.results_dropped.load(Ordering::Relaxed);
+        }
+        if let Some(worker) = panicked {
+            return Err(JoinError::WorkerPanicked {
+                worker,
+                stats_so_far: router.cells[worker].snapshot(),
+            });
+        }
+        let (results, result_count) = match collected {
+            Some(Ok(results)) => {
                 let count = results.len() as u64;
                 (results, count)
             }
+            Some(Err(_)) => return Err(JoinError::CollectorPanicked),
             // Counting-only: fold the per-worker match counters.
             None => (Vec::new(), worker_stats.iter().map(|w| w.matches).sum()),
         };
-        JoinOutcome {
+        if let Some(ring) = router.ring.take() {
+            if !ring.is_empty() {
+                trace.push(ring);
+            }
+        }
+        Ok(JoinOutcome {
             results,
             result_count,
             worker_stats,
-            batch_sizes: self.batch_hist.into_inner(),
+            batch_sizes: router.batch_hist,
             trace,
-        }
+            fault: router.report,
+        })
+    }
+
+    /// Pre-fault-model [`SplitJoin::process`]: panics on any failure.
+    #[deprecated(note = "use the fallible `process` and handle `JoinError`")]
+    pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
+        self.process(tag, tuple).expect("worker alive");
+    }
+
+    /// Pre-fault-model [`SplitJoin::process_batch`]: panics on failure.
+    #[deprecated(note = "use the fallible `process_batch` and handle `JoinError`")]
+    pub fn process_batch_or_panic(&self, batch: &[(StreamTag, Tuple)]) {
+        self.process_batch(batch).expect("worker alive");
+    }
+
+    /// Pre-fault-model [`SplitJoin::prefill`]: panics on any failure.
+    #[deprecated(note = "use the fallible `prefill` and handle `JoinError`")]
+    pub fn prefill_or_panic(&self, tag: StreamTag, tuples: &[Tuple]) {
+        self.prefill(tag, tuples).expect("worker alive");
+    }
+
+    /// Pre-fault-model [`SplitJoin::flush`]: panics on any failure.
+    #[deprecated(note = "use the fallible `flush` and handle `JoinError`")]
+    pub fn flush_or_panic(&self) {
+        self.flush().expect("worker alive");
+    }
+
+    /// Pre-fault-model [`SplitJoin::shutdown`]: panics on any failure.
+    #[deprecated(note = "use the fallible `shutdown` and handle `JoinError`")]
+    pub fn shutdown_or_panic(self) -> JoinOutcome {
+        self.shutdown().expect("worker thread panicked")
+    }
+}
+
+impl crate::streamjoin::StreamJoin for SplitJoin {
+    type Config = SplitJoinConfig;
+    type Outcome = JoinOutcome;
+
+    fn spawn(config: SplitJoinConfig) -> Self {
+        SplitJoin::spawn(config)
+    }
+    fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
+        SplitJoin::process(self, tag, tuple)
+    }
+    fn process_batch(&self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
+        SplitJoin::process_batch(self, batch)
+    }
+    fn prefill(&self, tag: StreamTag, tuples: &[Tuple]) -> Result<(), JoinError> {
+        SplitJoin::prefill(self, tag, tuples)
+    }
+    fn flush(&self) -> Result<(), JoinError> {
+        SplitJoin::flush(self)
+    }
+    fn shutdown(self) -> Result<JoinOutcome, JoinError> {
+        SplitJoin::shutdown(self)
+    }
+}
+
+impl crate::streamjoin::JoinSummary for JoinOutcome {
+    fn result_count(&self) -> u64 {
+        self.result_count
+    }
+    fn results(&self) -> &[MatchPair] {
+        &self.results
+    }
+    fn batch_sizes(&self) -> &obs::Histogram {
+        &self.batch_sizes
+    }
+    fn trace(&self) -> &[obs::trace::TraceRing] {
+        &self.trace
+    }
+    fn fault(&self) -> &FaultReport {
+        &self.fault
     }
 }
 
@@ -461,7 +972,7 @@ impl SwWindow {
     }
 }
 
-struct WorkerState<'a> {
+struct WorkerState {
     position: u64,
     n: u64,
     predicate: JoinPredicate,
@@ -470,14 +981,20 @@ struct WorkerState<'a> {
     r_count: u64,
     s_count: u64,
     stats: WorkerStats,
+    /// Re-partitioned ownership after a sibling died; `None` means the
+    /// original `count % n == position` discipline.
+    map: Option<Arc<PartitionMap>>,
     /// Locally buffered matches awaiting a chunked send (empty when
     /// counting-only).
     out: Vec<MatchPair>,
     out_chunk: usize,
-    results: Option<&'a Sender<Vec<MatchPair>>>,
+    /// Dropped (set to `None`) on the first failed send — a dead
+    /// collector degrades result delivery, it doesn't kill the worker.
+    results: Option<Sender<Vec<MatchPair>>>,
+    cell: Arc<WorkerCell>,
 }
 
-impl WorkerState<'_> {
+impl WorkerState {
     fn handle_tuple(&mut self, tag: StreamTag, tuple: Tuple) {
         self.stats.tuples_seen += 1;
         // Probe the opposite sub-window. The nested-loop path scans the
@@ -500,11 +1017,16 @@ impl WorkerState<'_> {
                         if key_match {
                             let stored = Tuple::new(key, payloads[i]);
                             self.stats.matches += 1;
-                            if let Some(tx) = self.results {
+                            if self.results.is_some() {
                                 self.out.push(MatchPair::oriented(tag, tuple, stored));
                                 if self.out.len() >= self.out_chunk {
-                                    tx.send(std::mem::take(&mut self.out))
-                                        .expect("collector alive");
+                                    let chunk = std::mem::take(&mut self.out);
+                                    let n = chunk.len() as u64;
+                                    if self.results.as_ref().expect("checked").send(chunk).is_err()
+                                    {
+                                        self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
+                                        self.results = None;
+                                    }
                                 }
                             }
                         }
@@ -515,11 +1037,15 @@ impl WorkerState<'_> {
                 for stored in w.probe(probe_key) {
                     self.stats.comparisons += 1;
                     self.stats.matches += 1;
-                    if let Some(tx) = self.results {
+                    if self.results.is_some() {
                         self.out.push(MatchPair::oriented(tag, tuple, stored));
                         if self.out.len() >= self.out_chunk {
-                            tx.send(std::mem::take(&mut self.out))
-                                .expect("collector alive");
+                            let chunk = std::mem::take(&mut self.out);
+                            let n = chunk.len() as u64;
+                            if self.results.as_ref().expect("checked").send(chunk).is_err() {
+                                self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
+                                self.results = None;
+                            }
                         }
                     }
                 }
@@ -528,14 +1054,19 @@ impl WorkerState<'_> {
         self.store(tag, tuple, true);
     }
 
-    /// Round-robin storage without central coordination.
+    /// Round-robin storage without central coordination; after a
+    /// reconfigure, the broadcast partition map replaces the modulo.
     fn store(&mut self, tag: StreamTag, tuple: Tuple, count_stat: bool) {
         let count = match tag {
             StreamTag::R => &mut self.r_count,
             StreamTag::S => &mut self.s_count,
         };
-        let my_turn = *count % self.n == self.position;
+        let turn = *count;
         *count += 1;
+        let my_turn = match &self.map {
+            None => turn % self.n == self.position,
+            Some(map) => map.owner(turn) == self.position as usize,
+        };
         if my_turn {
             if count_stat {
                 self.stats.stored += 1;
@@ -548,13 +1079,28 @@ impl WorkerState<'_> {
     }
 
     /// Hands any buffered matches to the collector (barrier points and
-    /// shutdown).
+    /// shutdown); degrades to counting on a dead collector.
     fn flush_results(&mut self) {
-        if let Some(tx) = self.results {
+        if let Some(tx) = &self.results {
             if !self.out.is_empty() {
-                tx.send(std::mem::take(&mut self.out)).expect("collector alive");
+                let chunk = std::mem::take(&mut self.out);
+                let n = chunk.len() as u64;
+                if tx.send(chunk).is_err() {
+                    self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
+                    self.results = None;
+                }
             }
         }
+    }
+
+    /// Publishes the statistics snapshot and advances the heartbeat —
+    /// once per processed message.
+    fn publish(&self) {
+        self.cell.tuples_seen.store(self.stats.tuples_seen, Ordering::Relaxed);
+        self.cell.stored.store(self.stats.stored, Ordering::Relaxed);
+        self.cell.comparisons.store(self.stats.comparisons, Ordering::Relaxed);
+        self.cell.matches.store(self.stats.matches, Ordering::Relaxed);
+        self.cell.heartbeat.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -562,9 +1108,12 @@ fn worker_loop(
     position: usize,
     config: &SplitJoinConfig,
     rx: &Receiver<Msg>,
-    results: Option<&Sender<Vec<MatchPair>>>,
+    results: Option<Sender<Vec<MatchPair>>>,
+    cell: &Arc<WorkerCell>,
 ) -> (WorkerStats, Option<obs::trace::TraceRing>) {
+    let _guard = AliveGuard(Arc::clone(cell));
     let sub = config.sub_window();
+    let plan = &config.fault_plan;
     let mut w = WorkerState {
         position: position as u64,
         n: config.num_cores as u64,
@@ -574,9 +1123,11 @@ fn worker_loop(
         r_count: 0,
         s_count: 0,
         stats: WorkerStats::default(),
+        map: None,
         out: Vec::new(),
         out_chunk: config.batch_size.max(1),
         results,
+        cell: Arc::clone(cell),
     };
 
     let mut ring = obs::trace::enabled().then(|| {
@@ -586,6 +1137,7 @@ fn worker_loop(
         )
     });
     let mut idle_since = obs::trace::now_ns();
+    let mut batch_no: u64 = 0;
 
     for msg in rx.iter() {
         if let Some(r) = ring.as_mut() {
@@ -594,13 +1146,38 @@ fn worker_loop(
         }
         match msg {
             Msg::Batch(batch) => {
-                let t0 = obs::trace::now_ns();
-                for &(tag, tuple) in batch.iter() {
-                    w.handle_tuple(tag, tuple);
+                batch_no += 1;
+                let stall = plan.stall_ms(position, batch_no);
+                if stall > 0 {
+                    w.cell.stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(stall));
                 }
-                if let Some(r) = ring.as_mut() {
-                    let t1 = obs::trace::now_ns();
-                    r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
+                if plan.drops(position, batch_no) {
+                    // The batch is lost in transit: no probes, no stores,
+                    // and this worker's round-robin counters silently
+                    // fall behind its siblings' — deliberate corruption.
+                    w.cell.drops.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let t0 = obs::trace::now_ns();
+                    for &(tag, tuple) in batch.iter() {
+                        w.handle_tuple(tag, tuple);
+                    }
+                    if let Some(r) = ring.as_mut() {
+                        let t1 = obs::trace::now_ns();
+                        r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
+                    }
+                }
+                if plan.panics(position, batch_no) {
+                    w.publish();
+                    panic!("fault injection: worker {position} scripted panic at batch {batch_no}");
+                }
+                if plan.kills(position, batch_no) {
+                    // Abrupt exit: buffered un-flushed results die here.
+                    w.cell
+                        .results_dropped
+                        .fetch_add(w.out.len() as u64, Ordering::Relaxed);
+                    w.publish();
+                    return (w.stats, ring);
                 }
             }
             Msg::Prefill(tag, tuples) => {
@@ -614,6 +1191,20 @@ fn worker_loop(
                     r.record_arg("insert", t0, t1.saturating_sub(t0), tuples.len() as u64);
                 }
             }
+            Msg::Adopt(tag, tuples) => {
+                // A dead sibling's orphans, re-homed here: straight into
+                // our own window, no probing, no counter advance.
+                for &t in tuples.iter() {
+                    match tag {
+                        StreamTag::R => w.window_r.insert(t),
+                        StreamTag::S => w.window_s.insert(t),
+                    }
+                }
+                w.cell.adopted.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+            }
+            Msg::Reconfigure(map) => {
+                w.map = Some(map);
+            }
             Msg::Flush(ack) => {
                 let t0 = obs::trace::now_ns();
                 w.flush_results();
@@ -625,9 +1216,11 @@ fn worker_loop(
             }
             Msg::Stop => break,
         }
+        w.publish();
         idle_since = obs::trace::now_ns();
     }
     w.flush_results();
+    w.publish();
     (w.stats, ring)
 }
 
@@ -649,10 +1242,10 @@ mod tests {
     fn run_workload(config: SplitJoinConfig, inputs: &[(StreamTag, Tuple)]) -> JoinOutcome {
         let join = SplitJoin::spawn(config);
         for &(tag, t) in inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        join.flush();
-        join.shutdown()
+        join.flush().unwrap();
+        join.shutdown().unwrap()
     }
 
     #[test]
@@ -671,6 +1264,7 @@ mod tests {
                 "mismatch with {cores} cores"
             );
             assert!(!want.is_empty());
+            assert!(!outcome.fault.degraded(), "healthy run must not degrade");
         }
     }
 
@@ -707,9 +1301,9 @@ mod tests {
         assert!(!want.is_empty());
         let join = SplitJoin::spawn(SplitJoinConfig::new(2, 16).with_batch_size(1_024));
         for &(tag, t) in &inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        let outcome = join.shutdown(); // no flush
+        let outcome = join.shutdown().unwrap(); // no flush
         assert_eq!(as_multiset(&outcome.results), as_multiset(&want));
         assert_eq!(outcome.batch_sizes.total(), 1, "one partial batch");
         assert_eq!(outcome.batch_sizes.max(), Some(40));
@@ -740,10 +1334,10 @@ mod tests {
         );
         let join = SplitJoin::spawn(SplitJoinConfig::new(4, 32));
         for chunk in inputs.chunks(37) {
-            join.process_batch(chunk);
+            join.process_batch(chunk).unwrap();
         }
-        join.flush();
-        let batched = join.shutdown();
+        join.flush().unwrap();
+        let batched = join.shutdown().unwrap();
         assert_eq!(
             as_multiset(&batched.results),
             as_multiset(&per_tuple.results)
@@ -777,11 +1371,11 @@ mod tests {
         let config = SplitJoinConfig::new(2, 8);
         let join = SplitJoin::spawn(config);
         let fill: Vec<Tuple> = (0..4u32).map(|i| Tuple::new(i, i)).collect();
-        join.prefill(StreamTag::S, &fill);
+        join.prefill(StreamTag::S, &fill).unwrap();
         // Probe matches exactly one prefilled tuple.
-        join.process(StreamTag::R, Tuple::new(2, 99));
-        join.flush();
-        let outcome = join.shutdown();
+        join.process(StreamTag::R, Tuple::new(2, 99)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 1);
         let total_comparisons: u64 =
             outcome.worker_stats.iter().map(|w| w.comparisons).sum();
@@ -792,10 +1386,10 @@ mod tests {
     fn counting_only_discards_results() {
         let config = SplitJoinConfig::new(2, 16).counting_only();
         let join = SplitJoin::spawn(config);
-        join.process(StreamTag::S, Tuple::new(1, 0));
-        join.process(StreamTag::R, Tuple::new(1, 1));
-        join.flush();
-        let outcome = join.shutdown();
+        join.process(StreamTag::S, Tuple::new(1, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(1, 1)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 1);
         assert!(outcome.results.is_empty());
     }
@@ -821,11 +1415,11 @@ mod tests {
         let config =
             SplitJoinConfig::new(3, 9).with_predicate(JoinPredicate::Band { delta: 5 });
         let join = SplitJoin::spawn(config);
-        join.process(StreamTag::S, Tuple::new(100, 0));
-        join.process(StreamTag::R, Tuple::new(104, 1));
-        join.process(StreamTag::R, Tuple::new(106, 2));
-        join.flush();
-        let outcome = join.shutdown();
+        join.process(StreamTag::S, Tuple::new(100, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(104, 1)).unwrap();
+        join.process(StreamTag::R, Tuple::new(106, 2)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 1);
     }
 
@@ -880,17 +1474,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "targets worker 9")]
+    fn spawn_validates_fault_plan_targets() {
+        let mut config = SplitJoinConfig::new(2, 8);
+        config.common.fault_plan =
+            crate::fault::FaultPlan::parse("kill9").unwrap();
+        let _ = SplitJoin::spawn(config);
+    }
+
+    #[test]
     fn flush_is_a_real_barrier() {
         let config = SplitJoinConfig::new(4, 4_096);
         let join = SplitJoin::spawn(config);
         let fill: Vec<Tuple> = (0..4_096u32).map(|i| Tuple::new(i, i)).collect();
-        join.prefill(StreamTag::S, &fill);
+        join.prefill(StreamTag::S, &fill).unwrap();
         for i in 0..64u32 {
-            join.process(StreamTag::R, Tuple::new(i, 1 << 20 | i));
+            join.process(StreamTag::R, Tuple::new(i, 1 << 20 | i)).unwrap();
         }
-        join.flush();
+        join.flush().unwrap();
         // After flush all probes are done: every R probed its key once.
-        let outcome = join.shutdown();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 64);
     }
 
@@ -898,17 +1501,30 @@ mod tests {
     fn batch_histogram_records_distribution_shape() {
         let join = SplitJoin::spawn(SplitJoinConfig::new(2, 8).with_batch_size(4));
         for i in 0..10u32 {
-            join.process(StreamTag::R, Tuple::new(i, i));
+            join.process(StreamTag::R, Tuple::new(i, i)).unwrap();
         }
-        join.flush(); // two full batches of 4, one partial of 2
+        join.flush().unwrap(); // two full batches of 4, one partial of 2
         assert_eq!(join.batches_sent(), 3);
-        let outcome = join.shutdown();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.batch_sizes.total(), 3);
         assert_eq!(outcome.batch_sizes.max(), Some(4));
         assert_eq!(outcome.batch_sizes.min(), Some(2));
         let reg = outcome.registry();
         assert_eq!(reg.get("splitjoin.batches"), Some(3));
         assert!(reg.get("splitjoin.worker0.probes").is_some());
+        // Healthy run: the fault namespace must be absent.
+        assert_eq!(reg.get("fault.workers_lost"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let join = SplitJoin::spawn(SplitJoinConfig::new(2, 8));
+        join.process_or_panic(StreamTag::S, Tuple::new(3, 0));
+        join.process_or_panic(StreamTag::R, Tuple::new(3, 1));
+        join.flush_or_panic();
+        let outcome = join.shutdown_or_panic();
+        assert_eq!(outcome.result_count, 1);
     }
 
     #[test]
@@ -925,12 +1541,12 @@ mod tests {
                 obs::trace::enable(1);
             }
             let join = SplitJoin::spawn(config());
-            join.prefill(StreamTag::S, &prefill);
+            join.prefill(StreamTag::S, &prefill).unwrap();
             for &(tag, t) in &inputs {
-                join.process(tag, t);
+                join.process(tag, t).unwrap();
             }
-            join.flush();
-            let outcome = join.shutdown();
+            join.flush().unwrap();
+            let outcome = join.shutdown().unwrap();
             if traced {
                 obs::trace::disable();
             }
@@ -944,6 +1560,7 @@ mod tests {
         assert_eq!(as_multiset(&plain.results), as_multiset(&traced.results));
         assert_eq!(plain.worker_stats, traced.worker_stats);
 
+        // Healthy run: the router ring stays empty and is not attached.
         assert_eq!(traced.trace.len(), 3);
         let mut tracks: Vec<_> = traced.trace.iter().map(|r| r.track().to_string()).collect();
         tracks.sort();

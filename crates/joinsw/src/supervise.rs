@@ -1,0 +1,166 @@
+//! Crate-internal worker supervision primitives shared by the SplitJoin
+//! router and the handshake chain: the per-worker heartbeat/liveness
+//! cell, the scope guard that marks a cell dead on any exit path, and
+//! the bounded-backoff supervised channel send.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use accel_error::{JoinError, WorkerStats};
+use crossbeam::channel::{SendTimeoutError, Sender};
+
+/// First supervised-send timeout; doubles per retry up to
+/// [`BACKOFF_CAP_MS`].
+pub(crate) const BACKOFF_START_MS: u64 = 1;
+/// Supervised-send backoff ceiling (milliseconds).
+pub(crate) const BACKOFF_CAP_MS: u64 = 64;
+/// How long a full channel may show a frozen heartbeat before the
+/// supervisor reports [`JoinError::Saturated`]. Progress resets the
+/// clock, so plain back-pressure (slow but alive workers) never trips
+/// it.
+pub(crate) const SATURATION_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Shared per-worker supervision block: heartbeat + liveness for the
+/// coordinator, last published statistics for loss-tolerant shutdown,
+/// and the worker-side fault tallies.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCell {
+    /// Messages processed; the supervisor reads this to tell a slow
+    /// worker (heartbeat advances) from a wedged one (frozen with a
+    /// full channel).
+    pub(crate) heartbeat: AtomicU64,
+    /// Set when the worker thread exits, normally or by unwinding.
+    pub(crate) dead: AtomicBool,
+    /// Set when the worker exits on a *scripted kill* — a cooperative
+    /// death that shutdown reports as degradation, not as an error.
+    pub(crate) killed: AtomicBool,
+    pub(crate) tuples_seen: AtomicU64,
+    pub(crate) stored: AtomicU64,
+    pub(crate) comparisons: AtomicU64,
+    pub(crate) matches: AtomicU64,
+    /// Scripted stalls that fired on this worker.
+    pub(crate) stalls: AtomicU64,
+    /// Scripted channel drops that fired on this worker.
+    pub(crate) drops: AtomicU64,
+    /// Buffered matches lost to an abrupt exit or a dead collector.
+    pub(crate) results_dropped: AtomicU64,
+    /// Orphans adopted from a dead sibling's replica.
+    pub(crate) adopted: AtomicU64,
+    /// Window tuples this worker's death (or a severed link next to it)
+    /// removed from the join — used where the coordinator has no
+    /// ownership model of its own (the handshake chain).
+    pub(crate) orphaned: AtomicU64,
+}
+
+impl WorkerCell {
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            tuples_seen: self.tuples_seen.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Marks the cell dead when the worker thread exits — including by
+/// panic, since the guard drops during unwinding.
+pub(crate) struct AliveGuard(pub(crate) Arc<WorkerCell>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.dead.store(true, Ordering::Release);
+    }
+}
+
+pub(crate) enum SendStatus {
+    Sent,
+    /// The worker's channel disconnected or its cell reports it dead:
+    /// recover and reroute, don't error.
+    Lost,
+}
+
+/// Bounded-backoff send with heartbeat supervision. Never blocks
+/// indefinitely on a dead or wedged worker: back-pressure with progress
+/// waits forever, a frozen heartbeat with a full channel for the whole
+/// [`SATURATION_DEADLINE`] reports [`JoinError::Saturated`].
+pub(crate) fn supervised_send<T>(
+    tx: &Sender<T>,
+    cell: &WorkerCell,
+    worker: usize,
+    mut msg: T,
+) -> Result<SendStatus, JoinError> {
+    let mut timeout_ms = BACKOFF_START_MS;
+    let mut stuck: Option<(Instant, u64)> = None;
+    loop {
+        match tx.send_timeout(msg, Duration::from_millis(timeout_ms)) {
+            Ok(()) => return Ok(SendStatus::Sent),
+            Err(SendTimeoutError::Disconnected(_)) => return Ok(SendStatus::Lost),
+            Err(SendTimeoutError::Timeout(returned)) => {
+                msg = returned;
+                if cell.is_dead() {
+                    return Ok(SendStatus::Lost);
+                }
+                let beat = cell.heartbeat.load(Ordering::Relaxed);
+                match stuck {
+                    // Heartbeat frozen since last check: the deadline
+                    // keeps running.
+                    Some((since, last)) if last == beat => {
+                        if since.elapsed() >= SATURATION_DEADLINE {
+                            return Err(JoinError::Saturated {
+                                worker,
+                                waited_ms: since.elapsed().as_millis() as u64,
+                            });
+                        }
+                    }
+                    // Progress (or first timeout): reset the deadline —
+                    // plain back-pressure waits as long as it takes.
+                    _ => stuck = Some((Instant::now(), beat)),
+                }
+                timeout_ms = (timeout_ms * 2).min(BACKOFF_CAP_MS);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    #[test]
+    fn supervised_send_reports_disconnect_as_lost() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        let cell = WorkerCell::default();
+        assert!(matches!(
+            supervised_send(&tx, &cell, 0, 7),
+            Ok(SendStatus::Lost)
+        ));
+    }
+
+    #[test]
+    fn supervised_send_gives_up_on_a_dead_cell_with_a_full_channel() {
+        let (tx, _rx) = bounded::<u32>(1);
+        tx.send(1).unwrap(); // fill the channel; _rx never drains
+        let cell = WorkerCell::default();
+        cell.dead.store(true, Ordering::Release);
+        assert!(matches!(
+            supervised_send(&tx, &cell, 3, 2),
+            Ok(SendStatus::Lost)
+        ));
+    }
+
+    #[test]
+    fn alive_guard_marks_death_on_drop() {
+        let cell = Arc::new(WorkerCell::default());
+        assert!(!cell.is_dead());
+        drop(AliveGuard(Arc::clone(&cell)));
+        assert!(cell.is_dead());
+    }
+}

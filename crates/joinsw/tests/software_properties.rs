@@ -40,10 +40,10 @@ proptest! {
                 SplitJoinConfig::new(cores, window).with_algorithm(algorithm),
             );
             for &(tag, t) in &inputs {
-                join.process(tag, t);
+                join.process(tag, t).unwrap();
             }
-            join.flush();
-            let outcome = join.shutdown();
+            join.flush().unwrap();
+            let outcome = join.shutdown().unwrap();
             prop_assert_eq!(
                 as_multiset(&outcome.results),
                 want.clone(),
@@ -61,10 +61,10 @@ proptest! {
     fn worker_accounting_is_conserved(inputs in arb_inputs(200, 8), cores in 1usize..5) {
         let join = SplitJoin::spawn(SplitJoinConfig::new(cores, 16));
         for &(tag, t) in &inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        join.flush();
-        let outcome = join.shutdown();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         let n = inputs.len() as u64;
         let seen: u64 = outcome.worker_stats.iter().map(|w| w.tuples_seen).sum();
         let stored: u64 = outcome.worker_stats.iter().map(|w| w.stored).sum();

@@ -13,6 +13,9 @@
 //!   generic `VecDeque` reference backend), plus the flat
 //!   struct-of-arrays backends [`FlatWindow`] and [`HashIndexWindow`]
 //!   used by the software join hot paths;
+//! * [`PartitionMap`] — round-robin ownership of storage turns over live
+//!   worker positions, used by the software SplitJoin coordinator to
+//!   re-partition around a lost core;
 //! * [`workload`] — reproducible stream generators with controllable key
 //!   domains and match selectivity;
 //! * [`metrics`] — throughput and latency recorders used by every
@@ -36,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+mod partition;
 mod predicate;
 mod record;
 mod tuple;
 mod window;
 pub mod workload;
 
+pub use partition::PartitionMap;
 pub use predicate::JoinPredicate;
 pub use record::{Field, Record, Schema, SchemaError};
 pub use tuple::{Frame, MatchPair, StreamTag, Tuple};

@@ -41,9 +41,11 @@ fn main() {
     println!("  {}", report.power);
 
     // Software: SplitJoin on this host.
-    let single = measure_throughput(SplitJoinConfig::new(1, window), 2_048, 1 << 20);
+    let single = measure_throughput(SplitJoinConfig::new(1, window), 2_048, 1 << 20)
+        .expect("software run failed");
     let sw = if host_parallelism() >= sw_cores {
         measure_throughput(SplitJoinConfig::new(sw_cores, window), 16_384, 1 << 20)
+            .expect("software run failed")
             .per_second()
     } else {
         println!(

@@ -38,11 +38,11 @@ fn main() {
     let start = Instant::now();
     let batch: Vec<_> = workload.generate().collect();
     for chunk in batch.chunks(512) {
-        join.process_batch(chunk);
+        join.process_batch(chunk).expect("join died");
     }
-    join.flush();
+    join.flush().expect("join died");
     let elapsed = start.elapsed();
-    let outcome = join.shutdown();
+    let outcome = join.shutdown().expect("join died");
 
     let readings = batch
         .iter()

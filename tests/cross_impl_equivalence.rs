@@ -64,19 +64,19 @@ fn drive_hw(join: &mut UniFlowJoin, inputs: &[(StreamTag, Tuple)]) -> Vec<MatchP
 fn run_splitjoin_sw(inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
     let join = SplitJoin::spawn(SplitJoinConfig::new(CORES as usize, WINDOW));
     for &(tag, t) in inputs {
-        join.process(tag, t);
+        join.process(tag, t).unwrap();
     }
-    join.flush();
-    join.shutdown().results
+    join.flush().unwrap();
+    join.shutdown().unwrap().results
 }
 
 fn run_handshake_sw(inputs: &[(StreamTag, Tuple)]) -> Vec<MatchPair> {
     let join = HandshakeJoin::spawn(HandshakeConfig::new(CORES as usize, WINDOW));
     for &(tag, t) in inputs {
-        join.process(tag, t);
-        join.flush(); // serialize waves: strict semantics
+        join.process(tag, t).unwrap();
+        join.flush().unwrap(); // serialize waves: strict semantics
     }
-    join.shutdown().results
+    join.shutdown().unwrap().results
 }
 
 #[test]

@@ -58,10 +58,10 @@ proptest! {
         let window = 24usize;
         let join = SplitJoin::spawn(SplitJoinConfig::new(cores, window));
         for &(tag, t) in &inputs {
-            join.process(tag, t);
+            join.process(tag, t).unwrap();
         }
-        join.flush();
-        let got = join.shutdown().results;
+        join.flush().unwrap();
+        let got = join.shutdown().unwrap().results;
         let effective = cores * window.div_ceil(cores);
         let want = reference_join(&inputs, effective, JoinPredicate::Equi);
         prop_assert_eq!(as_multiset(&got), as_multiset(&want));

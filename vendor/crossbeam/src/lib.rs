@@ -67,6 +67,58 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message either way.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full for the whole timeout.
+        Timeout(T),
+        /// Every receiver was dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The channel stayed empty for the whole timeout.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -141,6 +193,56 @@ pub mod channel {
                     .expect("channel poisoned");
             }
         }
+
+        /// Like [`Sender::send`], but gives up once `timeout` has elapsed
+        /// with the channel still full, returning the message in
+        /// [`SendTimeoutError::Timeout`] so the caller can retry (the
+        /// supervised-send/backoff path of the software joins).
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                let full = state
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()).filter(|d| !d.is_zero()) else {
+                    return Err(SendTimeoutError::Timeout(value));
+                };
+                let (guard, result) = self
+                    .shared
+                    .not_full
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
+                if result.timed_out() {
+                    // Re-check once under the lock, then give up.
+                    if state.receivers == 0 {
+                        return Err(SendTimeoutError::Disconnected(value));
+                    }
+                    let full = state
+                        .capacity
+                        .is_some_and(|cap| state.queue.len() >= cap);
+                    if !full {
+                        state.queue.push_back(value);
+                        self.shared.not_empty.notify_one();
+                        return Ok(());
+                    }
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+            }
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -179,6 +281,46 @@ pub mod channel {
                     .not_empty
                     .wait(state)
                     .expect("channel poisoned");
+            }
+        }
+
+        /// Like [`Receiver::recv`], but gives up once `timeout` has
+        /// elapsed with the channel still empty (used by flush-ack loops
+        /// that must keep checking peer liveness instead of blocking
+        /// forever).
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()).filter(|d| !d.is_zero()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
+                if result.timed_out() {
+                    if let Some(value) = state.queue.pop_front() {
+                        self.shared.not_full.notify_one();
+                        return Ok(value);
+                    }
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -274,7 +416,10 @@ macro_rules! select {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, RecvError, SendError};
+    use super::channel::{
+        bounded, unbounded, RecvError, RecvTimeoutError, SendError, SendTimeoutError,
+    };
+    use std::time::Duration;
 
     #[test]
     fn round_trip_and_order() {
@@ -307,6 +452,59 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn send_timeout_returns_the_message_on_a_full_channel() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 2),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_timeout_succeeds_once_a_slot_frees_up() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            // Keep `rx` alive past the recv: dropping it immediately would
+            // race the woken sender into observing a disconnect instead.
+            let first = rx.recv().unwrap();
+            (first, rx)
+        });
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        let (first, rx) = drainer.join().unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn send_timeout_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        match tx.send_timeout(9, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Disconnected(v)) => assert_eq!(v, 9),
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
