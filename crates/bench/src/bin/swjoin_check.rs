@@ -9,7 +9,7 @@
 //! is printed. Then every point is compared against the matching point
 //! in the baseline — the committed `BENCH_swjoin.json` at the repo root
 //! unless `--baseline` overrides it — and the run fails when throughput
-//! fell (or latency rose) more than the tolerance, default 20%. A
+//! fell (or latency rose) more than the tolerance, default 10%. A
 //! missing baseline only warns: fresh checkouts and pruned worktrees
 //! must not fail CI.
 
@@ -30,7 +30,7 @@ fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         path: default_path(),
         baseline: PathBuf::from(BASELINE),
-        tolerance: 20.0,
+        tolerance: 10.0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();

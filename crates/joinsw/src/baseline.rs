@@ -207,6 +207,7 @@ impl StreamJoin for BaselineJoin {
             batch_sizes: s.batch_sizes,
             trace: Vec::new(),
             fault: crate::fault::FaultReport::default(),
+            ring_stats: None,
         })
     }
 }

@@ -17,6 +17,38 @@ use streamcore::JoinPredicate;
 use crate::fault::FaultPlan;
 use crate::splitjoin::default_batch_size;
 
+/// Data-path transport between the distribution thread, the join
+/// cores, and the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Vendored MPSC channels (mutex + condvar handoff per message) —
+    /// the original path, kept as the semantic reference.
+    Channel,
+    /// Lock-free SPSC rings plus the shared batch arena
+    /// ([`streamcore::ring`]) — zero-copy from router to probe. The
+    /// default (see [`default_transport`]). SplitJoin only: the
+    /// handshake chain's neighbor links stay on channels.
+    Ring,
+}
+
+/// The process-wide default transport: `ACCEL_SW_TRANSPORT` when set to
+/// `channel` or `ring`, [`Transport::Ring`] otherwise (CI pins both
+/// values explicitly in its test matrix).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo must not silently change
+/// which data path a whole CI leg measures.
+pub fn default_transport() -> Transport {
+    static TRANSPORT: std::sync::OnceLock<Transport> = std::sync::OnceLock::new();
+    *TRANSPORT.get_or_init(|| match std::env::var("ACCEL_SW_TRANSPORT") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("channel") => Transport::Channel,
+        Ok(v) if v.trim().eq_ignore_ascii_case("ring") => Transport::Ring,
+        Ok(v) => panic!("ACCEL_SW_TRANSPORT must be `channel` or `ring`, got {v:?}"),
+        Err(_) => Transport::Ring,
+    })
+}
+
 /// The configuration fields shared by every software join engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinConfig {
@@ -38,6 +70,15 @@ pub struct JoinConfig {
     /// Scripted faults for this run. The default is the empty plan, whose
     /// behavior is bit-for-bit the healthy data path.
     pub fault_plan: FaultPlan,
+    /// Which data-path transport carries batches and results (see
+    /// [`Transport`]); defaults to [`default_transport`]. Engines
+    /// without a ring path (the handshake chain) ignore it.
+    pub transport: Transport,
+    /// Pin each join core to a CPU (`position % available CPUs`) via
+    /// [`streamcore::affinity`]. Off by default; a failed pin degrades
+    /// to running unpinned. Only helps when the host has a core per
+    /// worker.
+    pub pin_workers: bool,
 }
 
 impl JoinConfig {
@@ -58,7 +99,23 @@ impl JoinConfig {
             batch_size: default_batch_size(),
             collect_results: true,
             fault_plan: FaultPlan::none(),
+            transport: default_transport(),
+            pin_workers: false,
         }
+    }
+
+    /// Selects the data-path transport (see [`Transport`]).
+    #[must_use]
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Pins each join core to a CPU (see [`JoinConfig::pin_workers`]).
+    #[must_use]
+    pub fn with_pinning(mut self) -> Self {
+        self.pin_workers = true;
+        self
     }
 
     /// Replaces the join predicate.
@@ -177,6 +234,17 @@ mod tests {
         assert!(!config.collect_results);
         assert_eq!(config.sub_window(), 16);
         assert_eq!(config.effective_window(), 48);
+    }
+
+    #[test]
+    fn transport_and_pinning_builders() {
+        let config = JoinConfig::new(2, 8)
+            .with_transport(Transport::Channel)
+            .with_pinning();
+        assert_eq!(config.transport, Transport::Channel);
+        assert!(config.pin_workers);
+        // The default comes from the environment override hook.
+        assert_eq!(JoinConfig::new(2, 8).transport, default_transport());
     }
 
     #[test]

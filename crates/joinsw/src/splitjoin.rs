@@ -42,6 +42,34 @@
 //! `batch_size = 1` reproduces the unbatched message-per-tuple path
 //! exactly and every batch size yields the same result multiset.
 //!
+//! # Transports
+//!
+//! Both directions run over one of two interchangeable transports
+//! ([`JoinConfig::transport`], overridable process-wide with
+//! `ACCEL_SW_TRANSPORT`):
+//!
+//! * **`channel`** — the vendored MPSC channels: one mutex + condvar
+//!   handoff per message, one `Arc`-boxed copy of each batch shared by
+//!   reference count. The original path, kept as the semantic
+//!   reference.
+//! * **`ring`** (default) — lock-free SPSC rings
+//!   ([`streamcore::ring`]): one ring per worker for distribution, one
+//!   per worker for results, and a shared [batch
+//!   arena](streamcore::ring::batch_arena) so a broadcast ships one
+//!   sequence number per worker while every join core probes the
+//!   arena-resident batch *in place* — zero-copy from router to probe.
+//!   Supervision is unchanged in spirit: the heartbeat/saturation
+//!   checks simply move from the channel `send_timeout` loop to the
+//!   ring's claim-retry path, and [`FaultPlan`] kill/stall/drop
+//!   semantics are preserved bit-for-bit because batch message
+//!   boundaries are identical on both transports (the cross-transport
+//!   equivalence suite pins exactly this).
+//!
+//! Workers can optionally be pinned to cores
+//! ([`JoinConfig::pin_workers`]) so each ring's two hot cache lines
+//! stay put — the software analogue of the hardware design's
+//! hard-wired point-to-point links.
+//!
 //! # Fault tolerance
 //!
 //! Every data-path operation is fallible ([`accel_error::JoinError`])
@@ -84,13 +112,26 @@ use std::time::{Duration, Instant};
 use accel_error::JoinError;
 pub use accel_error::WorkerStats;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use streamcore::ring::{self, ArenaReader, ArenaWriter, PopError, RingConsumer, RingProducer};
 use streamcore::{
     FlatWindow, HashIndexWindow, JoinPredicate, MatchPair, PartitionMap, StreamTag, Tuple,
 };
 
-use crate::config::{JoinConfig, JoinParams};
+use crate::config::{JoinConfig, JoinParams, Transport};
 use crate::fault::{round_robin_share, FaultPlan, FaultReport};
-use crate::supervise::{supervised_send, AliveGuard, SendStatus, WorkerCell};
+use crate::supervise::{
+    supervised_push, supervised_send, AliveGuard, SendStatus, SendSupervisor, WorkerCell,
+    CLAIM_SPIN_YIELDS, SATURATION_DEADLINE,
+};
+
+/// Per-worker result-ring capacity (individual [`MatchPair`]s, not
+/// chunks) on the ring transport. Generous enough that a draining
+/// collector never back-pressures the probe loop in practice.
+const RESULT_RING_CAPACITY: usize = 8_192;
+
+/// How long an idle ring-transport thread sleeps between polls once
+/// spinning and yielding have not produced work.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
 /// Default distribution batch size (tuples per batch message), used by
 /// [`SplitJoinConfig::new`] unless overridden by the `ACCEL_SW_BATCH`
@@ -251,11 +292,34 @@ impl SplitJoinConfig {
         self.replicate_on_loss = true;
         self
     }
+
+    /// Selects the data-path transport (see [`Transport`]).
+    #[must_use]
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.common = self.common.with_transport(transport);
+        self
+    }
+
+    /// Pins each join core to a CPU (see [`JoinConfig::pin_workers`]).
+    #[must_use]
+    pub fn with_pinning(mut self) -> Self {
+        self.common = self.common.with_pinning();
+        self
+    }
 }
 
 enum Msg {
-    /// One distribution batch, shared across all workers.
+    /// One distribution batch, shared across all workers
+    /// (channel transport: `Arc` reference-count bumps, not copies).
     Batch(Arc<[(StreamTag, Tuple)]>),
+    /// One distribution batch resident in the shared
+    /// [`batch arena`](streamcore::ring::batch_arena) (ring transport):
+    /// the worker probes arena slot `seq % slots` in place — zero-copy —
+    /// and releases it afterwards so the slot can be reused.
+    ArenaBatch {
+        /// Arena sequence number identifying the batch.
+        seq: u64,
+    },
     /// Window pre-fill (no probing), shared across all workers.
     Prefill(StreamTag, Arc<[Tuple]>),
     /// Re-replicated orphans of a dead worker: insert directly into this
@@ -267,8 +331,110 @@ enum Msg {
     /// queues, so they switch at an identical tuple boundary.
     Reconfigure(Arc<PartitionMap>),
     /// Barrier token: drain local result buffers, then acknowledge.
-    Flush(Sender<()>),
+    Flush(FlushToken),
     Stop,
+}
+
+/// How a worker acknowledges a [`Msg::Flush`] barrier.
+enum FlushToken {
+    /// Channel transport: send on the ack channel.
+    Ack(Sender<()>),
+    /// Ring transport: publish this token to [`WorkerCell::flushed`];
+    /// the router polls the cells instead of blocking on a channel.
+    Seq(u64),
+}
+
+/// One worker's distribution link, as held by the router.
+#[derive(Debug)]
+enum Lane {
+    Channel(Sender<Msg>),
+    Ring(RingProducer<Msg>),
+}
+
+/// One worker's distribution link, as held by the worker.
+enum WorkerFeed {
+    Channel(Receiver<Msg>),
+    /// Message ring plus this worker's reader handle into the shared
+    /// batch arena ([`Msg::ArenaBatch`] payloads live there).
+    Ring(RingConsumer<Msg>, ArenaReader<(StreamTag, Tuple)>),
+}
+
+impl WorkerFeed {
+    /// Blocking receive. `None` means the router is gone and the queue
+    /// is fully drained — identical to a disconnected channel. The ring
+    /// side spins briefly, then yields, then parks in short sleeps: the
+    /// latency-critical wakeups (next batch in a loaded run) are caught
+    /// by the spin/yield phases.
+    fn recv(&mut self) -> Option<Msg> {
+        match self {
+            WorkerFeed::Channel(rx) => rx.recv().ok(),
+            WorkerFeed::Ring(rx, _) => {
+                let mut spins = 0u32;
+                loop {
+                    match rx.try_pop() {
+                        Ok(msg) => return Some(msg),
+                        Err(PopError::Disconnected) => return None,
+                        Err(PopError::Empty) => {
+                            if spins < 64 {
+                                spins += 1;
+                                std::hint::spin_loop();
+                            } else if spins < 192 {
+                                spins += 1;
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(IDLE_SLEEP);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn arena_reader(&mut self) -> &mut ArenaReader<(StreamTag, Tuple)> {
+        match self {
+            WorkerFeed::Ring(_, reader) => reader,
+            WorkerFeed::Channel(_) => {
+                unreachable!("arena batches only arrive on the ring transport")
+            }
+        }
+    }
+}
+
+/// One worker's result link toward the collector.
+enum ResultsLane {
+    /// Shared MPSC channel carrying whole chunks.
+    Channel(Sender<Vec<MatchPair>>),
+    /// Dedicated SPSC ring carrying individual [`MatchPair`]s.
+    Ring(RingProducer<MatchPair>),
+}
+
+/// Ring-transport telemetry, attached to the outcome when the run used
+/// [`Transport::Ring`].
+#[derive(Debug, Default)]
+pub struct RingStats {
+    /// Distribution-ring occupancy (queued messages) sampled at every
+    /// router send.
+    pub occupancy: obs::Histogram,
+    /// Peak of the occupancy samples — the high-water gauge.
+    pub peak_occupancy: obs::Gauge,
+    /// Nanoseconds the router waited for ring or arena space, one sample
+    /// per send/publish that could not complete on the fast path.
+    pub claim_wait_ns: obs::Histogram,
+}
+
+impl Clone for RingStats {
+    fn clone(&self) -> Self {
+        // `obs::Gauge` is deliberately not `Clone` (it is a live cell);
+        // cloning the stats copies its reading into a fresh gauge.
+        let peak_occupancy = obs::Gauge::new();
+        peak_occupancy.set(self.peak_occupancy.get());
+        Self {
+            occupancy: self.occupancy.clone(),
+            peak_occupancy,
+            claim_wait_ns: self.claim_wait_ns.clone(),
+        }
+    }
 }
 
 /// Everything a [`SplitJoin`] leaves behind at shutdown.
@@ -296,6 +462,9 @@ pub struct JoinOutcome {
     /// recovery latency. All-zero (and [`FaultReport::degraded`] is
     /// `false`) for a healthy run.
     pub fault: FaultReport,
+    /// Ring-transport telemetry; `None` on the channel transport, so
+    /// channel-run manifests keep their exact pre-ring shape.
+    pub ring_stats: Option<RingStats>,
 }
 
 impl JoinOutcome {
@@ -316,6 +485,10 @@ impl JoinOutcome {
         }
         if self.fault.degraded() {
             self.fault.publish(&mut reg);
+        }
+        if let Some(rs) = &self.ring_stats {
+            reg.record("splitjoin.ring.occupancy_peak", rs.peak_occupancy.get());
+            reg.record("splitjoin.ring.claim_waits", rs.claim_wait_ns.total());
         }
         reg
     }
@@ -363,10 +536,10 @@ impl ReplicaBuf {
 /// exact.
 #[derive(Debug)]
 struct Router {
-    /// Per-position sender; `None` once the position is retired (the
-    /// drop disconnects the channel and frees queued messages once the
-    /// worker's receiver is gone too).
-    senders: Vec<Option<Sender<Msg>>>,
+    /// Per-position distribution lane; `None` once the position is
+    /// retired (the drop disconnects the link and frees queued messages
+    /// once the worker's receiving side is gone too).
+    senders: Vec<Option<Lane>>,
     cells: Vec<Arc<WorkerCell>>,
     map: PartitionMap,
     plan: FaultPlan,
@@ -387,11 +560,89 @@ struct Router {
     /// `sw.router` span ring (`recover` spans); attached to the outcome
     /// trace only when non-empty, so healthy traced runs are unchanged.
     ring: Option<obs::trace::TraceRing>,
+    /// Ring transport only: writer side of the shared batch arena.
+    arena: Option<ArenaWriter<(StreamTag, Tuple)>>,
+    /// Ring transport only: occupancy / claim-wait telemetry.
+    ring_stats: Option<RingStats>,
+    /// Flush tokens issued so far (ring-transport barrier; see
+    /// [`FlushToken::Seq`]).
+    flush_seq: u64,
 }
 
 impl Router {
-    fn live_sender(&self, worker: usize) -> Option<&Sender<Msg>> {
-        self.senders[worker].as_ref()
+    /// Sends one message down worker `w`'s lane under supervision,
+    /// recording ring telemetry on the way. A retired lane reports
+    /// [`SendStatus::Lost`].
+    fn send_msg(&mut self, w: usize, msg: Msg) -> Result<SendStatus, JoinError> {
+        // Split borrows: the lane is &mut while cells/stats are read.
+        let Router { senders, cells, ring_stats, .. } = self;
+        match senders[w].as_mut() {
+            None => Ok(SendStatus::Lost),
+            Some(Lane::Channel(tx)) => supervised_send(tx, &cells[w], w, msg),
+            Some(Lane::Ring(prod)) => {
+                if let Some(stats) = ring_stats.as_mut() {
+                    let depth = prod.len() as u64;
+                    stats.occupancy.record_value(depth);
+                    stats.peak_occupancy.max(depth);
+                }
+                let (status, waited_ns) = supervised_push(prod, &cells[w], w, msg)?;
+                if waited_ns > 0 {
+                    if let Some(stats) = ring_stats.as_mut() {
+                        stats.claim_wait_ns.record_value(waited_ns);
+                    }
+                }
+                Ok(status)
+            }
+        }
+    }
+
+    /// Publishes one batch into the shared arena, waiting (supervised)
+    /// for slot reuse when the slowest reader is behind. This is where
+    /// the channel transport's `send_timeout` heartbeat supervision
+    /// lives on the ring transport: a laggard that keeps beating is
+    /// back-pressure and waits forever; a frozen laggard holding the
+    /// arena full for the whole deadline is [`JoinError::Saturated`].
+    fn publish_to_arena(&mut self, batch: &[(StreamTag, Tuple)]) -> Result<u64, JoinError> {
+        let mut sup = SendSupervisor::new();
+        let mut spins = 0u32;
+        let mut wait_started: Option<Instant> = None;
+        loop {
+            let arena = self.arena.as_mut().expect("ring transport has an arena");
+            match arena.try_publish(batch) {
+                Ok(seq) => {
+                    if let (Some(t0), Some(stats)) = (wait_started, self.ring_stats.as_mut()) {
+                        stats
+                            .claim_wait_ns
+                            .record_value(t0.elapsed().as_nanos().max(1) as u64);
+                    }
+                    return Ok(seq);
+                }
+                Err(ring::ArenaFull) => {
+                    wait_started.get_or_insert_with(Instant::now);
+                    // No active readers left: deactivation freed every
+                    // slot, so the retry succeeds (or AllWorkersLost
+                    // surfaces at the caller's live-count check).
+                    let Some(laggard) = arena.laggard() else { continue };
+                    if self.cells[laggard].is_dead() {
+                        // The slot hog died — recover it (which also
+                        // deactivates its arena reader) and retry.
+                        self.reap_dead()?;
+                        if self.map.live_count() == 0 {
+                            return Err(JoinError::AllWorkersLost);
+                        }
+                        continue;
+                    }
+                    if spins < CLAIM_SPIN_YIELDS {
+                        spins += 1;
+                        std::thread::yield_now();
+                    } else {
+                        let beat = self.cells[laggard].heartbeat.load(Ordering::Relaxed);
+                        let wait = sup.next_wait(Instant::now(), laggard, beat)?;
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
     }
 
     /// Per-stream accounting for an outgoing batch. Healthy fast path:
@@ -451,8 +702,10 @@ impl Router {
     fn broadcast(&mut self, make: impl Fn() -> Msg) -> Result<(), JoinError> {
         let mut lost = Vec::new();
         for w in self.map.live().to_vec() {
-            let Some(tx) = self.live_sender(w) else { continue };
-            match supervised_send(tx, &self.cells[w], w, make())? {
+            if self.senders[w].is_none() {
+                continue;
+            }
+            match self.send_msg(w, make())? {
                 SendStatus::Sent => {}
                 SendStatus::Lost => lost.push(w),
             }
@@ -464,7 +717,7 @@ impl Router {
         Ok(())
     }
 
-    fn send_batch(&mut self, batch: Vec<(StreamTag, Tuple)>) -> Result<(), JoinError> {
+    fn send_batch(&mut self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -474,9 +727,15 @@ impl Router {
         self.batch_hist.record_value(batch.len() as u64);
         self.batches_sent += 1;
         let boundary = self.batches_sent;
-        self.note_batch(&batch);
-        let shared: Arc<[(StreamTag, Tuple)]> = batch.into();
-        self.broadcast(|| Msg::Batch(shared.clone()))?;
+        self.note_batch(batch);
+        if self.arena.is_some() {
+            // Zero-copy broadcast: one arena publish, N sequence numbers.
+            let seq = self.publish_to_arena(batch)?;
+            self.broadcast(|| Msg::ArenaBatch { seq })?;
+        } else {
+            let shared: Arc<[(StreamTag, Tuple)]> = batch.to_vec().into();
+            self.broadcast(|| Msg::Batch(shared.clone()))?;
+        }
         // Proactive recovery at the scripted kill boundary: the victim
         // processes this batch and no more, so the ownership model above
         // is exactly its occupancy at death.
@@ -532,6 +791,9 @@ impl Router {
         let orphans = owned_r[worker].min(sub) + owned_s[worker].min(sub);
         self.map.retire(worker);
         self.senders[worker] = None;
+        if self.arena.is_some() {
+            self.retire_reader(worker)?;
+        }
         self.report.workers_lost.push(worker);
         self.report.orphaned_tuples += orphans;
 
@@ -539,8 +801,10 @@ impl Router {
         if self.map.live_count() > 0 {
             let shared = Arc::new(self.map.clone());
             for w in self.map.live().to_vec() {
-                let Some(tx) = self.live_sender(w) else { continue };
-                match supervised_send(tx, &self.cells[w], w, Msg::Reconfigure(shared.clone()))? {
+                if self.senders[w].is_none() {
+                    continue;
+                }
+                match self.send_msg(w, Msg::Reconfigure(Arc::clone(&shared)))? {
                     SendStatus::Sent => {}
                     SendStatus::Lost => lost.push(w),
                 }
@@ -564,14 +828,11 @@ impl Router {
                     }
                     for (slot, tuples) in per_worker.into_iter().enumerate() {
                         let w = live[slot];
-                        if tuples.is_empty() || lost.contains(&w) {
+                        if tuples.is_empty() || lost.contains(&w) || self.senders[w].is_none() {
                             continue;
                         }
-                        let Some(tx) = self.live_sender(w) else { continue };
                         let shared: Arc<[Tuple]> = tuples.into();
-                        if let SendStatus::Lost =
-                            supervised_send(tx, &self.cells[w], w, Msg::Adopt(tag, shared))?
-                        {
+                        if let SendStatus::Lost = self.send_msg(w, Msg::Adopt(tag, shared))? {
                             lost.push(w);
                         }
                     }
@@ -588,6 +849,36 @@ impl Router {
         Ok(lost)
     }
 
+    /// Ring transport: drops a retired worker from the arena's reuse
+    /// watermark. The arena contract requires that the reader never
+    /// reads again, so this waits — bounded by the supervision deadline
+    /// — for the worker thread to actually exit (its `AliveGuard` flips
+    /// the cell dead on the way out, scripted kills and panics alike);
+    /// a scripted-kill victim may still be probing its final arena
+    /// batch when the router recovers it proactively.
+    fn retire_reader(&mut self, worker: usize) -> Result<(), JoinError> {
+        let t0 = Instant::now();
+        let mut spins = 0u32;
+        while !self.cells[worker].is_dead() {
+            if t0.elapsed() >= SATURATION_DEADLINE {
+                return Err(JoinError::Saturated {
+                    worker,
+                    waited_ms: t0.elapsed().as_millis() as u64,
+                });
+            }
+            if spins < 1_024 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        if let Some(arena) = self.arena.as_mut() {
+            arena.deactivate(worker);
+        }
+        Ok(())
+    }
+
     /// Recovers any live-mapped worker whose cell reports it dead
     /// (reactive detection: scripted panics and organic deaths).
     fn reap_dead(&mut self) -> Result<(), JoinError> {
@@ -602,19 +893,34 @@ impl Router {
     }
 
     /// Flush barrier over the survivors. A worker that dies mid-flush
-    /// simply never acknowledges: recovering it drops its sender, which
-    /// (with its receiver already gone) frees the queued token and lets
-    /// the ack channel disconnect instead of deadlocking.
+    /// simply never acknowledges: recovering it drops its lane, which
+    /// (with its receiving side already gone) frees the queued token and
+    /// lets the barrier cover the survivors instead of deadlocking.
+    ///
+    /// Channel transport: workers acknowledge on a dedicated ack
+    /// channel. Ring transport: workers publish the flush token to
+    /// their cell ([`WorkerCell::flushed`]) and the router polls —
+    /// no reverse channel needed.
     fn flush(&mut self) -> Result<(), JoinError> {
         if self.map.live_count() == 0 {
             return Err(JoinError::AllWorkersLost);
         }
+        if self.arena.is_some() {
+            self.flush_ring()
+        } else {
+            self.flush_channel()
+        }
+    }
+
+    fn flush_channel(&mut self) -> Result<(), JoinError> {
         let (ack_tx, ack_rx) = bounded::<()>(self.map.total());
         let mut sent = 0usize;
         let mut lost = Vec::new();
         for w in self.map.live().to_vec() {
-            let Some(tx) = self.live_sender(w) else { continue };
-            match supervised_send(tx, &self.cells[w], w, Msg::Flush(ack_tx.clone()))? {
+            if self.senders[w].is_none() {
+                continue;
+            }
+            match self.send_msg(w, Msg::Flush(FlushToken::Ack(ack_tx.clone())))? {
                 SendStatus::Sent => sent += 1,
                 SendStatus::Lost => lost.push(w),
             }
@@ -627,6 +933,49 @@ impl Router {
                 Ok(()) => acks += 1,
                 Err(RecvTimeoutError::Disconnected) => break,
                 Err(RecvTimeoutError::Timeout) => self.reap_dead()?,
+            }
+        }
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        Ok(())
+    }
+
+    fn flush_ring(&mut self) -> Result<(), JoinError> {
+        self.flush_seq += 1;
+        let token = self.flush_seq;
+        let mut waiting = Vec::new();
+        let mut lost = Vec::new();
+        for w in self.map.live().to_vec() {
+            if self.senders[w].is_none() {
+                continue;
+            }
+            match self.send_msg(w, Msg::Flush(FlushToken::Seq(token)))? {
+                SendStatus::Sent => waiting.push(w),
+                SendStatus::Lost => lost.push(w),
+            }
+        }
+        self.recover_all(lost)?;
+        let mut spins = 0u32;
+        loop {
+            // Acquire pairs with the worker's Release store: once we see
+            // the token, everything the worker did before acknowledging
+            // (probes, stores, result sends) is visible.
+            waiting.retain(|&w| {
+                self.map.is_live(w) && self.cells[w].flushed.load(Ordering::Acquire) < token
+            });
+            if waiting.is_empty() {
+                break;
+            }
+            if waiting.iter().any(|&w| self.cells[w].is_dead()) {
+                self.reap_dead()?;
+                continue;
+            }
+            if spins < 1_024 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
             }
         }
         if self.map.live_count() == 0 {
@@ -661,28 +1010,82 @@ impl SplitJoin {
     /// builder methods reject these, but the fields are public).
     pub fn spawn(config: SplitJoinConfig) -> Self {
         config.common.validate();
-        let (result_tx, collector) = if config.collect_results {
-            let (tx, rx) = bounded::<Vec<MatchPair>>(1_024);
-            (Some(tx), Some(std::thread::spawn(move || collector_loop(&rx))))
-        } else {
-            (None, None)
+        let transport = config.transport;
+
+        // Result path: one shared MPSC channel (channel transport) or
+        // one dedicated SPSC ring per worker (ring transport).
+        let mut collector = None;
+        let mut chan_results: Option<Sender<Vec<MatchPair>>> = None;
+        let mut ring_results: Vec<Option<ResultsLane>> = Vec::new();
+        if config.collect_results {
+            match transport {
+                Transport::Channel => {
+                    let (tx, rx) = bounded::<Vec<MatchPair>>(1_024);
+                    chan_results = Some(tx);
+                    collector = Some(std::thread::spawn(move || collector_loop(&rx)));
+                }
+                Transport::Ring => {
+                    let mut consumers = Vec::with_capacity(config.num_cores);
+                    for _ in 0..config.num_cores {
+                        let (tx, rx) = ring::spsc::<MatchPair>(RESULT_RING_CAPACITY);
+                        ring_results.push(Some(ResultsLane::Ring(tx)));
+                        consumers.push(rx);
+                    }
+                    collector = Some(std::thread::spawn(move || ring_collector_loop(consumers)));
+                }
+            }
+        }
+
+        // Distribution path. The arena holds `channel_capacity + 2`
+        // batch slots: every batch a worker can have queued, plus the
+        // one it is probing, plus the one being published — so arena
+        // reuse only ever waits when a ring is itself saturated.
+        let (arena, mut readers) = match transport {
+            Transport::Ring => {
+                let (writer, readers) = ring::batch_arena::<(StreamTag, Tuple)>(
+                    config.channel_capacity + 2,
+                    config.num_cores,
+                );
+                (Some(writer), readers.into_iter().map(Some).collect::<Vec<_>>())
+            }
+            Transport::Channel => (None, Vec::new()),
         };
 
         let mut senders = Vec::with_capacity(config.num_cores);
         let mut cells = Vec::with_capacity(config.num_cores);
         let mut workers = Vec::with_capacity(config.num_cores);
         for position in 0..config.num_cores {
-            let (tx, rx) = bounded::<Msg>(config.channel_capacity);
             let cell = Arc::new(WorkerCell::default());
-            senders.push(Some(tx));
             cells.push(Arc::clone(&cell));
+            let results = match transport {
+                Transport::Channel => chan_results.clone().map(ResultsLane::Channel),
+                Transport::Ring => {
+                    ring_results.get_mut(position).and_then(Option::take)
+                }
+            };
+            let feed = match transport {
+                Transport::Channel => {
+                    let (tx, rx) = bounded::<Msg>(config.channel_capacity);
+                    senders.push(Some(Lane::Channel(tx)));
+                    WorkerFeed::Channel(rx)
+                }
+                Transport::Ring => {
+                    let (tx, rx) = ring::spsc::<Msg>(config.channel_capacity);
+                    senders.push(Some(Lane::Ring(tx)));
+                    let reader = readers
+                        .get_mut(position)
+                        .and_then(Option::take)
+                        .expect("one reader per worker");
+                    WorkerFeed::Ring(rx, reader)
+                }
+            };
             let cfg = config.clone();
-            let results = result_tx.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(position, &cfg, &rx, results, &cell)
+                worker_loop(position, &cfg, feed, results, &cell)
             }));
         }
-        drop(result_tx); // collector exits once every worker has stopped
+        drop(chan_results); // collector exits once every worker has stopped
+        let ring_stats = (transport == Transport::Ring).then(RingStats::default);
         let replicas = config.replicate_on_loss.then(|| {
             let cap = config.effective_window();
             (ReplicaBuf::new(cap), ReplicaBuf::new(cap))
@@ -705,6 +1108,9 @@ impl SplitJoin {
                 replicas,
                 report: FaultReport::default(),
                 ring,
+                arena,
+                ring_stats,
+                flush_seq: 0,
             }),
             workers,
             collector,
@@ -729,9 +1135,9 @@ impl SplitJoin {
         let mut pending = self.pending.borrow_mut();
         pending.push((tag, tuple));
         if pending.len() >= self.batch_size {
-            let batch = std::mem::take(&mut *pending);
-            drop(pending);
-            self.router.borrow_mut().send_batch(batch)?;
+            let result = self.router.borrow_mut().send_batch(&pending);
+            pending.clear();
+            return result;
         }
         Ok(())
     }
@@ -745,12 +1151,17 @@ impl SplitJoin {
     /// See [`SplitJoin::process`].
     pub fn process_batch(&self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
         self.drain_pending()?;
-        self.router.borrow_mut().send_batch(batch.to_vec())
+        self.router.borrow_mut().send_batch(batch)
     }
 
     fn drain_pending(&self) -> Result<(), JoinError> {
-        let batch = std::mem::take(&mut *self.pending.borrow_mut());
-        self.router.borrow_mut().send_batch(batch)
+        let mut pending = self.pending.borrow_mut();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let result = self.router.borrow_mut().send_batch(&pending);
+        pending.clear();
+        result
     }
 
     /// Number of batch messages broadcast so far (per worker).
@@ -805,8 +1216,18 @@ impl SplitJoin {
         let _ = self.drain_pending();
         let mut router = self.router.into_inner();
         for w in router.map.live().to_vec() {
-            if let Some(tx) = router.live_sender(w) {
-                let _ = tx.send(Msg::Stop);
+            match router.senders[w].as_mut() {
+                Some(Lane::Channel(tx)) => {
+                    let _ = tx.send(Msg::Stop);
+                }
+                // Best effort: a full ring skips the Stop, and the
+                // producer drop below closes the ring — the worker
+                // drains what is queued and exits on disconnect, which
+                // is the same exit path.
+                Some(Lane::Ring(prod)) => {
+                    let _ = prod.try_push(Msg::Stop);
+                }
+                None => {}
             }
         }
         router.senders.clear();
@@ -860,6 +1281,7 @@ impl SplitJoin {
             batch_sizes: router.batch_hist,
             trace,
             fault: router.report,
+            ring_stats: router.ring_stats.take(),
         })
     }
 
@@ -944,6 +1366,41 @@ fn collector_loop(rx: &Receiver<Vec<MatchPair>>) -> Vec<MatchPair> {
     kept
 }
 
+/// Ring-transport result gathering: drains every worker's SPSC result
+/// ring round-robin until all of them disconnect (their producers drop
+/// when the workers exit).
+fn ring_collector_loop(mut rxs: Vec<RingConsumer<MatchPair>>) -> Vec<MatchPair> {
+    let mut kept = Vec::new();
+    let mut spins = 0u32;
+    loop {
+        let mut drained = 0usize;
+        let mut open = false;
+        for rx in &mut rxs {
+            match rx.pop_batch(&mut kept, usize::MAX) {
+                Ok(n) => {
+                    drained += n;
+                    open = true;
+                }
+                Err(PopError::Empty) => open = true,
+                Err(PopError::Disconnected) => {}
+            }
+        }
+        if !open {
+            return kept;
+        }
+        if drained == 0 {
+            if spins < 256 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        } else {
+            spins = 0;
+        }
+    }
+}
+
 /// Worker-local sub-window storage, specialized per algorithm. Both
 /// variants are flat ring buffers (see `streamcore::window`).
 #[derive(Debug, Clone)]
@@ -990,8 +1447,58 @@ struct WorkerState {
     out_chunk: usize,
     /// Dropped (set to `None`) on the first failed send — a dead
     /// collector degrades result delivery, it doesn't kill the worker.
-    results: Option<Sender<Vec<MatchPair>>>,
+    results: Option<ResultsLane>,
     cell: Arc<WorkerCell>,
+}
+
+/// Hands one buffered chunk to the collector; a dead collector degrades
+/// to counting (`results_dropped` accounting), it doesn't kill the
+/// worker. Free function so the probe loop can call it while the
+/// opposite window is borrowed.
+fn send_result_chunk(
+    results: &mut Option<ResultsLane>,
+    cell: &WorkerCell,
+    out: &mut Vec<MatchPair>,
+) {
+    let Some(lane) = results else { return };
+    match lane {
+        ResultsLane::Channel(tx) => {
+            let chunk = std::mem::take(out);
+            let n = chunk.len() as u64;
+            if tx.send(chunk).is_err() {
+                cell.results_dropped.fetch_add(n, Ordering::Relaxed);
+                *results = None;
+            }
+        }
+        ResultsLane::Ring(tx) => {
+            let mut sent = 0usize;
+            let mut spins = 0u32;
+            while sent < out.len() {
+                match tx.push_batch(&out[sent..]) {
+                    Ok(0) => {
+                        // Collector back-pressure: wait for ring space.
+                        if spins < 256 {
+                            spins += 1;
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(IDLE_SLEEP);
+                        }
+                    }
+                    Ok(n) => {
+                        sent += n;
+                        spins = 0;
+                    }
+                    Err(_) => {
+                        cell.results_dropped
+                            .fetch_add((out.len() - sent) as u64, Ordering::Relaxed);
+                        *results = None;
+                        break;
+                    }
+                }
+            }
+            out.clear();
+        }
+    }
 }
 
 impl WorkerState {
@@ -999,34 +1506,57 @@ impl WorkerState {
         self.stats.tuples_seen += 1;
         // Probe the opposite sub-window. The nested-loop path scans the
         // contiguous key segments of the flat window and touches a
-        // payload only when the key predicate holds.
+        // payload only when the key predicate holds. Disjoint field
+        // borrows: the window stays shared while stats/out/results
+        // mutate.
+        let WorkerState {
+            predicate,
+            window_r,
+            window_s,
+            stats,
+            out,
+            out_chunk,
+            results,
+            cell,
+            ..
+        } = self;
         let opposite = match tag {
-            StreamTag::R => &self.window_s,
-            StreamTag::S => &self.window_r,
+            StreamTag::R => &*window_s,
+            StreamTag::S => &*window_r,
         };
         let probe_key = tuple.key();
         match opposite {
             SwWindow::Nested(w) => {
-                for (keys, payloads) in w.segments() {
-                    for (i, &key) in keys.iter().enumerate() {
-                        self.stats.comparisons += 1;
-                        let key_match = match tag {
-                            StreamTag::R => self.predicate.matches_keys(probe_key, key),
-                            StreamTag::S => self.predicate.matches_keys(key, probe_key),
-                        };
-                        if key_match {
-                            let stored = Tuple::new(key, payloads[i]);
-                            self.stats.matches += 1;
-                            if self.results.is_some() {
-                                self.out.push(MatchPair::oriented(tag, tuple, stored));
-                                if self.out.len() >= self.out_chunk {
-                                    let chunk = std::mem::take(&mut self.out);
-                                    let n = chunk.len() as u64;
-                                    if self.results.as_ref().expect("checked").send(chunk).is_err()
-                                    {
-                                        self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
-                                        self.results = None;
-                                    }
+                if results.is_none() {
+                    // Counting-only: no pair materialization, so each
+                    // segment reduces to one predicate sweep over the
+                    // contiguous key array that the compiler can
+                    // vectorize (`count_matches` hoists the dispatch).
+                    let probe_is_r = tag == StreamTag::R;
+                    for (keys, _) in w.segments() {
+                        stats.comparisons += keys.len() as u64;
+                        stats.matches +=
+                            predicate.count_matches(probe_key, probe_is_r, keys) as u64;
+                    }
+                } else {
+                    for (keys, payloads) in w.segments() {
+                        // One comparison per stored key, counted per
+                        // segment so the scan itself stays branch-light.
+                        stats.comparisons += keys.len() as u64;
+                        for (i, &key) in keys.iter().enumerate() {
+                            let key_match = match tag {
+                                StreamTag::R => predicate.matches_keys(probe_key, key),
+                                StreamTag::S => predicate.matches_keys(key, probe_key),
+                            };
+                            if key_match {
+                                stats.matches += 1;
+                                out.push(MatchPair::oriented(
+                                    tag,
+                                    tuple,
+                                    Tuple::new(key, payloads[i]),
+                                ));
+                                if out.len() >= *out_chunk {
+                                    send_result_chunk(results, cell, out);
                                 }
                             }
                         }
@@ -1035,17 +1565,12 @@ impl WorkerState {
             }
             SwWindow::Hash(w) => {
                 for stored in w.probe(probe_key) {
-                    self.stats.comparisons += 1;
-                    self.stats.matches += 1;
-                    if self.results.is_some() {
-                        self.out.push(MatchPair::oriented(tag, tuple, stored));
-                        if self.out.len() >= self.out_chunk {
-                            let chunk = std::mem::take(&mut self.out);
-                            let n = chunk.len() as u64;
-                            if self.results.as_ref().expect("checked").send(chunk).is_err() {
-                                self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
-                                self.results = None;
-                            }
+                    stats.comparisons += 1;
+                    stats.matches += 1;
+                    if results.is_some() {
+                        out.push(MatchPair::oriented(tag, tuple, stored));
+                        if out.len() >= *out_chunk {
+                            send_result_chunk(results, cell, out);
                         }
                     }
                 }
@@ -1081,15 +1606,8 @@ impl WorkerState {
     /// Hands any buffered matches to the collector (barrier points and
     /// shutdown); degrades to counting on a dead collector.
     fn flush_results(&mut self) {
-        if let Some(tx) = &self.results {
-            if !self.out.is_empty() {
-                let chunk = std::mem::take(&mut self.out);
-                let n = chunk.len() as u64;
-                if tx.send(chunk).is_err() {
-                    self.cell.results_dropped.fetch_add(n, Ordering::Relaxed);
-                    self.results = None;
-                }
-            }
+        if !self.out.is_empty() {
+            send_result_chunk(&mut self.results, &self.cell, &mut self.out);
         }
     }
 
@@ -1104,14 +1622,73 @@ impl WorkerState {
     }
 }
 
+/// What a scripted batch told the worker to do next.
+enum BatchOutcome {
+    Continue,
+    /// Scripted kill: exit the thread abruptly.
+    Kill,
+}
+
+/// One distribution batch through the fault script: stall, drop-or-
+/// probe, scripted panic, scripted kill — shared verbatim by the
+/// channel ([`Msg::Batch`]) and ring ([`Msg::ArenaBatch`]) paths so the
+/// two transports keep bit-for-bit identical fault semantics.
+fn run_scripted_batch(
+    w: &mut WorkerState,
+    plan: &FaultPlan,
+    position: usize,
+    batch_no: u64,
+    batch: &[(StreamTag, Tuple)],
+    ring: &mut Option<obs::trace::TraceRing>,
+) -> BatchOutcome {
+    let stall = plan.stall_ms(position, batch_no);
+    if stall > 0 {
+        w.cell.stalls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(stall));
+    }
+    if plan.drops(position, batch_no) {
+        // The batch is lost in transit: no probes, no stores, and this
+        // worker's round-robin counters silently fall behind its
+        // siblings' — deliberate corruption.
+        w.cell.drops.fetch_add(1, Ordering::Relaxed);
+    } else {
+        let t0 = obs::trace::now_ns();
+        for &(tag, tuple) in batch {
+            w.handle_tuple(tag, tuple);
+        }
+        if let Some(r) = ring.as_mut() {
+            let t1 = obs::trace::now_ns();
+            r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
+        }
+    }
+    if plan.panics(position, batch_no) {
+        w.publish();
+        panic!("fault injection: worker {position} scripted panic at batch {batch_no}");
+    }
+    if plan.kills(position, batch_no) {
+        // Abrupt exit: buffered un-flushed results die here.
+        w.cell
+            .results_dropped
+            .fetch_add(w.out.len() as u64, Ordering::Relaxed);
+        w.publish();
+        return BatchOutcome::Kill;
+    }
+    BatchOutcome::Continue
+}
+
 fn worker_loop(
     position: usize,
     config: &SplitJoinConfig,
-    rx: &Receiver<Msg>,
-    results: Option<Sender<Vec<MatchPair>>>,
+    mut feed: WorkerFeed,
+    results: Option<ResultsLane>,
     cell: &Arc<WorkerCell>,
 ) -> (WorkerStats, Option<obs::trace::TraceRing>) {
     let _guard = AliveGuard(Arc::clone(cell));
+    if config.pin_workers {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Best effort: a refused pin just runs unpinned.
+        let _ = streamcore::affinity::pin_to_core(position % cpus);
+    }
     let sub = config.sub_window();
     let plan = &config.fault_plan;
     let mut w = WorkerState {
@@ -1139,7 +1716,7 @@ fn worker_loop(
     let mut idle_since = obs::trace::now_ns();
     let mut batch_no: u64 = 0;
 
-    for msg in rx.iter() {
+    while let Some(msg) = feed.recv() {
         if let Some(r) = ring.as_mut() {
             let t = obs::trace::now_ns();
             r.record("recv", idle_since, t.saturating_sub(idle_since));
@@ -1147,36 +1724,23 @@ fn worker_loop(
         match msg {
             Msg::Batch(batch) => {
                 batch_no += 1;
-                let stall = plan.stall_ms(position, batch_no);
-                if stall > 0 {
-                    w.cell.stalls.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(stall));
+                if let BatchOutcome::Kill =
+                    run_scripted_batch(&mut w, plan, position, batch_no, &batch, &mut ring)
+                {
+                    return (w.stats, ring);
                 }
-                if plan.drops(position, batch_no) {
-                    // The batch is lost in transit: no probes, no stores,
-                    // and this worker's round-robin counters silently
-                    // fall behind its siblings' — deliberate corruption.
-                    w.cell.drops.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    let t0 = obs::trace::now_ns();
-                    for &(tag, tuple) in batch.iter() {
-                        w.handle_tuple(tag, tuple);
-                    }
-                    if let Some(r) = ring.as_mut() {
-                        let t1 = obs::trace::now_ns();
-                        r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
-                    }
-                }
-                if plan.panics(position, batch_no) {
-                    w.publish();
-                    panic!("fault injection: worker {position} scripted panic at batch {batch_no}");
-                }
-                if plan.kills(position, batch_no) {
-                    // Abrupt exit: buffered un-flushed results die here.
-                    w.cell
-                        .results_dropped
-                        .fetch_add(w.out.len() as u64, Ordering::Relaxed);
-                    w.publish();
+            }
+            Msg::ArenaBatch { seq } => {
+                batch_no += 1;
+                // Probe the arena slot in place; release it only after
+                // the whole batch is processed (a scripted panic unwinds
+                // without releasing — recovery then waits for this
+                // thread to die before retiring the reader).
+                let reader = feed.arena_reader();
+                let outcome =
+                    run_scripted_batch(&mut w, plan, position, batch_no, reader.read(seq), &mut ring);
+                reader.release(seq);
+                if let BatchOutcome::Kill = outcome {
                     return (w.stats, ring);
                 }
             }
@@ -1205,14 +1769,22 @@ fn worker_loop(
             Msg::Reconfigure(map) => {
                 w.map = Some(map);
             }
-            Msg::Flush(ack) => {
+            Msg::Flush(token) => {
                 let t0 = obs::trace::now_ns();
                 w.flush_results();
                 if let Some(r) = ring.as_mut() {
                     let t1 = obs::trace::now_ns();
                     r.record("send", t0, t1.saturating_sub(t0));
                 }
-                let _ = ack.send(());
+                match token {
+                    FlushToken::Ack(ack) => {
+                        let _ = ack.send(());
+                    }
+                    // Release pairs with the router's Acquire poll: the
+                    // token becomes visible only after the result flush
+                    // above.
+                    FlushToken::Seq(seq) => w.cell.flushed.store(seq, Ordering::Release),
+                }
             }
             Msg::Stop => break,
         }

@@ -1,7 +1,8 @@
 //! Crate-internal worker supervision primitives shared by the SplitJoin
 //! router and the handshake chain: the per-worker heartbeat/liveness
-//! cell, the scope guard that marks a cell dead on any exit path, and
-//! the bounded-backoff supervised channel send.
+//! cell, the scope guard that marks a cell dead on any exit path, the
+//! bounded-backoff policy ([`SendSupervisor`]), and the supervised send
+//! for each transport (channel `send_timeout`, ring claim-retry).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -9,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use accel_error::{JoinError, WorkerStats};
 use crossbeam::channel::{SendTimeoutError, Sender};
+use streamcore::ring::{PushError, RingProducer};
 
 /// First supervised-send timeout; doubles per retry up to
 /// [`BACKOFF_CAP_MS`].
@@ -20,6 +22,11 @@ pub(crate) const BACKOFF_CAP_MS: u64 = 64;
 /// clock, so plain back-pressure (slow but alive workers) never trips
 /// it.
 pub(crate) const SATURATION_DEADLINE: Duration = Duration::from_secs(10);
+/// Yield-retry rounds a ring push or arena claim spends before falling
+/// back to the sleeping [`SendSupervisor`] — rings have no condvar to
+/// park on, and a draining consumer usually frees a slot within a
+/// scheduler quantum or two.
+pub(crate) const CLAIM_SPIN_YIELDS: u32 = 128;
 
 /// Shared per-worker supervision block: heartbeat + liveness for the
 /// coordinator, last published statistics for loss-tolerant shutdown,
@@ -51,6 +58,10 @@ pub(crate) struct WorkerCell {
     /// removed from the join — used where the coordinator has no
     /// ownership model of its own (the handshake chain).
     pub(crate) orphaned: AtomicU64,
+    /// Highest flush token this worker has acknowledged — the ring
+    /// transport's flush barrier (channels carry an ack sender in the
+    /// message instead).
+    pub(crate) flushed: AtomicU64,
 }
 
 impl WorkerCell {
@@ -85,6 +96,64 @@ pub(crate) enum SendStatus {
     Lost,
 }
 
+/// The pure bounded-backoff + saturation-deadline policy, factored out
+/// of the send loops so it can be driven by a mock clock in tests.
+///
+/// Each call to [`SendSupervisor::next_wait`] reports one failed
+/// attempt against `(worker, heartbeat)` and asks how long to wait
+/// before the next. The backoff doubles from [`BACKOFF_START_MS`] to
+/// [`BACKOFF_CAP_MS`] regardless of progress; the saturation clock runs
+/// only while the same worker's heartbeat stays frozen, and any
+/// progress (or a different laggard) resets it. The returned wait is
+/// **clamped to the remaining deadline budget**, so the total frozen
+/// wait is exactly [`SATURATION_DEADLINE`] — not the deadline plus a
+/// trailing full backoff (the pre-clamp behavior reported `Saturated`
+/// at up to 10 s + 64 ms).
+#[derive(Debug)]
+pub(crate) struct SendSupervisor {
+    backoff_ms: u64,
+    /// `(deadline start, worker, heartbeat)` of the frozen streak.
+    stuck: Option<(Instant, usize, u64)>,
+}
+
+impl SendSupervisor {
+    pub(crate) fn new() -> Self {
+        Self { backoff_ms: BACKOFF_START_MS, stuck: None }
+    }
+
+    /// The next bounded wait (see the type docs), or
+    /// [`JoinError::Saturated`] once the frozen streak has consumed the
+    /// whole deadline.
+    pub(crate) fn next_wait(
+        &mut self,
+        now: Instant,
+        worker: usize,
+        heartbeat: u64,
+    ) -> Result<Duration, JoinError> {
+        let wait = Duration::from_millis(self.backoff_ms);
+        self.backoff_ms = (self.backoff_ms * 2).min(BACKOFF_CAP_MS);
+        match self.stuck {
+            Some((since, w, beat)) if w == worker && beat == heartbeat => {
+                let elapsed = now.saturating_duration_since(since);
+                if elapsed >= SATURATION_DEADLINE {
+                    return Err(JoinError::Saturated {
+                        worker,
+                        waited_ms: elapsed.as_millis() as u64,
+                    });
+                }
+                Ok(wait.min(SATURATION_DEADLINE - elapsed))
+            }
+            // Progress (or first attempt, or a different laggard):
+            // restart the deadline — plain back-pressure waits as long
+            // as it takes.
+            _ => {
+                self.stuck = Some((now, worker, heartbeat));
+                Ok(wait)
+            }
+        }
+    }
+}
+
 /// Bounded-backoff send with heartbeat supervision. Never blocks
 /// indefinitely on a dead or wedged worker: back-pressure with progress
 /// waits forever, a frozen heartbeat with a full channel for the whole
@@ -95,10 +164,10 @@ pub(crate) fn supervised_send<T>(
     worker: usize,
     mut msg: T,
 ) -> Result<SendStatus, JoinError> {
-    let mut timeout_ms = BACKOFF_START_MS;
-    let mut stuck: Option<(Instant, u64)> = None;
+    let mut sup = SendSupervisor::new();
+    let mut timeout = Duration::from_millis(BACKOFF_START_MS);
     loop {
-        match tx.send_timeout(msg, Duration::from_millis(timeout_ms)) {
+        match tx.send_timeout(msg, timeout) {
             Ok(()) => return Ok(SendStatus::Sent),
             Err(SendTimeoutError::Disconnected(_)) => return Ok(SendStatus::Lost),
             Err(SendTimeoutError::Timeout(returned)) => {
@@ -106,24 +175,55 @@ pub(crate) fn supervised_send<T>(
                 if cell.is_dead() {
                     return Ok(SendStatus::Lost);
                 }
-                let beat = cell.heartbeat.load(Ordering::Relaxed);
-                match stuck {
-                    // Heartbeat frozen since last check: the deadline
-                    // keeps running.
-                    Some((since, last)) if last == beat => {
-                        if since.elapsed() >= SATURATION_DEADLINE {
-                            return Err(JoinError::Saturated {
-                                worker,
-                                waited_ms: since.elapsed().as_millis() as u64,
-                            });
-                        }
-                    }
-                    // Progress (or first timeout): reset the deadline —
-                    // plain back-pressure waits as long as it takes.
-                    _ => stuck = Some((Instant::now(), beat)),
-                }
-                timeout_ms = (timeout_ms * 2).min(BACKOFF_CAP_MS);
+                timeout = sup.next_wait(
+                    Instant::now(),
+                    worker,
+                    cell.heartbeat.load(Ordering::Relaxed),
+                )?;
             }
+        }
+    }
+}
+
+/// Ring-transport counterpart of [`supervised_send`]: claim-retry with
+/// a yield phase, then the same backoff/saturation policy (a ring has
+/// no blocking send to lean on). Returns the status plus the
+/// nanoseconds spent waiting, which the router feeds the claim-wait
+/// histogram.
+pub(crate) fn supervised_push<T>(
+    prod: &mut RingProducer<T>,
+    cell: &WorkerCell,
+    worker: usize,
+    mut msg: T,
+) -> Result<(SendStatus, u64), JoinError> {
+    match prod.try_push(msg) {
+        Ok(()) => return Ok((SendStatus::Sent, 0)),
+        Err(PushError::Disconnected(_)) => return Ok((SendStatus::Lost, 0)),
+        Err(PushError::Full(m)) => msg = m,
+    }
+    let t0 = Instant::now();
+    let waited = |t0: Instant| t0.elapsed().as_nanos().max(1) as u64;
+    let mut sup = SendSupervisor::new();
+    let mut spins = 0u32;
+    loop {
+        if cell.is_dead() {
+            return Ok((SendStatus::Lost, waited(t0)));
+        }
+        if spins < CLAIM_SPIN_YIELDS {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            let wait = sup.next_wait(
+                Instant::now(),
+                worker,
+                cell.heartbeat.load(Ordering::Relaxed),
+            )?;
+            std::thread::sleep(wait);
+        }
+        match prod.try_push(msg) {
+            Ok(()) => return Ok((SendStatus::Sent, waited(t0))),
+            Err(PushError::Disconnected(_)) => return Ok((SendStatus::Lost, waited(t0))),
+            Err(PushError::Full(m)) => msg = m,
         }
     }
 }
@@ -157,10 +257,96 @@ mod tests {
     }
 
     #[test]
+    fn supervised_push_gives_up_on_a_dead_cell_with_a_full_ring() {
+        let (mut tx, _rx) = streamcore::ring::spsc::<u32>(1);
+        tx.try_push(1).unwrap(); // fill the ring; _rx never drains
+        let cell = WorkerCell::default();
+        cell.dead.store(true, Ordering::Release);
+        assert!(matches!(
+            supervised_push(&mut tx, &cell, 3, 2),
+            Ok((SendStatus::Lost, _))
+        ));
+    }
+
+    #[test]
+    fn supervised_push_reports_disconnect_as_lost() {
+        let (mut tx, rx) = streamcore::ring::spsc::<u32>(1);
+        drop(rx);
+        let cell = WorkerCell::default();
+        assert!(matches!(
+            supervised_push(&mut tx, &cell, 0, 7),
+            Ok((SendStatus::Lost, 0))
+        ));
+    }
+
+    #[test]
     fn alive_guard_marks_death_on_drop() {
         let cell = Arc::new(WorkerCell::default());
         assert!(!cell.is_dead());
         drop(AliveGuard(Arc::clone(&cell)));
         assert!(cell.is_dead());
+    }
+
+    /// Regression for the saturation off-by-a-backoff: with a frozen
+    /// heartbeat the policy used to sleep a full capped backoff even
+    /// when less than that remained of the deadline, firing `Saturated`
+    /// at 10 s + 64 ms. Driven by a mock clock (fabricated `Instant`s),
+    /// the waits must sum to *exactly* the deadline.
+    #[test]
+    fn saturation_fires_at_exactly_the_deadline_under_a_mock_clock() {
+        let base = Instant::now();
+        let mut sup = SendSupervisor::new();
+        let mut elapsed = Duration::ZERO;
+        let mut waits = Vec::new();
+        let err = loop {
+            match sup.next_wait(base + elapsed, 3, 42) {
+                Ok(w) => {
+                    assert!(w > Duration::ZERO, "zero wait would spin");
+                    waits.push(w);
+                    elapsed += w;
+                }
+                Err(e) => break e,
+            }
+        };
+        // Backoff doubles 1,2,4,...,64 then stays capped...
+        let head: Vec<Duration> =
+            [1u64, 2, 4, 8, 16, 32, 64].iter().map(|&ms| Duration::from_millis(ms)).collect();
+        assert_eq!(&waits[..7], &head[..]);
+        // ...except the final wait, which is clamped to the remaining
+        // budget (10_000 = 63 + 155*64 + 17).
+        assert_eq!(*waits.last().unwrap(), Duration::from_millis(17));
+        assert_eq!(elapsed, SATURATION_DEADLINE, "waits must sum to the deadline exactly");
+        match err {
+            JoinError::Saturated { worker, waited_ms } => {
+                assert_eq!(worker, 3);
+                assert_eq!(waited_ms, 10_000, "not 10_064");
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+    }
+
+    /// Heartbeat progress (or a different laggard) restarts the
+    /// deadline; the backoff itself keeps doubling.
+    #[test]
+    fn progress_resets_the_saturation_clock() {
+        let base = Instant::now();
+        let mut sup = SendSupervisor::new();
+        // 9.9 s into a frozen streak on beat 1...
+        let mut elapsed = Duration::ZERO;
+        loop {
+            let w = sup.next_wait(base + elapsed, 0, 1).unwrap();
+            elapsed += w;
+            if elapsed >= Duration::from_millis(9_900) {
+                break;
+            }
+        }
+        // ...the heartbeat moves: the clock restarts and the policy
+        // will happily wait another full deadline.
+        let w = sup.next_wait(base + elapsed, 0, 2).unwrap();
+        assert_eq!(w, Duration::from_millis(BACKOFF_CAP_MS), "backoff stays capped, unclamped");
+        let later = elapsed + Duration::from_secs(9);
+        assert!(sup.next_wait(base + later, 0, 2).is_ok(), "reset clock must not saturate early");
+        // A different worker index is also progress.
+        assert!(sup.next_wait(base + later, 1, 2).is_ok());
     }
 }

@@ -1,0 +1,62 @@
+//! Optional CPU affinity for join-core threads — std-only, no libc
+//! crate: on Linux the `sched_setaffinity` symbol is already linked
+//! through std's libc dependency, so a direct `extern "C"` declaration
+//! is enough; everywhere else pinning is a no-op.
+//!
+//! Pinning matters to the SPSC transport for the same reason the
+//! hardware design hard-wires its distribution network: a ring's two
+//! hot cache lines (head and tail) are cheapest when each side stays on
+//! one core and the lines never migrate. It is off by default because
+//! it only helps when the host actually has a core per worker.
+
+/// Pins the calling thread to `core` (mod the number of configured
+/// CPUs is the caller's business). Returns `true` on success, `false`
+/// when the kernel refused or the platform has no affinity support —
+/// callers treat failure as "run unpinned", never as an error.
+#[cfg(target_os = "linux")]
+pub fn pin_to_core(core: usize) -> bool {
+    // A fixed 1024-CPU mask, the size of glibc's cpu_set_t. Bit `core`
+    // of the little-endian unsigned-long array is byte core/8, bit
+    // core%8 — this crate only builds the Linux path on little-endian
+    // targets in practice.
+    const MASK_BYTES: usize = 128;
+    if core >= MASK_BYTES * 8 {
+        return false;
+    }
+    let mut mask = [0u8; MASK_BYTES];
+    mask[core / 8] |= 1 << (core % 8);
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+    }
+    // SAFETY: pid 0 targets the calling thread; the mask pointer and
+    // length describe a live, correctly sized local buffer.
+    #[allow(unsafe_code)]
+    unsafe {
+        sched_setaffinity(0, MASK_BYTES, mask.as_ptr()) == 0
+    }
+}
+
+/// Non-Linux platforms: affinity is a no-op and reports failure.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pinning_to_the_first_core_succeeds_on_linux() {
+        // Core 0 always exists; miri has no syscalls, so skip there.
+        #[cfg(not(miri))]
+        assert!(pin_to_core(0));
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected_not_ub() {
+        assert!(!pin_to_core(usize::MAX));
+    }
+}

@@ -35,11 +35,16 @@
 //! assert_eq!(keys, vec![2, 3, 4]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the lock-free ring/arena transport and
+// the affinity shim are the only modules allowed to opt back in, each
+// with per-block safety arguments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod metrics;
 mod partition;
+pub mod ring;
 mod predicate;
 mod record;
 mod tuple;

@@ -53,6 +53,31 @@ impl JoinPredicate {
             JoinPredicate::All => true,
         }
     }
+
+    /// Counts the stored keys matching a probe key in one sweep —
+    /// semantically `keys.filter(|k| matches_keys(..)).count()` with the
+    /// predicate dispatch hoisted out of the loop, so each arm is a
+    /// branch-light scan the compiler can vectorize. `probe_is_r` gives
+    /// the probe's stream side ([`JoinPredicate::LessThan`] is the only
+    /// asymmetric predicate). This is the counting-only fast path of
+    /// window scans: no per-match work, just the tally.
+    #[inline]
+    pub fn count_matches(&self, probe_key: u32, probe_is_r: bool, keys: &[u32]) -> usize {
+        match *self {
+            JoinPredicate::Equi => keys.iter().filter(|&&k| k == probe_key).count(),
+            JoinPredicate::Band { delta } => {
+                keys.iter().filter(|&&k| k.abs_diff(probe_key) <= delta).count()
+            }
+            JoinPredicate::LessThan => {
+                if probe_is_r {
+                    keys.iter().filter(|&&k| probe_key < k).count()
+                } else {
+                    keys.iter().filter(|&&k| k < probe_key).count()
+                }
+            }
+            JoinPredicate::All => keys.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +107,40 @@ mod tests {
     #[test]
     fn all_matches_everything() {
         assert!(JoinPredicate::All.matches(Tuple::new(0, 0), Tuple::new(u32::MAX, 0)));
+    }
+
+    #[test]
+    fn count_matches_agrees_with_per_key_evaluation() {
+        // Pseudo-random keys around the probe so every predicate arm has
+        // hits and misses on both orientations.
+        let keys: Vec<u32> = (0u32..257)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 64)
+            .collect();
+        let probe = 31u32;
+        for p in [
+            JoinPredicate::Equi,
+            JoinPredicate::Band { delta: 0 },
+            JoinPredicate::Band { delta: 7 },
+            JoinPredicate::LessThan,
+            JoinPredicate::All,
+        ] {
+            for probe_is_r in [true, false] {
+                let slow = keys
+                    .iter()
+                    .filter(|&&k| {
+                        if probe_is_r {
+                            p.matches_keys(probe, k)
+                        } else {
+                            p.matches_keys(k, probe)
+                        }
+                    })
+                    .count();
+                assert_eq!(
+                    p.count_matches(probe, probe_is_r, &keys),
+                    slow,
+                    "{p:?} probe_is_r={probe_is_r}"
+                );
+            }
+        }
     }
 }

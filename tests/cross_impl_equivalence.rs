@@ -3,6 +3,12 @@
 //! hardware, multithreaded software SplitJoin, software handshake join
 //! (serialized), and the single-threaded reference — produces the same
 //! result multiset on the same workload.
+//!
+//! The second half of the file pins *cross-transport* equivalence: the
+//! SplitJoin channel and ring transports must agree — results, counts,
+//! per-worker statistics, and (under a scripted [`FaultPlan`]) the
+//! exact damage report — at every worker count, because batch message
+//! boundaries are identical on both paths.
 
 mod common;
 
@@ -11,9 +17,12 @@ use accel_landscape::joinhw::biflow::BiFlowJoin;
 use accel_landscape::joinhw::uniflow::UniFlowJoin;
 use accel_landscape::joinhw::{DesignParams, FlowModel, JoinOperator, NetworkKind};
 use accel_landscape::joinsw::baseline::reference_join;
+use accel_landscape::joinsw::config::Transport;
 use accel_landscape::joinsw::handshake::{HandshakeConfig, HandshakeJoin};
-use accel_landscape::joinsw::splitjoin::{SplitJoin, SplitJoinConfig};
+use accel_landscape::joinsw::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
+use accel_landscape::joinsw::{FaultEvent, FaultPlan};
 use accel_landscape::streamcore::{JoinPredicate, MatchPair, StreamTag, Tuple};
+use proptest::prelude::*;
 
 use common::{as_multiset, workload};
 
@@ -123,6 +132,153 @@ fn equivalence_holds_across_seeds_and_selectivities() {
             want,
             "seed {seed} domain {domain} (sw)"
         );
+    }
+}
+
+/// Runs a SplitJoin to completion on one transport. `batch_size` is
+/// pinned explicitly so the comparison is immune to the `ACCEL_SW_BATCH`
+/// CI legs — identical batch boundaries are exactly what makes the two
+/// transports comparable bit-for-bit under a fault plan.
+fn run_transport(
+    transport: Transport,
+    cores: usize,
+    batch_size: usize,
+    plan: Option<&FaultPlan>,
+    inputs: &[(StreamTag, Tuple)],
+) -> JoinOutcome {
+    let mut config = SplitJoinConfig::new(cores, WINDOW)
+        .with_batch_size(batch_size)
+        .with_transport(transport);
+    if let Some(plan) = plan {
+        config = config.with_fault_plan(plan.clone());
+    }
+    let join = SplitJoin::spawn(config);
+    for &(tag, t) in inputs {
+        join.process(tag, t).unwrap();
+    }
+    join.flush().unwrap();
+    join.shutdown().unwrap()
+}
+
+/// Everything that must match across transports. Recovery latency is
+/// wall-clock and ring telemetry is per-transport, so neither is
+/// compared; all logical outputs are.
+fn assert_outcomes_agree(ring: &JoinOutcome, channel: &JoinOutcome, label: &str) {
+    assert_eq!(
+        as_multiset(&ring.results),
+        as_multiset(&channel.results),
+        "{label}: result multisets diverge"
+    );
+    assert_eq!(ring.result_count, channel.result_count, "{label}: counts");
+    assert_eq!(
+        ring.worker_stats, channel.worker_stats,
+        "{label}: per-worker statistics"
+    );
+    assert_eq!(
+        ring.batch_sizes.total(),
+        channel.batch_sizes.total(),
+        "{label}: batch message count"
+    );
+    assert_eq!(
+        ring.fault.workers_lost, channel.fault.workers_lost,
+        "{label}: lost workers"
+    );
+    assert_eq!(
+        ring.fault.orphaned_tuples, channel.fault.orphaned_tuples,
+        "{label}: orphan accounting"
+    );
+    assert_eq!(
+        ring.fault.injected_stalls, channel.fault.injected_stalls,
+        "{label}: stall count"
+    );
+    assert_eq!(
+        ring.fault.injected_drops, channel.fault.injected_drops,
+        "{label}: drop count"
+    );
+    assert_eq!(
+        ring.fault.results_dropped, channel.fault.results_dropped,
+        "{label}: results dropped at kill"
+    );
+}
+
+#[test]
+fn ring_and_channel_transports_agree_at_every_worker_count() {
+    let inputs = workload(600, 8, 42);
+    for cores in [1usize, 2, 4, 8] {
+        let ring = run_transport(Transport::Ring, cores, 16, None, &inputs);
+        let channel = run_transport(Transport::Channel, cores, 16, None, &inputs);
+        assert_outcomes_agree(&ring, &channel, &format!("{cores} cores healthy"));
+        assert!(
+            ring.ring_stats.is_some() && channel.ring_stats.is_none(),
+            "ring telemetry belongs to the ring transport only"
+        );
+        assert!(!ring.fault.degraded());
+    }
+}
+
+#[test]
+fn transports_agree_under_kill_and_stall_faults() {
+    let inputs = workload(600, 8, 7);
+    for cores in [1usize, 2, 4, 8] {
+        // A stall early, then (with a sibling to survive) a kill at a
+        // later batch boundary — the orphan accounting and the
+        // results_dropped tally must come out identical because both
+        // transports deliver identical batch boundaries.
+        let mut plan = FaultPlan::none().with(FaultEvent::Stall {
+            worker: 0,
+            at_batch: 2,
+            millis: 5,
+        });
+        if cores > 1 {
+            plan = plan.with(FaultEvent::Kill { worker: cores - 1, after_batch: 4 });
+        }
+        let ring = run_transport(Transport::Ring, cores, 16, Some(&plan), &inputs);
+        let channel = run_transport(Transport::Channel, cores, 16, Some(&plan), &inputs);
+        assert_outcomes_agree(&ring, &channel, &format!("{cores} cores faulted"));
+        assert_eq!(ring.fault.injected_stalls, 1);
+        if cores > 1 {
+            assert_eq!(ring.fault.workers_lost, vec![cores - 1]);
+            assert!(ring.fault.degraded());
+        }
+    }
+}
+
+#[test]
+fn transports_agree_on_drop_corruption() {
+    // A scripted message drop corrupts the round-robin discipline on
+    // one worker — deliberately. Both transports must corrupt the same
+    // way (same dropped batch boundary), so outcomes still agree.
+    let inputs = workload(400, 8, 21);
+    let plan = FaultPlan::none().with(FaultEvent::Drop { worker: 1, at_batch: 3 });
+    let ring = run_transport(Transport::Ring, 4, 16, Some(&plan), &inputs);
+    let channel = run_transport(Transport::Channel, 4, 16, Some(&plan), &inputs);
+    assert_outcomes_agree(&ring, &channel, "scripted drop");
+    assert_eq!(ring.fault.injected_drops, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized cross-transport equivalence: any workload, any core
+    /// count, any batch size — the ring transport is observationally
+    /// identical to the channel transport (and both match the
+    /// single-threaded reference).
+    #[test]
+    fn transports_agree_on_random_workloads(
+        n in 100usize..400,
+        domain in 2u32..32,
+        seed in any::<u64>(),
+        cores in 1usize..5,
+        batch in 1usize..64,
+    ) {
+        let inputs = workload(n, domain, seed);
+        let ring = run_transport(Transport::Ring, cores, batch, None, &inputs);
+        let channel = run_transport(Transport::Channel, cores, batch, None, &inputs);
+        prop_assert_eq!(as_multiset(&ring.results), as_multiset(&channel.results));
+        prop_assert_eq!(&ring.worker_stats, &channel.worker_stats);
+        let window = SplitJoinConfig::new(cores, WINDOW).effective_window();
+        let want = as_multiset(&reference_join(&inputs, window, JoinPredicate::Equi));
+        prop_assert_eq!(as_multiset(&ring.results), want);
     }
 }
 
