@@ -1,0 +1,21 @@
+//! Regenerates the partitioned-dispatch (PanJoin mode) figure. Run
+//! with --release.
+//!
+//! Accepts `--batch N`, `--cores A,...` (the first value is the sweep's
+//! core count), `--windows LO..HI` (inclusive exponent range for the
+//! speedup sweep), and `--trace [N]`. Prints the broadcast-vs-hash
+//! speedup table and the zipf occupancy table to stdout, writes a run
+//! manifest to `target/obs/partition.json` (or `$ACCEL_OBS_DIR`), and
+//! upserts every measured point into `BENCH_swjoin.json` alongside it.
+//! `docs/PARTITIONING.md` walks through reading the output.
+fn main() {
+    let opts = bench::swjoin::SwRunOpts::from_args();
+    opts.setup_trace();
+    let (tables, m, entries) = bench::partition_run_opts(&opts);
+    for t in &tables {
+        println!("{t}");
+    }
+    bench::obsout::emit(&m);
+    bench::swjoin::record(&entries);
+    bench::obsout::emit_harvest("partition");
+}

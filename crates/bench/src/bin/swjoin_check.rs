@@ -129,11 +129,20 @@ fn main() {
         );
         return;
     }
+    // Baseline provenance first: a gate trip on a differently-sized (or
+    // simply older) host is the most common false alarm, so put the
+    // facts needed to judge that next to the failure.
     eprintln!(
-        "error: {} point(s) regressed beyond {}% vs {}:",
+        "error: {} point(s) regressed beyond {}% vs {} (baseline git_rev {}, \
+         host_parallelism {}; this host {}):",
         found.len(),
         opts.tolerance,
-        opts.baseline.display()
+        opts.baseline.display(),
+        baseline.git_rev.as_deref().unwrap_or("unknown"),
+        baseline
+            .host_parallelism
+            .map_or_else(|| "unknown".to_string(), |p| p.to_string()),
+        joinsw::harness::host_parallelism(),
     );
     for r in &found {
         eprintln!(

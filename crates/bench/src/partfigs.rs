@@ -1,0 +1,318 @@
+//! Partitioned-dispatch (PanJoin mode) figures: broadcast vs hash
+//! speedup and skew-rebalance occupancy.
+//!
+//! Two sweeps, both published under figure `partition` in
+//! `BENCH_swjoin.json`:
+//!
+//! 1. **Speedup** — wall-clock throughput of the same SplitJoin at the
+//!    same core count, broadcast vs [`Partitioning::Hash`], across
+//!    windows 2^16–2^20. Broadcast ships every probe to every worker and
+//!    each worker scans its whole sub-window; hash dispatch routes each
+//!    probe to the single partition owner, which walks only the matching
+//!    key chain. The per-probe work drops from `O(window)` to
+//!    `O(matches)`, so the ratio grows with the window.
+//! 2. **Occupancy** — a zipf(s=1.0, domain 8) feed with *no* warm-up
+//!    prefill, measuring [`PartitionStats::balance`] (max/mean live
+//!    occupancy over live workers, `occupancy_ratio` in the artifact)
+//!    with the hot-key splitter enabled versus disabled (`nosplit`, the
+//!    splitter's threshold pushed out of reach). A rebalanced run keeps
+//!    the ratio low; the nosplit run shows the skew the sketch removes.
+//!
+//! Both honor the shared CLI options ([`SwRunOpts`]): `--batch`,
+//! `--cores` (first value is the sweep's core count), and `--windows`
+//! reshape the speedup sweep. The walkthrough in
+//! `docs/PARTITIONING.md` reproduces these numbers step by step.
+
+use joinsw::config::Partitioning;
+use joinsw::harness::{host_parallelism, measure_throughput_outcome};
+use joinsw::splitjoin::{SplitJoin, SplitJoinConfig};
+use joinsw::streamjoin::JoinSummary;
+use obs::RunManifest;
+use streamcore::workload::{KeyDist, WorkloadSpec};
+
+use crate::swjoin::{SwJoinEntry, SwRunOpts};
+use crate::table::Table;
+
+const KEY_DOMAIN: u32 = 1 << 20;
+
+/// Skew exponent of the occupancy sweep: classic Zipf, the paper's
+/// "few sensors dominate" regime.
+const ZIPF_S: f64 = 1.0;
+/// Distinct keys in the occupancy sweep — few enough that one owner
+/// would hold a third of both windows without hot splitting.
+const ZIPF_DOMAIN: u32 = 8;
+/// Window of the occupancy sweep.
+const ZIPF_WINDOW: usize = 1 << 12;
+/// Sketch warm-up for the occupancy sweep: promote after this many
+/// routed tuples instead of the production default, so a 3-window feed
+/// rebalances early enough to show up in final occupancy.
+const ZIPF_HOT_SAMPLE: u64 = 256;
+
+/// Comparison budget per broadcast point (matches the fig14d budget
+/// shape); the partitioned arm replays the same tuple count so the two
+/// rates divide cleanly.
+const COMPARISON_BUDGET: u64 = 100_000_000;
+
+fn tuples_for(window: usize) -> u64 {
+    (COMPARISON_BUDGET / window as u64).clamp(8, 4_096)
+}
+
+fn throughput_entry(
+    variant: &str,
+    cores: usize,
+    window: usize,
+    batch_size: usize,
+    tuples: u64,
+    mtps: f64,
+) -> SwJoinEntry {
+    SwJoinEntry {
+        figure: "partition".into(),
+        variant: variant.into(),
+        cores,
+        window,
+        batch_size,
+        tuples,
+        metric: "throughput_mtps".into(),
+        value: mtps,
+        mode: "measured".into(),
+    }
+}
+
+/// The partition figure with CLI options applied, returning the
+/// speedup and occupancy tables, the run manifest, and the measured
+/// points for `BENCH_swjoin.json`.
+pub fn partition_run_opts(opts: &SwRunOpts) -> (Vec<Table>, RunManifest, Vec<SwJoinEntry>) {
+    let mut m = crate::obsout::manifest("partition");
+    m.config("host_parallelism", host_parallelism());
+    m.config("batch_size", opts.batch_size);
+    let mut entries = Vec::new();
+    let speedup = speedup_sweep(opts, &mut m, &mut entries);
+    let occupancy = occupancy_sweep(opts, &mut m, &mut entries);
+    (vec![speedup, occupancy], m, entries)
+}
+
+fn sweep_cores(opts: &SwRunOpts) -> usize {
+    opts.cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(4)
+}
+
+/// Broadcast vs hash-partitioned wall-clock throughput, windows
+/// 2^16–2^20 (or `--windows`), at one core count.
+fn speedup_sweep(
+    opts: &SwRunOpts,
+    m: &mut RunManifest,
+    entries: &mut Vec<SwJoinEntry>,
+) -> Table {
+    let exponents = opts.windows.clone().unwrap_or(16..=20);
+    let cores = sweep_cores(opts);
+    let batch = opts.batch_size;
+    let mut t = Table::new(
+        format!(
+            "Partition figure — broadcast vs hash dispatch, {cores} cores (M tuples/s)"
+        ),
+        &["window", "broadcast", "partitioned", "speedup"],
+    );
+    m.config("speedup.cores", cores);
+    for exp in exponents {
+        let window = 1usize << exp;
+        let tuples = tuples_for(window);
+        // Both arms pin their dispatch mode explicitly: the A/B must
+        // hold even when `ACCEL_SW_PARTITIONING=hash` flips the default.
+        let broadcast = measure_throughput_outcome(
+            SplitJoinConfig::new(cores, window)
+                .with_batch_size(batch)
+                .with_partitioning(Partitioning::Broadcast),
+            tuples,
+            KEY_DOMAIN,
+        )
+        .expect("partition broadcast run failed")
+        .0
+        .million_per_second();
+        let partitioned = measure_throughput_outcome(
+            SplitJoinConfig::new(cores, window)
+                .with_batch_size(batch)
+                .with_partitioning(Partitioning::Hash),
+            tuples,
+            KEY_DOMAIN,
+        )
+        .expect("partition hash run failed")
+        .0
+        .million_per_second();
+        let speedup = partitioned / broadcast;
+        m.config(format!("w2e{exp}.broadcast_mtps"), format!("{broadcast:.5}"));
+        m.config(
+            format!("w2e{exp}.partitioned_mtps"),
+            format!("{partitioned:.5}"),
+        );
+        m.config(format!("w2e{exp}.speedup"), format!("{speedup:.1}"));
+        entries.push(throughput_entry(
+            "broadcast",
+            cores,
+            window,
+            batch,
+            tuples,
+            broadcast,
+        ));
+        entries.push(throughput_entry(
+            "partitioned",
+            cores,
+            window,
+            batch,
+            tuples,
+            partitioned,
+        ));
+        t.row(vec![
+            format!("2^{exp}"),
+            format!("{broadcast:.5}"),
+            format!("{partitioned:.5}"),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    t.note(
+        "both columns wall-clock on this host; broadcast probes scan the \
+         whole sub-window, hash probes walk one key chain",
+    );
+    t.note(format!("distribution batch size: {batch}"));
+    t
+}
+
+/// Runs one occupancy-sweep arm and returns the final
+/// max/mean-occupancy ratio and the number of hot splits.
+fn occupancy_arm(config: SplitJoinConfig, inputs: &[(streamcore::StreamTag, streamcore::Tuple)]) -> (f64, u64) {
+    let batch = config.batch_size;
+    let join = SplitJoin::spawn(config);
+    for chunk in inputs.chunks(batch.max(1)) {
+        join.process_batch(chunk).expect("occupancy feed failed");
+    }
+    join.flush().expect("occupancy flush failed");
+    let outcome = join.shutdown().expect("occupancy shutdown failed");
+    assert!(!outcome.fault().degraded(), "occupancy run degraded");
+    let stats = outcome
+        .partition_stats
+        .expect("hash dispatch reports partition stats");
+    (stats.balance(), stats.hot_splits)
+}
+
+/// Skew sweep: zipf(1.0) over 8 keys, no warm-up prefill, splitter on
+/// vs off, measuring the final max/mean live-occupancy ratio.
+fn occupancy_sweep(
+    opts: &SwRunOpts,
+    m: &mut RunManifest,
+    entries: &mut Vec<SwJoinEntry>,
+) -> Table {
+    let cores = sweep_cores(opts);
+    let batch = opts.batch_size;
+    let tuples = 3 * ZIPF_WINDOW;
+    let inputs: Vec<_> = WorkloadSpec::new(
+        tuples,
+        KeyDist::Zipf {
+            domain: ZIPF_DOMAIN,
+            s: ZIPF_S,
+        },
+    )
+    .with_seed(7)
+    .generate()
+    .collect();
+    let base = SplitJoinConfig::new(cores, ZIPF_WINDOW)
+        .with_batch_size(batch)
+        .with_partitioning(Partitioning::Hash)
+        .counting_only();
+    let (split_ratio, hot_splits) =
+        occupancy_arm(base.clone().with_hot_sample(ZIPF_HOT_SAMPLE), &inputs);
+    // Threshold out of reach: the sketch never promotes, owners keep
+    // every tuple of their keys.
+    let (nosplit_ratio, nosplit_hot) =
+        occupancy_arm(base.with_hot_key_factor(1e9), &inputs);
+    assert_eq!(nosplit_hot, 0, "nosplit arm must not split");
+    assert!(hot_splits > 0, "split arm should promote at least one key");
+    let mut t = Table::new(
+        format!(
+            "Partition figure — zipf(s={ZIPF_S}) occupancy ratio (max/mean), \
+             {cores} cores, window 2^12"
+        ),
+        &["variant", "occupancy max/mean", "hot splits"],
+    );
+    for (variant, ratio, splits) in [
+        ("partitioned", split_ratio, hot_splits),
+        ("nosplit", nosplit_ratio, nosplit_hot),
+    ] {
+        m.config(format!("zipf.{variant}.occupancy_ratio"), format!("{ratio:.3}"));
+        m.counter(format!("zipf.{variant}.hot_splits"), splits);
+        entries.push(SwJoinEntry {
+            figure: "partition".into(),
+            variant: variant.into(),
+            cores,
+            window: ZIPF_WINDOW,
+            batch_size: batch,
+            tuples: tuples as u64,
+            metric: "occupancy_ratio".into(),
+            value: ratio,
+            mode: "measured".into(),
+        });
+        t.row(vec![
+            variant.into(),
+            format!("{ratio:.3}"),
+            splits.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "zipf feed: {tuples} tuples over {ZIPF_DOMAIN} keys, no warm-up \
+         prefill, sketch warm-up {ZIPF_HOT_SAMPLE} tuples; lower is flatter"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_speedup_sweep_shows_partitioned_ahead() {
+        let opts = SwRunOpts {
+            cores: Some(vec![2]),
+            windows: Some(10..=11),
+            ..SwRunOpts::default()
+        };
+        let mut m = crate::obsout::manifest("partition-test");
+        let mut entries = Vec::new();
+        let t = speedup_sweep(&opts, &mut m, &mut entries);
+        assert_eq!(t.len(), 2);
+        assert_eq!(entries.len(), 4);
+        for pair in entries.chunks(2) {
+            let (b, p) = (&pair[0], &pair[1]);
+            assert_eq!(b.variant, "broadcast");
+            assert_eq!(p.variant, "partitioned");
+            assert!(
+                p.value > b.value,
+                "hash dispatch should beat broadcast even at 2^{}: {} vs {}",
+                b.window.trailing_zeros(),
+                p.value,
+                b.value
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_sweep_rebalances_the_zipf_feed() {
+        let opts = SwRunOpts {
+            cores: Some(vec![4]),
+            ..SwRunOpts::default()
+        };
+        let mut m = crate::obsout::manifest("partition-test");
+        let mut entries = Vec::new();
+        let t = occupancy_sweep(&opts, &mut m, &mut entries);
+        assert_eq!(t.len(), 2);
+        let split = entries.iter().find(|e| e.variant == "partitioned").unwrap();
+        let nosplit = entries.iter().find(|e| e.variant == "nosplit").unwrap();
+        assert_eq!(split.metric, "occupancy_ratio");
+        assert!(
+            split.value < nosplit.value,
+            "hot splitting should flatten occupancy: {} vs {}",
+            split.value,
+            nosplit.value
+        );
+        assert!(split.value < 2.0, "rebalanced ratio {} >= 2", split.value);
+    }
+}

@@ -29,7 +29,9 @@
 //! }
 //! ```
 //!
-//! `metric` is `throughput_mtps` (million tuples/s) or `latency_p50_ns`;
+//! `metric` is `throughput_mtps` (million tuples/s), `latency_p50_ns`,
+//! or `occupancy_ratio` (max-over-mean partition occupancy from the
+//! partitioned-dispatch skew sweep — dimensionless, lower is better);
 //! `mode` records whether the point was measured wall-clock (`measured`)
 //! or derived from the calibrated scaling model (`modeled`, see
 //! `joinsw::harness::modeled_throughput`). Entries are keyed by
@@ -57,7 +59,7 @@ pub struct SwJoinEntry {
     pub batch_size: usize,
     /// Input tuples in the timed segment (samples for latency metrics).
     pub tuples: u64,
-    /// `throughput_mtps` or `latency_p50_ns`.
+    /// `throughput_mtps`, `latency_p50_ns`, or `occupancy_ratio`.
     pub metric: String,
     /// The measured value, in the metric's unit.
     pub value: f64,
@@ -111,7 +113,7 @@ impl SwJoinEntry {
             _ => return Err("entry missing numeric field `value`".into()),
         };
         let metric = str_field("metric")?;
-        if metric != "throughput_mtps" && metric != "latency_p50_ns" {
+        if !["throughput_mtps", "latency_p50_ns", "occupancy_ratio"].contains(&metric.as_str()) {
             return Err(format!("unknown metric `{metric}`"));
         }
         let mode = str_field("mode")?;
@@ -137,6 +139,12 @@ impl SwJoinEntry {
 pub struct SwJoinDoc {
     /// All recorded data points.
     pub entries: Vec<SwJoinEntry>,
+    /// Git revision the document was written at (`None` for documents
+    /// assembled in memory) — baseline provenance for gate output.
+    pub git_rev: Option<String>,
+    /// `available_parallelism` of the host that wrote the document —
+    /// the first thing to compare when a throughput gate trips.
+    pub host_parallelism: Option<u64>,
 }
 
 impl SwJoinDoc {
@@ -160,7 +168,11 @@ impl SwJoinDoc {
             .iter()
             .map(SwJoinEntry::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { entries })
+        Ok(Self {
+            entries,
+            git_rev: j.get("git_rev").and_then(Json::as_str).map(str::to_string),
+            host_parallelism: j.get("host_parallelism").and_then(Json::as_u64),
+        })
     }
 
     /// Loads the document at `path`; a missing file is an empty document.
@@ -236,8 +248,9 @@ pub struct Regression {
 /// Compares `candidate` against `baseline` point by point (matched on
 /// the upsert key) and returns `(points compared, regressions beyond
 /// tolerance)`. Direction follows the metric: lower `throughput_mtps`
-/// is a regression, higher `latency_p50_ns` is. Points present on only
-/// one side are ignored — sweeps legitimately cover different ranges.
+/// is a regression, higher `latency_p50_ns` or `occupancy_ratio` is.
+/// Points present on only one side are ignored — sweeps legitimately
+/// cover different ranges.
 #[must_use]
 pub fn regressions(
     baseline: &SwJoinDoc,
@@ -253,7 +266,7 @@ pub fn regressions(
         compared += 1;
         let worse_pct = if base.value == 0.0 {
             0.0
-        } else if base.metric == "latency_p50_ns" {
+        } else if base.metric == "latency_p50_ns" || base.metric == "occupancy_ratio" {
             100.0 * (cand.value - base.value) / base.value
         } else {
             100.0 * (base.value - cand.value) / base.value
@@ -495,8 +508,34 @@ mod tests {
         latency.value = 125_000.0;
         doc.upsert(latency);
         let back = SwJoinDoc::parse(&doc.to_json().to_string()).unwrap();
-        assert_eq!(back, doc);
+        assert_eq!(back.entries, doc.entries);
         assert_eq!(back.entries.len(), 2);
+        // Serialization stamps provenance; parsing recovers it.
+        assert!(back.git_rev.is_some());
+        assert_eq!(back.host_parallelism, Some(host_parallelism() as u64));
+    }
+
+    #[test]
+    fn occupancy_ratio_is_a_valid_metric_and_higher_is_worse() {
+        let mut doc = SwJoinDoc::default();
+        let mut occ = sample_entry();
+        occ.figure = "partition".into();
+        occ.metric = "occupancy_ratio".into();
+        occ.value = 1.3;
+        doc.upsert(occ.clone());
+        let back = SwJoinDoc::parse(&doc.to_json().to_string()).unwrap();
+        assert_eq!(back.entries, doc.entries);
+        let base = SwJoinDoc { entries: vec![occ.clone()], ..Default::default() };
+        let mut worse = occ.clone();
+        worse.value = 2.6; // doubled imbalance
+        let cand = SwJoinDoc { entries: vec![worse], ..Default::default() };
+        let (compared, found) = regressions(&base, &cand, 20.0);
+        assert_eq!(compared, 1);
+        assert_eq!(found.len(), 1, "higher occupancy ratio must regress");
+        let mut better = occ;
+        better.value = 1.05;
+        let cand = SwJoinDoc { entries: vec![better], ..Default::default() };
+        assert_eq!(regressions(&base, &cand, 20.0).1, vec![]);
     }
 
     #[test]
@@ -584,9 +623,9 @@ mod tests {
 
     #[test]
     fn regressions_flag_slower_throughput_beyond_tolerance() {
-        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)] };
-        let ok = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.7)] };
-        let bad = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.5)] };
+        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)], ..Default::default() };
+        let ok = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.7)], ..Default::default() };
+        let bad = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 1.5)], ..Default::default() };
         assert_eq!(regressions(&base, &ok, 20.0), (1, vec![]));
         let (compared, found) = regressions(&base, &bad, 20.0);
         assert_eq!(compared, 1);
@@ -602,6 +641,7 @@ mod tests {
                 point("fig16", "latency_p50_ns", 1000.0),
                 point("fig14d", "throughput_mtps", 1.0),
             ],
+            ..Default::default()
         };
         // Latency doubled (worse); throughput doubled (better).
         let cand = SwJoinDoc {
@@ -609,6 +649,7 @@ mod tests {
                 point("fig16", "latency_p50_ns", 2000.0),
                 point("fig14d", "throughput_mtps", 2.0),
             ],
+            ..Default::default()
         };
         let (compared, found) = regressions(&base, &cand, 20.0);
         assert_eq!(compared, 2);
@@ -618,8 +659,8 @@ mod tests {
 
     #[test]
     fn regressions_ignore_points_present_on_one_side_only() {
-        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)] };
-        let cand = SwJoinDoc { entries: vec![point("swflow", "throughput_mtps", 0.1)] };
+        let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)], ..Default::default() };
+        let cand = SwJoinDoc { entries: vec![point("swflow", "throughput_mtps", 0.1)], ..Default::default() };
         assert_eq!(regressions(&base, &cand, 0.0), (0, vec![]));
     }
 

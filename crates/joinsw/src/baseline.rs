@@ -208,6 +208,7 @@ impl StreamJoin for BaselineJoin {
             trace: Vec::new(),
             fault: crate::fault::FaultReport::default(),
             ring_stats: None,
+            partition_stats: None,
         })
     }
 }

@@ -49,6 +49,42 @@ pub fn default_transport() -> Transport {
     })
 }
 
+/// How the SplitJoin router dispatches tuples to the join cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// Every batch goes to every worker; storage is round-robin by
+    /// sequence number ([`streamcore::PartitionMap::owner`]). Works for
+    /// any predicate — the paper's baseline discipline, and the
+    /// default.
+    Broadcast,
+    /// Content partitioning (PanJoin-style): the window is sharded by
+    /// join key ([`streamcore::PartitionMap::key_owner`]) and each
+    /// tuple travels only to its key's owner, so a probe touches one
+    /// worker's partition instead of all of them. Keys a frequency
+    /// sketch flags as hot are split online across all live workers.
+    /// Equi-joins only. SplitJoin only: the handshake chain's systolic
+    /// discipline is inherently broadcast-like and ignores this knob.
+    Hash,
+}
+
+/// The process-wide default dispatch mode: `ACCEL_SW_PARTITIONING` when
+/// set to `broadcast` or `hash`, [`Partitioning::Broadcast`] otherwise
+/// (the CI bench-smoke job pins `hash` for its partitioned leg).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo must not silently change
+/// which dispatch discipline a whole CI leg measures.
+pub fn default_partitioning() -> Partitioning {
+    static PARTITIONING: std::sync::OnceLock<Partitioning> = std::sync::OnceLock::new();
+    *PARTITIONING.get_or_init(|| match std::env::var("ACCEL_SW_PARTITIONING") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("broadcast") => Partitioning::Broadcast,
+        Ok(v) if v.trim().eq_ignore_ascii_case("hash") => Partitioning::Hash,
+        Ok(v) => panic!("ACCEL_SW_PARTITIONING must be `broadcast` or `hash`, got {v:?}"),
+        Err(_) => Partitioning::Broadcast,
+    })
+}
+
 /// The configuration fields shared by every software join engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinConfig {
@@ -79,6 +115,10 @@ pub struct JoinConfig {
     /// to running unpinned. Only helps when the host has a core per
     /// worker.
     pub pin_workers: bool,
+    /// How tuples reach the join cores (see [`Partitioning`]); defaults
+    /// to [`default_partitioning`]. [`Partitioning::Hash`] requires an
+    /// equi-join predicate (checked at spawn) and is SplitJoin-only.
+    pub partitioning: Partitioning,
 }
 
 impl JoinConfig {
@@ -101,6 +141,7 @@ impl JoinConfig {
             fault_plan: FaultPlan::none(),
             transport: default_transport(),
             pin_workers: false,
+            partitioning: default_partitioning(),
         }
     }
 
@@ -108,6 +149,13 @@ impl JoinConfig {
     #[must_use]
     pub fn with_transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Selects the dispatch discipline (see [`Partitioning`]).
+    #[must_use]
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
         self
     }
 
@@ -245,6 +293,13 @@ mod tests {
         assert!(config.pin_workers);
         // The default comes from the environment override hook.
         assert_eq!(JoinConfig::new(2, 8).transport, default_transport());
+    }
+
+    #[test]
+    fn partitioning_builder_and_default() {
+        let config = JoinConfig::new(2, 8).with_partitioning(Partitioning::Hash);
+        assert_eq!(config.partitioning, Partitioning::Hash);
+        assert_eq!(JoinConfig::new(2, 8).partitioning, default_partitioning());
     }
 
     #[test]

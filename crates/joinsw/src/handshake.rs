@@ -508,19 +508,19 @@ impl HandshakeJoin {
     }
 
     /// Pre-fault-model [`HandshakeJoin::process`]: panics on failure.
-    #[deprecated(note = "use the fallible `process` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `process` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
         self.process(tag, tuple).expect("chain alive");
     }
 
     /// Pre-fault-model [`HandshakeJoin::flush`]: panics on failure.
-    #[deprecated(note = "use the fallible `flush` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `flush` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn flush_or_panic(&self) {
         self.flush().expect("chain alive");
     }
 
     /// Pre-fault-model [`HandshakeJoin::shutdown`]: panics on failure.
-    #[deprecated(note = "use the fallible `shutdown` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `shutdown` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn shutdown_or_panic(self) -> HandshakeOutcome {
         self.shutdown().expect("core thread panicked")
     }

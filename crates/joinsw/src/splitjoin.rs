@@ -70,6 +70,39 @@
 //! stay put — the software analogue of the hardware design's
 //! hard-wired point-to-point links.
 //!
+//! # Partitioned dispatch (PanJoin mode)
+//!
+//! Broadcast distribution sends every tuple to every worker — each probe
+//! pays O(window) regardless of core count. With
+//! [`Partitioning::Hash`]
+//! ([`JoinConfig::partitioning`], overridable process-wide with
+//! `ACCEL_SW_PARTITIONING`) the window is instead *content-partitioned*
+//! by join key, PanJoin-style: rendezvous hashing
+//! ([`PartitionMap::key_owner`]) assigns each key an owning worker, the
+//! router ships each tuple only to its owner as a keyed sub-batch
+//! (tuple + global stream coordinates), and the owner
+//! probes a per-key chain ([`streamcore::PartitionedWindow`]) instead of
+//! scanning a sub-window. Eviction uses the router-stamped global
+//! sequence watermarks — never local counts — so the union of the shards
+//! equals the broadcast window at every probe and the result multiset is
+//! identical to broadcast mode (the cross-impl equivalence suite pins
+//! this, uniform and zipf, healthy and under kills).
+//!
+//! Skew is handled online: a Misra–Gries sketch ([`FreqSketch`]) watches
+//! routed keys, and a key that exceeds
+//! [`SplitJoinConfig::hot_key_factor`] fair shares of the traffic is
+//! *split* — its stores rotate round-robin over all live workers while
+//! its probes broadcast, so one hot key no longer pins a whole stream to
+//! one core. Old data stays where it was stored; probes reach everyone,
+//! so the transition loses nothing. Per-worker shard occupancy, split
+//! counts, and routing fan-out surface as
+//! [`PartitionStats`] (`splitjoin.partition.*` in the registry).
+//! Recovery keeps working — a dead position's ledger is its exact orphan
+//! count, and rendezvous hashing re-homes only the dead worker's keys —
+//! but replication is rejected at spawn, and non-equi predicates cannot
+//! be content-partitioned. See `docs/PARTITIONING.md` for a measured
+//! walkthrough.
+//!
 //! # Fault tolerance
 //!
 //! Every data-path operation is fallible ([`accel_error::JoinError`])
@@ -102,7 +135,7 @@
 //! tags per batch and nothing else.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -114,10 +147,11 @@ pub use accel_error::WorkerStats;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use streamcore::ring::{self, ArenaReader, ArenaWriter, PopError, RingConsumer, RingProducer};
 use streamcore::{
-    FlatWindow, HashIndexWindow, JoinPredicate, MatchPair, PartitionMap, StreamTag, Tuple,
+    FlatWindow, FreqSketch, HashIndexWindow, JoinPredicate, MatchPair, PartitionMap,
+    PartitionedWindow, StreamTag, Tuple,
 };
 
-use crate::config::{JoinConfig, JoinParams, Transport};
+use crate::config::{JoinConfig, JoinParams, Partitioning, Transport};
 use crate::fault::{round_robin_share, FaultPlan, FaultReport};
 use crate::supervise::{
     supervised_push, supervised_send, AliveGuard, SendStatus, SendSupervisor, WorkerCell,
@@ -138,6 +172,21 @@ const IDLE_SLEEP: Duration = Duration::from_micros(50);
 /// environment variable (CI runs the whole suite at `ACCEL_SW_BATCH=1`
 /// to prove batched and unbatched paths agree).
 pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Default hot-key promotion factor (see
+/// [`SplitJoinConfig::hot_key_factor`]): a key is split once it exceeds
+/// half a fair share of the routed traffic.
+pub const DEFAULT_HOT_KEY_FACTOR: f64 = 0.5;
+
+/// Default minimum routed-tuple sample before any hot-key promotion
+/// (see [`SplitJoinConfig::hot_min_sample`]).
+pub const DEFAULT_HOT_MIN_SAMPLE: u64 = 1_024;
+
+/// Tracked-key capacity of the router's Misra–Gries sketch
+/// ([`FreqSketch`]) in partitioned mode. Any key above a
+/// `1/(capacity+1)` traffic share is guaranteed tracked, far below the
+/// promotion threshold for any plausible core count.
+const SKETCH_CAPACITY: usize = 64;
 
 /// The process-wide default batch size: `ACCEL_SW_BATCH` when set to a
 /// positive integer, [`DEFAULT_BATCH_SIZE`] otherwise.
@@ -180,6 +229,17 @@ pub struct SplitJoinConfig {
     /// worker's orphans into survivor sub-windows on recovery. Costs a
     /// per-tuple copy on the router thread; off by default.
     pub replicate_on_loss: bool,
+    /// Hot-key promotion threshold in partitioned mode
+    /// ([`Partitioning::Hash`]): a key is split across all live workers
+    /// once its sketched frequency reaches `hot_key_factor` fair shares
+    /// of the routed traffic (`estimate ≥ hot_key_factor × total /
+    /// live_workers`). Default [`DEFAULT_HOT_KEY_FACTOR`]; must be
+    /// positive. Set it absurdly high (e.g. `1e9`) to disable splitting.
+    pub hot_key_factor: f64,
+    /// Minimum routed tuples (prefill included) before any hot-key
+    /// promotion — keeps early sketch noise from splitting cold keys.
+    /// Default [`DEFAULT_HOT_MIN_SAMPLE`].
+    pub hot_min_sample: u64,
 }
 
 impl Deref for SplitJoinConfig {
@@ -216,6 +276,8 @@ impl SplitJoinConfig {
             common: JoinConfig::new(num_cores, window_size),
             algorithm: SwJoinAlgorithm::NestedLoop,
             replicate_on_loss: false,
+            hot_key_factor: DEFAULT_HOT_KEY_FACTOR,
+            hot_min_sample: DEFAULT_HOT_MIN_SAMPLE,
         }
     }
 
@@ -300,6 +362,36 @@ impl SplitJoinConfig {
         self
     }
 
+    /// Selects the dispatch discipline (see [`Partitioning`]).
+    /// [`Partitioning::Hash`] requires an equi-join predicate and no
+    /// replication, checked at spawn.
+    #[must_use]
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.common = self.common.with_partitioning(partitioning);
+        self
+    }
+
+    /// Sets the hot-key promotion factor (see
+    /// [`SplitJoinConfig::hot_key_factor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn with_hot_key_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "hot-key factor must be positive");
+        self.hot_key_factor = factor;
+        self
+    }
+
+    /// Sets the minimum sample before hot-key promotion (see
+    /// [`SplitJoinConfig::hot_min_sample`]).
+    #[must_use]
+    pub fn with_hot_sample(mut self, min_sample: u64) -> Self {
+        self.hot_min_sample = min_sample;
+        self
+    }
+
     /// Pins each join core to a CPU (see [`JoinConfig::pin_workers`]).
     #[must_use]
     pub fn with_pinning(mut self) -> Self {
@@ -320,6 +412,11 @@ enum Msg {
         /// Arena sequence number identifying the batch.
         seq: u64,
     },
+    /// One keyed-dispatch sub-batch (partitioned mode): only the
+    /// entries this worker owns or must probe, each stamped with the
+    /// global stream coordinates that keep its shard window-equivalent
+    /// to the broadcast realization.
+    Part(Arc<[PartEntry]>),
     /// Window pre-fill (no probing), shared across all workers.
     Prefill(StreamTag, Arc<[Tuple]>),
     /// Re-replicated orphans of a dead worker: insert directly into this
@@ -333,6 +430,25 @@ enum Msg {
     /// Barrier token: drain local result buffers, then acknowledge.
     Flush(FlushToken),
     Stop,
+}
+
+/// One keyed-dispatch entry: a tuple plus the global stream coordinates
+/// the receiving worker needs to evict its shard by exactly the
+/// watermarks the broadcast window realizes.
+#[derive(Debug, Clone, Copy)]
+struct PartEntry {
+    tag: StreamTag,
+    tuple: Tuple,
+    /// Global per-stream sequence number of this tuple (0-based).
+    seq: u64,
+    /// Opposite-stream tuple count at this tuple's arrival — the probe
+    /// watermark: the shard evicts below `opp - window` before probing.
+    opp: u64,
+    /// Store into the own-stream shard (the key's owner, or the hot
+    /// round-robin turn).
+    store: bool,
+    /// Probe the opposite-stream shard (`false` for prefill).
+    probe: bool,
 }
 
 /// How a worker acknowledges a [`Msg::Flush`] barrier.
@@ -355,8 +471,10 @@ enum Lane {
 enum WorkerFeed {
     Channel(Receiver<Msg>),
     /// Message ring plus this worker's reader handle into the shared
-    /// batch arena ([`Msg::ArenaBatch`] payloads live there).
-    Ring(RingConsumer<Msg>, ArenaReader<(StreamTag, Tuple)>),
+    /// batch arena ([`Msg::ArenaBatch`] payloads live there). The
+    /// reader is `None` in partitioned mode, which ships keyed
+    /// sub-batches ([`Msg::Part`]) instead of arena broadcasts.
+    Ring(RingConsumer<Msg>, Option<ArenaReader<(StreamTag, Tuple)>>),
 }
 
 impl WorkerFeed {
@@ -393,10 +511,8 @@ impl WorkerFeed {
 
     fn arena_reader(&mut self) -> &mut ArenaReader<(StreamTag, Tuple)> {
         match self {
-            WorkerFeed::Ring(_, reader) => reader,
-            WorkerFeed::Channel(_) => {
-                unreachable!("arena batches only arrive on the ring transport")
-            }
+            WorkerFeed::Ring(_, Some(reader)) => reader,
+            _ => unreachable!("arena batches only arrive on the broadcast ring transport"),
         }
     }
 }
@@ -437,6 +553,45 @@ impl Clone for RingStats {
     }
 }
 
+/// Partitioned-dispatch telemetry, attached to the outcome when the run
+/// used [`Partitioning::Hash`].
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStats {
+    /// Live (unexpired) stored tuples per worker position at shutdown,
+    /// both streams combined, from the router's exact ledger. Retired
+    /// positions report zero.
+    pub occupancy: Vec<u64>,
+    /// Worker positions still live at shutdown.
+    pub live: Vec<usize>,
+    /// Keys the frequency sketch promoted to hot (split across all live
+    /// workers) during the run.
+    pub hot_splits: u64,
+    /// Total dispatch entries shipped; a hot-key tuple counts once per
+    /// worker reached, so `routed / tuples` is the effective fan-out.
+    pub routed: u64,
+}
+
+impl PartitionStats {
+    /// Max-over-mean occupancy across the live positions — the
+    /// load-balance figure the skew sweep gates on (`1.0` is perfectly
+    /// even; broadcast-free skew pathologies push it toward the live
+    /// worker count). `0.0` when nothing is stored.
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        let live: Vec<u64> = self.live.iter().map(|&w| self.occupancy[w]).collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        let max = live.iter().copied().max().unwrap_or(0) as f64;
+        let mean = live.iter().sum::<u64>() as f64 / live.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
 /// Everything a [`SplitJoin`] leaves behind at shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct JoinOutcome {
@@ -465,6 +620,9 @@ pub struct JoinOutcome {
     /// Ring-transport telemetry; `None` on the channel transport, so
     /// channel-run manifests keep their exact pre-ring shape.
     pub ring_stats: Option<RingStats>,
+    /// Partitioned-dispatch telemetry; `None` in broadcast mode, so
+    /// broadcast manifests keep their exact pre-partitioning shape.
+    pub partition_stats: Option<PartitionStats>,
 }
 
 impl JoinOutcome {
@@ -489,6 +647,21 @@ impl JoinOutcome {
         if let Some(rs) = &self.ring_stats {
             reg.record("splitjoin.ring.occupancy_peak", rs.peak_occupancy.get());
             reg.record("splitjoin.ring.claim_waits", rs.claim_wait_ns.total());
+        }
+        if let Some(ps) = &self.partition_stats {
+            reg.record("splitjoin.partition.hot_splits", ps.hot_splits);
+            reg.record("splitjoin.partition.routed", ps.routed);
+            let mut max = 0u64;
+            for (i, &occ) in ps.occupancy.iter().enumerate() {
+                reg.record(format!("splitjoin.partition.worker{i}.occupancy"), occ);
+                max = max.max(occ);
+            }
+            reg.record("splitjoin.partition.occupancy_max", max);
+            // Fixed-point (×1000) so the integer registry carries it.
+            reg.record(
+                "splitjoin.partition.balance_x1000",
+                (ps.balance() * 1_000.0).round() as u64,
+            );
         }
         reg
     }
@@ -531,6 +704,35 @@ impl ReplicaBuf {
     }
 }
 
+/// Router-side state of the keyed dispatch ([`Partitioning::Hash`]):
+/// the frequency sketch, the hot-key set, the per-worker outboxes, and
+/// the exact storage ledger that replaces broadcast's closed-form
+/// round-robin accounting.
+#[derive(Debug)]
+struct PartRouter {
+    /// Effective global window size — the count-based expiry horizon
+    /// stamped into every dispatch entry's eviction watermark.
+    window: u64,
+    /// Misra–Gries heavy-hitter summary over routed keys.
+    sketch: FreqSketch,
+    /// Promoted keys → round-robin store cursor over the live workers.
+    /// Promotion is sticky: data already spread never re-concentrates.
+    hot: HashMap<u32, u64>,
+    hot_factor: f64,
+    min_sample: u64,
+    /// Per-worker FIFO of stored R-stream sequence numbers, expired by
+    /// the same watermark the workers use — exact live occupancy, and
+    /// exact orphan counts when a worker dies.
+    ledger_r: Vec<VecDeque<u64>>,
+    /// As `ledger_r`, for the S stream.
+    ledger_s: Vec<VecDeque<u64>>,
+    /// Per-worker sub-batches being assembled for the current caller
+    /// batch; flushed as one [`Msg::Part`] each.
+    outbox: Vec<Vec<PartEntry>>,
+    hot_splits: u64,
+    routed: u64,
+}
+
 /// The supervised distribution side: senders, supervision cells, the
 /// live partition map, and the bookkeeping that makes loss accounting
 /// exact.
@@ -567,6 +769,8 @@ struct Router {
     /// Flush tokens issued so far (ring-transport barrier; see
     /// [`FlushToken::Seq`]).
     flush_seq: u64,
+    /// Keyed-dispatch state; `None` in broadcast mode.
+    part: Option<PartRouter>,
 }
 
 impl Router {
@@ -717,12 +921,148 @@ impl Router {
         Ok(())
     }
 
+    /// Routes one tuple under keyed dispatch: stamp its global stream
+    /// coordinates, feed the sketch (promoting the key if it crossed
+    /// the hot threshold), expire the ledgers, then append dispatch
+    /// entries to the owner's outbox — or, for a hot key, a probe entry
+    /// to every live worker with the store turn rotating round-robin.
+    fn route_tuple(&mut self, tag: StreamTag, tuple: Tuple, probe: bool) {
+        let key = tuple.key();
+        let (seq, opp) = match tag {
+            StreamTag::R => (self.r_sent, self.s_sent),
+            StreamTag::S => (self.s_sent, self.r_sent),
+        };
+        match tag {
+            StreamTag::R => self.r_sent += 1,
+            StreamTag::S => self.s_sent += 1,
+        }
+        let live_count = self.map.live_count();
+        let part = self.part.as_mut().expect("route_tuple is partitioned-mode only");
+        part.sketch.observe(key);
+        // Promote once the key's sketched share reaches `hot_factor`
+        // fair shares of the routed traffic. Splitting on a single
+        // worker would be a no-op, so wait for company.
+        if live_count > 1
+            && !part.hot.contains_key(&key)
+            && part.sketch.total() >= part.min_sample
+            && part.sketch.estimate(key) as f64 * live_count as f64
+                >= part.hot_factor * part.sketch.total() as f64
+        {
+            part.hot.insert(key, 0);
+            part.hot_splits += 1;
+        }
+        // Expire this stream's ledgers by the same watermark the
+        // workers evict with, so occupancy and orphan counts stay
+        // exact. Amortized O(1): each stored seq is popped once.
+        {
+            let min_live = (seq + 1).saturating_sub(part.window);
+            let ledger = match tag {
+                StreamTag::R => &mut part.ledger_r,
+                StreamTag::S => &mut part.ledger_s,
+            };
+            for stored in ledger.iter_mut() {
+                while stored.front().is_some_and(|&s| s < min_live) {
+                    stored.pop_front();
+                }
+            }
+        }
+        let store_at = if part.hot.contains_key(&key) {
+            let live = self.map.live();
+            let rr = part.hot.get_mut(&key).expect("just checked");
+            let store_at = live[(*rr % live.len() as u64) as usize];
+            *rr += 1;
+            for &w in live {
+                // Probe everywhere (any worker may hold this key's
+                // spread-out opposite data); store on the rr turn.
+                part.outbox[w].push(PartEntry {
+                    tag,
+                    tuple,
+                    seq,
+                    opp,
+                    store: w == store_at,
+                    probe,
+                });
+            }
+            part.routed += live.len() as u64;
+            store_at
+        } else {
+            let w = self.map.key_owner(key);
+            part.outbox[w].push(PartEntry { tag, tuple, seq, opp, store: true, probe });
+            part.routed += 1;
+            w
+        };
+        match tag {
+            StreamTag::R => part.ledger_r[store_at].push_back(seq),
+            StreamTag::S => part.ledger_s[store_at].push_back(seq),
+        }
+    }
+
+    /// Ships every non-empty per-worker sub-batch as one [`Msg::Part`].
+    /// A worker found dead mid-send is recovered and its sub-batch dies
+    /// with it: the ledger already counts those tuples as stored there,
+    /// so the loss surfaces as exact orphan accounting, and the dead
+    /// position's keys re-home to survivors from the next tuple on
+    /// (rendezvous hashing moves only its keys).
+    fn flush_outboxes(&mut self) -> Result<(), JoinError> {
+        let n = self.senders.len();
+        let mut lost = Vec::new();
+        for w in 0..n {
+            let entries = {
+                let part = self.part.as_mut().expect("partitioned mode");
+                if part.outbox[w].is_empty() {
+                    continue;
+                }
+                std::mem::take(&mut part.outbox[w])
+            };
+            if self.senders[w].is_none() {
+                continue;
+            }
+            let shared: Arc<[PartEntry]> = entries.into();
+            match self.send_msg(w, Msg::Part(shared))? {
+                SendStatus::Sent => {}
+                SendStatus::Lost => lost.push(w),
+            }
+        }
+        self.recover_all(lost)?;
+        if self.map.live_count() == 0 {
+            return Err(JoinError::AllWorkersLost);
+        }
+        Ok(())
+    }
+
+    /// Keyed dispatch of one caller batch (partitioned mode): route
+    /// every tuple, then flush at most one message per worker.
+    fn send_part_batch(&mut self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
+        self.batch_hist.record_value(batch.len() as u64);
+        self.batches_sent += 1;
+        let boundary = self.batches_sent;
+        for &(tag, tuple) in batch {
+            self.route_tuple(tag, tuple, true);
+        }
+        self.flush_outboxes()?;
+        // Proactive recovery at the scripted kill boundary, as in
+        // broadcast mode: the victim's lane closes here, it drains what
+        // was already queued and exits, and the ledger is exactly its
+        // live occupancy.
+        let kills: Vec<usize> = self.plan.kills_after(boundary).collect();
+        if !kills.is_empty() {
+            self.recover_all(kills)?;
+            if self.map.live_count() == 0 {
+                return Err(JoinError::AllWorkersLost);
+            }
+        }
+        Ok(())
+    }
+
     fn send_batch(&mut self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
         if batch.is_empty() {
             return Ok(());
         }
         if self.map.live_count() == 0 {
             return Err(JoinError::AllWorkersLost);
+        }
+        if self.part.is_some() {
+            return self.send_part_batch(batch);
         }
         self.batch_hist.record_value(batch.len() as u64);
         self.batches_sent += 1;
@@ -756,6 +1096,14 @@ impl Router {
         if self.map.live_count() == 0 {
             return Err(JoinError::AllWorkersLost);
         }
+        if self.part.is_some() {
+            // Same keyed routing path, probing disabled — prefill still
+            // advances the stream counters and the sketch.
+            for &t in tuples {
+                self.route_tuple(tag, t, false);
+            }
+            return self.flush_outboxes();
+        }
         self.note_prefill(tag, tuples);
         let shared: Arc<[Tuple]> = tuples.to_vec().into();
         self.broadcast(|| Msg::Prefill(tag, shared.clone()))
@@ -774,6 +1122,9 @@ impl Router {
     fn recover_one(&mut self, worker: usize) -> Result<Vec<usize>, JoinError> {
         if !self.map.is_live(worker) {
             return Ok(Vec::new());
+        }
+        if self.part.is_some() {
+            return self.recover_one_part(worker);
         }
         let t0 = Instant::now();
         let span_start = obs::trace::now_ns();
@@ -847,6 +1198,33 @@ impl Router {
             r.record_arg("recover", span_start, now.saturating_sub(span_start), worker as u64);
         }
         Ok(lost)
+    }
+
+    /// Partitioned-mode recovery: retire the position and count its
+    /// ledger occupancy as orphans. No partition-map broadcast is
+    /// needed — partitioned workers are ownership-free (they store what
+    /// the router stamps `store` on), future keys re-home through
+    /// rendezvous hashing the moment the map retires the position, and
+    /// replication is rejected at spawn. No arena reader to retire
+    /// either: partitioned mode never creates the arena.
+    fn recover_one_part(&mut self, worker: usize) -> Result<Vec<usize>, JoinError> {
+        let t0 = Instant::now();
+        let span_start = obs::trace::now_ns();
+        let part = self.part.as_mut().expect("partitioned mode");
+        let orphans = (part.ledger_r[worker].len() + part.ledger_s[worker].len()) as u64;
+        part.ledger_r[worker].clear();
+        part.ledger_s[worker].clear();
+        part.outbox[worker].clear();
+        self.map.retire(worker);
+        self.senders[worker] = None;
+        self.report.workers_lost.push(worker);
+        self.report.orphaned_tuples += orphans;
+        self.report.recovery_ns.record_value(t0.elapsed().as_nanos().max(1) as u64);
+        if let Some(r) = self.ring.as_mut() {
+            let now = obs::trace::now_ns();
+            r.record_arg("recover", span_start, now.saturating_sub(span_start), worker as u64);
+        }
+        Ok(Vec::new())
     }
 
     /// Ring transport: drops a retired worker from the arena's reuse
@@ -1011,6 +1389,23 @@ impl SplitJoin {
     pub fn spawn(config: SplitJoinConfig) -> Self {
         config.common.validate();
         let transport = config.transport;
+        let partitioned = config.partitioning == Partitioning::Hash;
+        if partitioned {
+            // Checked here rather than in `JoinConfig::validate` so a
+            // process-wide `ACCEL_SW_PARTITIONING=hash` override does
+            // not panic engines that ignore the knob (the handshake
+            // chain validates the same shared config).
+            assert!(
+                config.predicate == JoinPredicate::Equi,
+                "hash partitioning requires an equi-join predicate"
+            );
+            assert!(
+                !config.replicate_on_loss,
+                "replication is not supported with hash partitioning: orphan \
+                 re-adoption would need out-of-order shard inserts; use broadcast mode"
+            );
+            assert!(config.hot_key_factor > 0.0, "hot-key factor must be positive");
+        }
 
         // Result path: one shared MPSC channel (channel transport) or
         // one dedicated SPSC ring per worker (ring transport).
@@ -1041,14 +1436,17 @@ impl SplitJoin {
         // one it is probing, plus the one being published — so arena
         // reuse only ever waits when a ring is itself saturated.
         let (arena, mut readers) = match transport {
-            Transport::Ring => {
+            // Partitioned mode ships per-worker keyed sub-batches, not
+            // broadcasts — the shared arena would be pure overhead, so
+            // it is never created and recovery never retires readers.
+            Transport::Ring if !partitioned => {
                 let (writer, readers) = ring::batch_arena::<(StreamTag, Tuple)>(
                     config.channel_capacity + 2,
                     config.num_cores,
                 );
                 (Some(writer), readers.into_iter().map(Some).collect::<Vec<_>>())
             }
-            Transport::Channel => (None, Vec::new()),
+            _ => (None, Vec::new()),
         };
 
         let mut senders = Vec::with_capacity(config.num_cores);
@@ -1072,10 +1470,12 @@ impl SplitJoin {
                 Transport::Ring => {
                     let (tx, rx) = ring::spsc::<Msg>(config.channel_capacity);
                     senders.push(Some(Lane::Ring(tx)));
-                    let reader = readers
-                        .get_mut(position)
-                        .and_then(Option::take)
-                        .expect("one reader per worker");
+                    let reader = readers.get_mut(position).and_then(Option::take);
+                    debug_assert_eq!(
+                        reader.is_some(),
+                        !partitioned,
+                        "one arena reader per broadcast ring worker"
+                    );
                     WorkerFeed::Ring(rx, reader)
                 }
             };
@@ -1092,6 +1492,18 @@ impl SplitJoin {
         });
         let ring = obs::trace::enabled().then(|| {
             obs::trace::TraceRing::new("sw.router".to_string(), obs::trace::TimeDomain::Wall)
+        });
+        let part = partitioned.then(|| PartRouter {
+            window: config.effective_window() as u64,
+            sketch: FreqSketch::new(SKETCH_CAPACITY),
+            hot: HashMap::new(),
+            hot_factor: config.hot_key_factor,
+            min_sample: config.hot_min_sample,
+            ledger_r: vec![VecDeque::new(); config.num_cores],
+            ledger_s: vec![VecDeque::new(); config.num_cores],
+            outbox: vec![Vec::new(); config.num_cores],
+            hot_splits: 0,
+            routed: 0,
         });
         Self {
             router: RefCell::new(Router {
@@ -1111,6 +1523,7 @@ impl SplitJoin {
                 arena,
                 ring_stats,
                 flush_seq: 0,
+                part,
             }),
             workers,
             collector,
@@ -1274,6 +1687,17 @@ impl SplitJoin {
                 trace.push(ring);
             }
         }
+        let partition_stats = router.part.take().map(|part| PartitionStats {
+            occupancy: part
+                .ledger_r
+                .iter()
+                .zip(&part.ledger_s)
+                .map(|(r, s)| (r.len() + s.len()) as u64)
+                .collect(),
+            live: router.map.live().to_vec(),
+            hot_splits: part.hot_splits,
+            routed: part.routed,
+        });
         Ok(JoinOutcome {
             results,
             result_count,
@@ -1282,35 +1706,36 @@ impl SplitJoin {
             trace,
             fault: router.report,
             ring_stats: router.ring_stats.take(),
+            partition_stats,
         })
     }
 
     /// Pre-fault-model [`SplitJoin::process`]: panics on any failure.
-    #[deprecated(note = "use the fallible `process` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `process` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
         self.process(tag, tuple).expect("worker alive");
     }
 
     /// Pre-fault-model [`SplitJoin::process_batch`]: panics on failure.
-    #[deprecated(note = "use the fallible `process_batch` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `process_batch` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn process_batch_or_panic(&self, batch: &[(StreamTag, Tuple)]) {
         self.process_batch(batch).expect("worker alive");
     }
 
     /// Pre-fault-model [`SplitJoin::prefill`]: panics on any failure.
-    #[deprecated(note = "use the fallible `prefill` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `prefill` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn prefill_or_panic(&self, tag: StreamTag, tuples: &[Tuple]) {
         self.prefill(tag, tuples).expect("worker alive");
     }
 
     /// Pre-fault-model [`SplitJoin::flush`]: panics on any failure.
-    #[deprecated(note = "use the fallible `flush` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `flush` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn flush_or_panic(&self) {
         self.flush().expect("worker alive");
     }
 
     /// Pre-fault-model [`SplitJoin::shutdown`]: panics on any failure.
-    #[deprecated(note = "use the fallible `shutdown` and handle `JoinError`")]
+    #[deprecated(since = "0.1.0", note = "use the fallible `shutdown` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
     pub fn shutdown_or_panic(self) -> JoinOutcome {
         self.shutdown().expect("worker thread panicked")
     }
@@ -1429,6 +1854,17 @@ impl SwWindow {
     }
 }
 
+/// Worker-side state of the keyed dispatch: one key-sharded window per
+/// stream, evicted by the router-stamped global sequence watermarks
+/// (never local counts — that is what keeps the shard union exactly
+/// equal to the broadcast window at every probe).
+struct PartState {
+    window_r: PartitionedWindow,
+    window_s: PartitionedWindow,
+    /// Effective global window size.
+    horizon: u64,
+}
+
 struct WorkerState {
     position: u64,
     n: u64,
@@ -1449,6 +1885,8 @@ struct WorkerState {
     /// collector degrades result delivery, it doesn't kill the worker.
     results: Option<ResultsLane>,
     cell: Arc<WorkerCell>,
+    /// Keyed-dispatch shards; `None` in broadcast mode.
+    part: Option<PartState>,
 }
 
 /// Hands one buffered chunk to the collector; a dead collector degrades
@@ -1579,6 +2017,47 @@ impl WorkerState {
         self.store(tag, tuple, true);
     }
 
+    /// One keyed-dispatch entry ([`Msg::Part`]): probe the opposite
+    /// shard inside its eviction watermark, then store into the own
+    /// shard when the router stamped this worker as the storage site.
+    /// Probes are per-key chain walks (equi-join only), so comparisons
+    /// equal matches, as in [`SwJoinAlgorithm::Hash`].
+    fn handle_part_entry(&mut self, e: PartEntry) {
+        if e.probe {
+            // Prefill entries are uncounted, as in broadcast mode.
+            self.stats.tuples_seen += 1;
+        }
+        // Disjoint field borrows, as in `handle_tuple`.
+        let WorkerState { part, stats, out, out_chunk, results, cell, .. } = self;
+        let ps = part.as_mut().expect("keyed dispatch needs shard state");
+        let horizon = ps.horizon;
+        let (own, opposite) = match e.tag {
+            StreamTag::R => (&mut ps.window_r, &mut ps.window_s),
+            StreamTag::S => (&mut ps.window_s, &mut ps.window_r),
+        };
+        if e.probe {
+            opposite.evict_below(e.opp.saturating_sub(horizon));
+            for stored in opposite.probe(e.tuple.key()) {
+                stats.comparisons += 1;
+                stats.matches += 1;
+                if results.is_some() {
+                    out.push(MatchPair::oriented(e.tag, e.tuple, stored));
+                    if out.len() >= *out_chunk {
+                        send_result_chunk(results, cell, out);
+                    }
+                }
+            }
+        }
+        if e.store {
+            own.evict_below((e.seq + 1).saturating_sub(horizon));
+            own.insert(e.seq, e.tuple);
+            if e.probe {
+                // Prefill stores are uncounted, as in broadcast mode.
+                stats.stored += 1;
+            }
+        }
+    }
+
     /// Round-robin storage without central coordination; after a
     /// reconfigure, the broadcast partition map replaces the modulo.
     fn store(&mut self, tag: StreamTag, tuple: Tuple, count_stat: bool) {
@@ -1676,6 +2155,50 @@ fn run_scripted_batch(
     BatchOutcome::Continue
 }
 
+/// [`run_scripted_batch`] for keyed-dispatch sub-batches
+/// ([`Msg::Part`]): identical stall / drop-or-probe / panic / kill
+/// script hooks, keyed on this worker's own received-message count
+/// (which, unlike broadcast mode, can lag the router's batch count —
+/// a worker only gets a message when a key routes to it).
+fn run_scripted_part_batch(
+    w: &mut WorkerState,
+    plan: &FaultPlan,
+    position: usize,
+    batch_no: u64,
+    entries: &[PartEntry],
+    ring: &mut Option<obs::trace::TraceRing>,
+) -> BatchOutcome {
+    let stall = plan.stall_ms(position, batch_no);
+    if stall > 0 {
+        w.cell.stalls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(stall));
+    }
+    if plan.drops(position, batch_no) {
+        w.cell.drops.fetch_add(1, Ordering::Relaxed);
+    } else {
+        let t0 = obs::trace::now_ns();
+        for &e in entries {
+            w.handle_part_entry(e);
+        }
+        if let Some(r) = ring.as_mut() {
+            let t1 = obs::trace::now_ns();
+            r.record_arg("probe", t0, t1.saturating_sub(t0), entries.len() as u64);
+        }
+    }
+    if plan.panics(position, batch_no) {
+        w.publish();
+        panic!("fault injection: worker {position} scripted panic at batch {batch_no}");
+    }
+    if plan.kills(position, batch_no) {
+        w.cell
+            .results_dropped
+            .fetch_add(w.out.len() as u64, Ordering::Relaxed);
+        w.publish();
+        return BatchOutcome::Kill;
+    }
+    BatchOutcome::Continue
+}
+
 fn worker_loop(
     position: usize,
     config: &SplitJoinConfig,
@@ -1689,7 +2212,10 @@ fn worker_loop(
         // Best effort: a refused pin just runs unpinned.
         let _ = streamcore::affinity::pin_to_core(position % cpus);
     }
-    let sub = config.sub_window();
+    let partitioned = config.partitioning == Partitioning::Hash;
+    // Partitioned mode never touches the round-robin windows; capacity
+    // 1 keeps their allocation negligible without a zero-capacity edge.
+    let sub = if partitioned { 1 } else { config.sub_window() };
     let plan = &config.fault_plan;
     let mut w = WorkerState {
         position: position as u64,
@@ -1705,6 +2231,11 @@ fn worker_loop(
         out_chunk: config.batch_size.max(1),
         results,
         cell: Arc::clone(cell),
+        part: partitioned.then(|| PartState {
+            window_r: PartitionedWindow::new(),
+            window_s: PartitionedWindow::new(),
+            horizon: config.effective_window() as u64,
+        }),
     };
 
     let mut ring = obs::trace::enabled().then(|| {
@@ -1741,6 +2272,14 @@ fn worker_loop(
                     run_scripted_batch(&mut w, plan, position, batch_no, reader.read(seq), &mut ring);
                 reader.release(seq);
                 if let BatchOutcome::Kill = outcome {
+                    return (w.stats, ring);
+                }
+            }
+            Msg::Part(entries) => {
+                batch_no += 1;
+                if let BatchOutcome::Kill =
+                    run_scripted_part_batch(&mut w, plan, position, batch_no, &entries, &mut ring)
+                {
                     return (w.stats, ring);
                 }
             }
@@ -1800,6 +2339,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use crate::baseline::reference_join;
+    use crate::fault::FaultEvent;
     use std::collections::HashMap;
     use streamcore::workload::{KeyDist, WorkloadSpec};
 
@@ -2154,5 +2694,177 @@ mod tests {
             assert!(names.contains_key("probe"), "no probe spans on {}", ring.track());
             assert!(names.contains_key("insert"), "no insert spans on {}", ring.track());
         }
+    }
+
+    // ---- partitioned (keyed) dispatch ----
+
+    fn part_config(cores: usize, window: usize) -> SplitJoinConfig {
+        SplitJoinConfig::new(cores, window).with_partitioning(Partitioning::Hash)
+    }
+
+    #[test]
+    fn partitioned_matches_reference_exactly() {
+        let inputs: Vec<_> = WorkloadSpec::new(500, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 64, JoinPredicate::Equi));
+        assert!(!want.is_empty());
+        for cores in [1usize, 2, 4, 8] {
+            let outcome = run_workload(part_config(cores, 64), &inputs);
+            assert_eq!(
+                as_multiset(&outcome.results),
+                want,
+                "partitioned mismatch with {cores} cores"
+            );
+            assert!(!outcome.fault.degraded(), "healthy run must not degrade");
+            let ps = outcome.partition_stats.expect("partitioned runs carry stats");
+            assert_eq!(ps.live.len(), cores);
+            // Steady state: the shards together hold exactly one window
+            // per stream (the streams alternate, 250 tuples each > 64).
+            assert_eq!(ps.occupancy.iter().sum::<u64>(), 128);
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_broadcast_on_both_transports() {
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Zipf { domain: 12, s: 0.8 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 48, JoinPredicate::Equi));
+        assert!(!want.is_empty());
+        for transport in [Transport::Channel, Transport::Ring] {
+            let outcome =
+                run_workload(part_config(3, 48).with_transport(transport), &inputs);
+            assert_eq!(
+                as_multiset(&outcome.results),
+                want,
+                "partitioned mismatch on {transport:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_hot_split_keeps_results_and_rebalances() {
+        // Heavy skew on a tiny domain: key 0 takes ~45% of the traffic.
+        // With the sample floor lowered the router must split it, and
+        // splitting must not change the result multiset.
+        let inputs: Vec<_> = WorkloadSpec::new(4_000, KeyDist::Zipf { domain: 8, s: 1.2 })
+            .generate()
+            .collect();
+        let want = as_multiset(&reference_join(&inputs, 64, JoinPredicate::Equi));
+        let split = run_workload(part_config(4, 64).with_hot_sample(64), &inputs);
+        let nosplit =
+            run_workload(part_config(4, 64).with_hot_key_factor(1e9), &inputs);
+        assert_eq!(as_multiset(&split.results), want, "hot-split broke the join");
+        assert_eq!(as_multiset(&nosplit.results), want, "nosplit broke the join");
+        let split_stats = split.partition_stats.unwrap();
+        let nosplit_stats = nosplit.partition_stats.unwrap();
+        assert!(split_stats.hot_splits >= 1, "skewed run must promote a key");
+        assert_eq!(nosplit_stats.hot_splits, 0);
+        assert!(
+            split_stats.balance() < nosplit_stats.balance(),
+            "splitting must improve occupancy balance: split {:.2} vs nosplit {:.2}",
+            split_stats.balance(),
+            nosplit_stats.balance()
+        );
+    }
+
+    #[test]
+    fn partitioned_counting_only_agrees_with_collected() {
+        let inputs: Vec<_> = WorkloadSpec::new(800, KeyDist::Zipf { domain: 10, s: 1.0 })
+            .generate()
+            .collect();
+        let collected = run_workload(part_config(4, 32), &inputs);
+        let counted = run_workload(part_config(4, 32).counting_only(), &inputs);
+        assert!(collected.result_count > 0);
+        assert_eq!(counted.result_count, collected.result_count);
+        assert!(counted.results.is_empty());
+    }
+
+    #[test]
+    fn partitioned_prefill_loads_without_probing() {
+        let join = SplitJoin::spawn(part_config(2, 16));
+        let warm: Vec<Tuple> = (0..8).map(|k| Tuple::new(k, 100 + u32::from(k as u8))).collect();
+        join.prefill(StreamTag::S, &warm).unwrap();
+        // One probe against the warmed S shard: exactly one match, and
+        // the prefill itself produced none.
+        join.process(StreamTag::R, Tuple::new(3, 7)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
+        assert_eq!(outcome.result_count, 1);
+        assert_eq!(outcome.results[0].r.raw(), Tuple::new(3, 7).raw());
+        // Keyed probes only touch the matching chain: comparisons ==
+        // matches, like the hash algorithm.
+        let comparisons: u64 = outcome.worker_stats.iter().map(|w| w.comparisons).sum();
+        assert_eq!(comparisons, 1);
+    }
+
+    #[test]
+    fn partitioned_kill_is_recovered_with_exact_orphans() {
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let victim = 1usize;
+        let config = part_config(4, 64)
+            .with_batch_size(50)
+            .with_fault_plan(FaultPlan::none().with(FaultEvent::Kill {
+                worker: victim,
+                after_batch: 4,
+            }));
+        let outcome = run_workload(config, &inputs);
+        assert!(outcome.fault.degraded());
+        assert_eq!(outcome.fault.workers_lost, vec![victim]);
+        // The victim owned a share of a full two-stream window when it
+        // died (4 batches of 50 ≫ 2×64 window).
+        assert!(outcome.fault.orphaned_tuples > 0);
+        assert!(outcome.fault.orphaned_tuples <= 128);
+        let ps = outcome.partition_stats.unwrap();
+        assert!(!ps.live.contains(&victim));
+        assert_eq!(ps.occupancy[victim], 0, "retired ledger must be cleared");
+        // Results from the healthy run form a superset: losing a shard
+        // only ever loses matches.
+        let healthy = run_workload(part_config(4, 64).with_batch_size(50), &inputs);
+        let lossy = as_multiset(&outcome.results);
+        let full = as_multiset(&healthy.results);
+        for (pair, n) in &lossy {
+            assert!(full.get(pair).is_some_and(|m| m >= n), "degraded run invented {pair:?}");
+        }
+        assert!(outcome.result_count < healthy.result_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "equi-join predicate")]
+    fn partitioned_rejects_non_equi_predicates() {
+        let _ = SplitJoin::spawn(
+            part_config(2, 16).with_predicate(JoinPredicate::Band { delta: 2 }),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replication is not supported")]
+    fn partitioned_rejects_replication() {
+        let _ = SplitJoin::spawn(part_config(2, 16).with_replication());
+    }
+
+    #[test]
+    fn partitioned_registry_publishes_partition_counters() {
+        let inputs: Vec<_> = WorkloadSpec::new(400, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let outcome = run_workload(part_config(2, 32), &inputs);
+        let reg = outcome.registry();
+        assert!(reg.get("splitjoin.partition.routed").is_some_and(|v| v > 0));
+        assert!(reg.get("splitjoin.partition.hot_splits").is_some());
+        assert!(reg.get("splitjoin.partition.occupancy_max").is_some_and(|v| v > 0));
+        assert!(reg.get("splitjoin.partition.balance_x1000").is_some_and(|v| v > 0));
+        assert!(reg.get("splitjoin.partition.worker0.occupancy").is_some());
+        assert!(reg.get("splitjoin.partition.worker1.occupancy").is_some());
+        // Broadcast runs must keep their exact pre-partitioning shape.
+        let broadcast = run_workload(SplitJoinConfig::new(2, 32), &inputs);
+        assert!(broadcast.partition_stats.is_none());
+        assert!(!broadcast
+            .registry()
+            .iter()
+            .any(|(n, _)| n.starts_with("splitjoin.partition.")));
     }
 }

@@ -12,12 +12,16 @@
 //! * [`SlidingWindow`] — count-based sliding window semantics (the
 //!   generic `VecDeque` reference backend), plus the flat
 //!   struct-of-arrays backends [`FlatWindow`] and [`HashIndexWindow`]
-//!   used by the software join hot paths;
+//!   used by the software join hot paths, and the key-sharded
+//!   [`PartitionedWindow`] behind hash-partitioned dispatch;
 //! * [`PartitionMap`] — round-robin ownership of storage turns over live
 //!   worker positions, used by the software SplitJoin coordinator to
-//!   re-partition around a lost core;
+//!   re-partition around a lost core, plus rendezvous-hashed key
+//!   ownership ([`PartitionMap::key_owner`]) for content partitioning;
+//! * [`FreqSketch`] — bounded Misra–Gries heavy-hitter summary driving
+//!   online hot-key splitting;
 //! * [`workload`] — reproducible stream generators with controllable key
-//!   domains and match selectivity;
+//!   domains, skew, arrival interleaving, and bounded disorder;
 //! * [`metrics`] — throughput and latency recorders used by every
 //!   experiment harness.
 //!
@@ -47,6 +51,7 @@ mod partition;
 pub mod ring;
 mod predicate;
 mod record;
+mod sketch;
 mod tuple;
 mod window;
 pub mod workload;
@@ -54,5 +59,6 @@ pub mod workload;
 pub use partition::PartitionMap;
 pub use predicate::JoinPredicate;
 pub use record::{Field, Record, Schema, SchemaError};
+pub use sketch::FreqSketch;
 pub use tuple::{Frame, MatchPair, StreamTag, Tuple};
-pub use window::{FlatWindow, HashIndexWindow, ProbeHits, SlidingWindow};
+pub use window::{FlatWindow, HashIndexWindow, PartitionedWindow, ProbeHits, SlidingWindow};

@@ -1,0 +1,190 @@
+//! Key-frequency sketch for online hot-key detection.
+//!
+//! The hash-partitioned dispatch routes every tuple of a join key to one
+//! owning worker, which is exactly wrong for a skewed stream: the owner
+//! of the hottest key absorbs an unbounded share of the window. The
+//! router therefore feeds every routed key through a [`FreqSketch`] — a
+//! bounded Misra–Gries heavy-hitter summary — and promotes a key to
+//! *hot* (split across all live workers) once its estimated share of the
+//! stream exceeds a configured multiple of the fair per-worker share.
+//!
+//! Misra–Gries keeps at most `capacity` counters. A key already tracked
+//! increments its counter; an untracked key takes a free counter if one
+//! exists, and otherwise decrements *every* counter by one (dropping
+//! zeros) — an O(capacity) round paid for by `capacity` prior arrivals,
+//! so updates are amortized O(1). Estimates undercount by at most
+//! `total / (capacity + 1)` ([`FreqSketch::error_bound`]), which is far
+//! below the promotion thresholds the join uses (a key worth splitting
+//! holds ≥ 1/(2·workers) of the stream; the sketch's default capacity
+//! bounds the error to ~1.5%).
+
+use std::collections::HashMap;
+
+/// A bounded Misra–Gries frequency summary over `u32` join keys.
+///
+/// # Example
+///
+/// ```
+/// use streamcore::FreqSketch;
+///
+/// let mut sketch = FreqSketch::new(8);
+/// for _ in 0..60 {
+///     sketch.observe(7); // hot key: 60% of the stream
+/// }
+/// for k in 0..40 {
+///     sketch.observe(1000 + k); // long uniform tail
+/// }
+/// assert_eq!(sketch.total(), 100);
+/// // The hot key's estimate is within the error bound of its true count.
+/// assert!(sketch.estimate(7) + sketch.error_bound() >= 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreqSketch {
+    capacity: usize,
+    counts: HashMap<u32, u64>,
+    total: u64,
+}
+
+impl FreqSketch {
+    /// Creates an empty sketch tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch capacity must be at least 1");
+        Self {
+            capacity,
+            counts: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Maximum number of keys tracked at once.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn observe(&mut self, key: u32) {
+        self.total += 1;
+        if let Some(count) = self.counts.get_mut(&key) {
+            *count += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(key, 1);
+            return;
+        }
+        // Misra–Gries decrement round: the untracked arrival and one
+        // unit of every tracked key annihilate each other.
+        self.counts.retain(|_, count| {
+            *count -= 1;
+            *count > 0
+        });
+    }
+
+    /// Estimated occurrence count of `key` (an undercount by at most
+    /// [`FreqSketch::error_bound`]; zero for untracked keys).
+    #[must_use]
+    pub fn estimate(&self, key: u32) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Maximum undercount of any estimate: `total / (capacity + 1)`.
+    #[must_use]
+    pub fn error_bound(&self) -> u64 {
+        self.total / (self.capacity as u64 + 1)
+    }
+
+    /// Keys whose estimated share of the stream is at least `min_share`
+    /// (in `0.0..=1.0`), unordered.
+    #[must_use]
+    pub fn heavy_hitters(&self, min_share: f64) -> Vec<u32> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let threshold = min_share * self.total as f64;
+        self.counts
+            .iter()
+            .filter(|(_, &count)| count as f64 >= threshold)
+            .map(|(&key, _)| key)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut sketch = FreqSketch::new(16);
+        for key in 0..10u32 {
+            for _ in 0..=key {
+                sketch.observe(key);
+            }
+        }
+        for key in 0..10u32 {
+            assert_eq!(sketch.estimate(key), key as u64 + 1);
+        }
+        assert_eq!(sketch.total(), 55);
+        assert_eq!(sketch.estimate(99), 0);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_a_long_tail() {
+        let mut sketch = FreqSketch::new(8);
+        // 30% hot key interleaved with a 70% uniform tail of 7000
+        // distinct keys — far more keys than counters.
+        for i in 0..10_000u32 {
+            if i % 10 < 3 {
+                sketch.observe(42);
+            } else {
+                sketch.observe(1_000 + i);
+            }
+        }
+        let est = sketch.estimate(42);
+        assert!(
+            est + sketch.error_bound() >= 3_000,
+            "estimate {est} + bound {} must cover the true count",
+            sketch.error_bound()
+        );
+        assert!(est <= 3_000, "Misra–Gries never overcounts");
+        assert_eq!(sketch.heavy_hitters(0.2), vec![42]);
+    }
+
+    #[test]
+    fn never_tracks_more_than_capacity() {
+        let mut sketch = FreqSketch::new(4);
+        for key in 0..1_000u32 {
+            sketch.observe(key);
+        }
+        let tracked = (0..1_000u32).filter(|&k| sketch.estimate(k) > 0).count();
+        assert!(tracked <= 4, "tracked {tracked} keys with capacity 4");
+    }
+
+    #[test]
+    fn error_bound_grows_with_total() {
+        let mut sketch = FreqSketch::new(9);
+        assert_eq!(sketch.error_bound(), 0);
+        for i in 0..100u32 {
+            sketch.observe(i);
+        }
+        assert_eq!(sketch.error_bound(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = FreqSketch::new(0);
+    }
+}

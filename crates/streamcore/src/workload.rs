@@ -1,10 +1,21 @@
 //! Reproducible stream workload generation.
 //!
-//! Experiments need interleaved R/S streams with controllable key domains
-//! (and hence join selectivity: under uniform keys, a probe matches a
-//! window tuple with probability `1 / key_domain`). Generators are
-//! deterministic given a seed so hardware and software runs see identical
-//! inputs.
+//! Experiments need interleaved R/S streams with controllable key
+//! distributions: the key domain sets join selectivity (under uniform
+//! keys a probe matches a window tuple with probability
+//! `1 / key_domain`), while [`KeyDist::Zipf`] models the skewed feeds
+//! that stress hash-partitioned dispatch. Arrival interleaving
+//! ([`ArrivalPattern`]) and bounded out-of-order delivery
+//! ([`WorkloadSpec::with_disorder`]) are controlled the same way.
+//!
+//! Generators are deterministic given a seed, so every realization of a
+//! join — hardware simulation, broadcast SplitJoin, partitioned
+//! SplitJoin, handshake chain — sees the identical tuple sequence and
+//! their result multisets can be compared exactly. A workload feeds a
+//! join through the fallible `StreamJoin` API (`process` /
+//! `process_batch`, both `Result`-returning); the measurement loops in
+//! `joinsw::harness` and the equivalence suites in
+//! `tests/cross_impl_equivalence.rs` are the canonical consumers.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +88,10 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Stream interleaving.
     pub arrivals: ArrivalPattern,
+    /// Out-of-order block size: tuples are emitted in a random order
+    /// within consecutive blocks of this many tuples (`0` or `1` =
+    /// strictly in order). See [`WorkloadSpec::with_disorder`].
+    pub disorder: usize,
 }
 
 impl WorkloadSpec {
@@ -87,6 +102,7 @@ impl WorkloadSpec {
             keys,
             seed: 42,
             arrivals: ArrivalPattern::Alternating,
+            disorder: 0,
         }
     }
 
@@ -115,6 +131,21 @@ impl WorkloadSpec {
         self
     }
 
+    /// Emits tuples out of order: each consecutive block of `block`
+    /// tuples is shuffled (deterministically, from the spec's seed)
+    /// before emission, so a tuple's displacement from its in-order
+    /// position is bounded by `block - 1`. Payloads still carry the
+    /// *generation* sequence number, so the disorder of a stream is
+    /// observable downstream. `block <= 1` restores strict order.
+    ///
+    /// This models bounded network reordering between a sensor and the
+    /// join: the same multiset of tuples, delivered within a bounded
+    /// horizon of their true positions.
+    pub fn with_disorder(mut self, block: usize) -> Self {
+        self.disorder = block;
+        self
+    }
+
     /// Expected number of matches each probe finds in a full window of
     /// `window` tuples of the other stream (uniform keys only; a guide for
     /// sizing result buffers).
@@ -136,6 +167,13 @@ impl WorkloadSpec {
             remaining: self.tuples,
             seq: 0,
             arrivals: self.arrivals,
+            disorder: self.disorder,
+            // A separate RNG stream for shuffling keeps the generated
+            // content byte-identical to the in-order workload: disorder
+            // is purely a re-ordering.
+            shuffle_rng: StdRng::seed_from_u64(self.seed ^ 0x5DEE_CE66_D5DE_ECE6),
+            block: Vec::new(),
+            block_pos: 0,
         }
     }
 }
@@ -149,12 +187,16 @@ pub struct Generate {
     remaining: usize,
     seq: u64,
     arrivals: ArrivalPattern,
+    disorder: usize,
+    shuffle_rng: StdRng,
+    /// Shuffled block awaiting emission (disorder mode only).
+    block: Vec<(StreamTag, Tuple)>,
+    block_pos: usize,
 }
 
-impl Iterator for Generate {
-    type Item = (StreamTag, Tuple);
-
-    fn next(&mut self) -> Option<Self::Item> {
+impl Generate {
+    /// Generates the next tuple in true arrival order.
+    fn next_in_order(&mut self) -> Option<(StreamTag, Tuple)> {
         if self.remaining == 0 {
             return None;
         }
@@ -193,9 +235,39 @@ impl Iterator for Generate {
         self.seq += 1;
         Some((tag, t))
     }
+}
+
+impl Iterator for Generate {
+    type Item = (StreamTag, Tuple);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.disorder <= 1 {
+            return self.next_in_order();
+        }
+        if self.block_pos == self.block.len() {
+            // Refill: draw the next block in order, then Fisher–Yates
+            // shuffle it with the dedicated (seeded) shuffle RNG.
+            self.block.clear();
+            self.block_pos = 0;
+            for _ in 0..self.disorder {
+                match self.next_in_order() {
+                    Some(item) => self.block.push(item),
+                    None => break,
+                }
+            }
+            for i in (1..self.block.len()).rev() {
+                let j = self.shuffle_rng.gen_range(0..i + 1);
+                self.block.swap(i, j);
+            }
+        }
+        let item = self.block.get(self.block_pos).copied();
+        self.block_pos += 1;
+        item
+    }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining, Some(self.remaining))
+        let n = self.remaining + (self.block.len() - self.block_pos.min(self.block.len()));
+        (n, Some(n))
     }
 }
 
@@ -355,5 +427,56 @@ mod tests {
         assert_eq!(it.len(), 17);
         it.next();
         assert_eq!(it.len(), 16);
+    }
+
+    #[test]
+    fn disorder_is_a_permutation_with_bounded_displacement() {
+        let ordered = WorkloadSpec::new(1_000, KeyDist::Uniform { domain: 8 });
+        let disordered = ordered.clone().with_disorder(16);
+        let base: Vec<_> = ordered.generate().collect();
+        let got: Vec<_> = disordered.generate().collect();
+        assert_eq!(got.len(), base.len());
+        // Same multiset of (tag, tuple) pairs…
+        let mut a = base.clone();
+        let mut b = got.clone();
+        a.sort_unstable_by_key(|(_, t)| t.payload());
+        b.sort_unstable_by_key(|(_, t)| t.payload());
+        assert_eq!(a, b);
+        // …and every tuple lands within its shuffle block: displacement
+        // from the in-order position is bounded by block - 1.
+        let mut shuffled = 0;
+        for (pos, (_, t)) in got.iter().enumerate() {
+            let home = t.payload() as usize;
+            assert!(
+                pos.abs_diff(home) < 16,
+                "tuple {home} displaced to {pos}"
+            );
+            if pos != home {
+                shuffled += 1;
+            }
+        }
+        assert!(shuffled > 100, "only {shuffled} of 1000 tuples moved");
+    }
+
+    #[test]
+    fn disorder_is_deterministic_and_exact_size() {
+        let spec = WorkloadSpec::new(100, KeyDist::Uniform { domain: 4 })
+            .with_seed(9)
+            .with_disorder(7);
+        let a: Vec<_> = spec.generate().collect();
+        let b: Vec<_> = spec.generate().collect();
+        assert_eq!(a, b);
+        let mut it = spec.generate();
+        assert_eq!(it.size_hint(), (100, Some(100)));
+        it.next();
+        assert_eq!(it.size_hint(), (99, Some(99)));
+    }
+
+    #[test]
+    fn disorder_of_one_is_in_order() {
+        let spec = WorkloadSpec::new(50, KeyDist::Uniform { domain: 4 });
+        let base: Vec<_> = spec.generate().collect();
+        let same: Vec<_> = spec.clone().with_disorder(1).generate().collect();
+        assert_eq!(base, same);
     }
 }

@@ -9,6 +9,12 @@
 //! per-worker statistics, and (under a scripted [`FaultPlan`]) the
 //! exact damage report — at every worker count, because batch message
 //! boundaries are identical on both paths.
+//!
+//! The final section pins *cross-dispatch* equivalence: hash-partitioned
+//! dispatch (PanJoin mode) must produce the same result multiset as
+//! broadcast dispatch — and both the single-threaded reference — on
+//! uniform and zipf-skewed workloads at every worker count, including
+//! when a scripted kill takes out a partition owner mid-run.
 
 mod common;
 
@@ -17,7 +23,7 @@ use accel_landscape::joinhw::biflow::BiFlowJoin;
 use accel_landscape::joinhw::uniflow::UniFlowJoin;
 use accel_landscape::joinhw::{DesignParams, FlowModel, JoinOperator, NetworkKind};
 use accel_landscape::joinsw::baseline::reference_join;
-use accel_landscape::joinsw::config::Transport;
+use accel_landscape::joinsw::config::{Partitioning, Transport};
 use accel_landscape::joinsw::handshake::{HandshakeConfig, HandshakeJoin};
 use accel_landscape::joinsw::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
 use accel_landscape::joinsw::{FaultEvent, FaultPlan};
@@ -280,6 +286,133 @@ proptest! {
         let want = as_multiset(&reference_join(&inputs, window, JoinPredicate::Equi));
         prop_assert_eq!(as_multiset(&ring.results), want);
     }
+}
+
+/// Runs a SplitJoin to completion in the given dispatch mode. Batch
+/// size is pinned for the same reason as [`run_transport`]: identical
+/// batch boundaries make the broadcast and hash-partitioned runs
+/// comparable point-for-point under a fault plan.
+fn run_dispatch(
+    partitioning: Partitioning,
+    cores: usize,
+    batch_size: usize,
+    plan: Option<&FaultPlan>,
+    inputs: &[(StreamTag, Tuple)],
+) -> JoinOutcome {
+    let mut config = SplitJoinConfig::new(cores, WINDOW)
+        .with_batch_size(batch_size)
+        .with_partitioning(partitioning);
+    if let Some(plan) = plan {
+        config = config.with_fault_plan(plan.clone());
+    }
+    let join = SplitJoin::spawn(config);
+    for &(tag, t) in inputs {
+        join.process(tag, t).unwrap();
+    }
+    join.flush().unwrap();
+    join.shutdown().unwrap()
+}
+
+/// A keyed workload with tunable skew: `s == 0.0` is uniform, larger
+/// exponents concentrate the key mass (classic Zipf at `s == 1.0`).
+fn keyed_workload(
+    tuples: usize,
+    domain: u32,
+    seed: u64,
+    s: f64,
+) -> Vec<(StreamTag, Tuple)> {
+    use accel_landscape::streamcore::workload::{KeyDist, WorkloadSpec};
+    let keys = if s == 0.0 {
+        KeyDist::Uniform { domain }
+    } else {
+        KeyDist::Zipf { domain, s }
+    };
+    WorkloadSpec::new(tuples, keys).with_seed(seed).generate().collect()
+}
+
+#[test]
+fn partitioned_dispatch_matches_broadcast_at_every_worker_count() {
+    for s in [0.0, 1.0] {
+        let inputs = keyed_workload(600, 8, 42, s);
+        for cores in [1usize, 2, 4, 8] {
+            let broadcast = run_dispatch(Partitioning::Broadcast, cores, 16, None, &inputs);
+            let partitioned = run_dispatch(Partitioning::Hash, cores, 16, None, &inputs);
+            assert_eq!(
+                as_multiset(&partitioned.results),
+                as_multiset(&broadcast.results),
+                "s={s} cores={cores}: dispatch modes diverge"
+            );
+            assert_eq!(partitioned.result_count, broadcast.result_count);
+            assert!(
+                partitioned.partition_stats.is_some() && broadcast.partition_stats.is_none(),
+                "partition telemetry belongs to hash dispatch only"
+            );
+            assert!(!partitioned.fault.degraded());
+            let window = SplitJoinConfig::new(cores, WINDOW).effective_window();
+            assert_eq!(
+                as_multiset(&partitioned.results),
+                as_multiset(&reference_join(&inputs, window, JoinPredicate::Equi)),
+                "s={s} cores={cores}: partitioned vs reference"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized cross-dispatch equivalence: any keyed workload —
+    /// uniform or zipf-skewed — at any worker count and batch size
+    /// joins identically under broadcast and hash-partitioned dispatch,
+    /// and both match the single-threaded reference.
+    #[test]
+    fn partitioned_dispatch_agrees_on_random_workloads(
+        n in 100usize..400,
+        domain in 2u32..32,
+        seed in any::<u64>(),
+        cores in prop::sample::select(vec![1usize, 2, 4, 8]),
+        batch in 1usize..64,
+        skew in prop::sample::select(vec![0.0f64, 0.7, 1.3]),
+    ) {
+        let inputs = keyed_workload(n, domain, seed, skew);
+        let broadcast = run_dispatch(Partitioning::Broadcast, cores, batch, None, &inputs);
+        let partitioned = run_dispatch(Partitioning::Hash, cores, batch, None, &inputs);
+        prop_assert_eq!(
+            as_multiset(&partitioned.results),
+            as_multiset(&broadcast.results)
+        );
+        prop_assert_eq!(partitioned.result_count, broadcast.result_count);
+        let window = SplitJoinConfig::new(cores, WINDOW).effective_window();
+        let want = as_multiset(&reference_join(&inputs, window, JoinPredicate::Equi));
+        prop_assert_eq!(as_multiset(&partitioned.results), want);
+    }
+}
+
+#[test]
+fn partitioned_kill_of_a_partition_owner_degrades_cleanly() {
+    // Killing a partition owner orphans exactly the tuples its ledgers
+    // held (plus any in-flight sub-batches); the survivors re-home the
+    // dead worker's keys and the run completes with a lossy subset of
+    // the healthy results — never an invented match.
+    let inputs = keyed_workload(600, 8, 7, 1.0);
+    let victim = 1usize;
+    let plan = FaultPlan::none().with(FaultEvent::Kill { worker: victim, after_batch: 4 });
+    let healthy = run_dispatch(Partitioning::Hash, 4, 16, None, &inputs);
+    let lossy = run_dispatch(Partitioning::Hash, 4, 16, Some(&plan), &inputs);
+    assert!(lossy.fault.degraded());
+    assert_eq!(lossy.fault.workers_lost, vec![victim]);
+    assert!(lossy.fault.orphaned_tuples > 0, "owner kill must orphan stored tuples");
+    let healthy_set = as_multiset(&healthy.results);
+    let lossy_set = as_multiset(&lossy.results);
+    for (pair, &count) in &lossy_set {
+        assert!(
+            healthy_set.get(pair).copied().unwrap_or(0) >= count,
+            "lossy run invented a match: {pair:?}"
+        );
+    }
+    let stats = lossy.partition_stats.expect("hash dispatch reports stats");
+    assert_eq!(stats.occupancy[victim], 0, "dead owner's ledger must be cleared");
+    assert!(!stats.live.contains(&victim), "victim must leave the live set");
 }
 
 #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link in the given files points
+# at something that exists. External links (http/https/mailto) and
+# pure-anchor links are skipped; a `path#anchor` link is checked for the
+# path only. Exits non-zero listing every broken link.
+#
+# Usage: tools/check_links.sh FILE.md [FILE.md ...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: $0 FILE.md [FILE.md ...]" >&2
+    exit 2
+fi
+
+status=0
+for file in "$@"; do
+    if [ ! -f "$file" ]; then
+        echo "BROKEN: $file (file itself is missing)"
+        status=1
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Inline links only: [text](target). Reference-style links are not
+    # used in this repo.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN: $file -> $target"
+            status=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/ .*//')
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "broken intra-repo links found" >&2
+else
+    echo "all intra-repo links resolve"
+fi
+exit "$status"
