@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the building blocks underneath the
 //! figure experiments: simulation kernel cycle cost, software probe cost,
-//! FQP fabric push, and reconfiguration latency.
+//! blocked vs scalar probe kernels, FQP fabric push, and reconfiguration
+//! latency.
 //!
 //! A measuring run (not `--test`) also archives every `(id, ns/iter)`
 //! median into a `microbench` run manifest under `target/obs/`, like the
@@ -106,6 +107,63 @@ fn sw_probe(c: &mut Criterion) {
             b.iter(|| {
                 seq = seq.wrapping_add(1);
                 black_box(join.process(StreamTag::R, Tuple::new(seq, 0)));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The blocked probe kernels against the scalar sweep on raw key
+/// arrays: one batch of 256 probes against one window-sized slice, the
+/// exact shape the SplitJoin workers hand to `streamcore::kernel`.
+fn sw_kernel(c: &mut Criterion) {
+    use streamcore::kernel::{count_block, emit_block, KernelStats};
+
+    let mut group = c.benchmark_group("sw_kernel");
+    const PROBES: usize = 256;
+    for exp in [10u32, 12, 14] {
+        let keys: Vec<u32> = (0..1u32 << exp)
+            .map(|i| i.wrapping_mul(2_654_435_761) % (1 << 20))
+            .collect();
+        let probes: Vec<u32> = (0..PROBES as u32)
+            .map(|i| i.wrapping_mul(2_246_822_519) % (1 << 20))
+            .collect();
+        group.bench_function(format!("scalar_count_256x2e{exp}"), |b| {
+            b.iter(|| {
+                let total: u64 = probes
+                    .iter()
+                    .map(|&p| {
+                        JoinPredicate::Equi.count_matches(p, true, black_box(&keys)) as u64
+                    })
+                    .sum();
+                black_box(total)
+            });
+        });
+        group.bench_function(format!("blocked_count_256x2e{exp}"), |b| {
+            let mut stats = KernelStats::default();
+            b.iter(|| {
+                black_box(count_block(
+                    JoinPredicate::Equi,
+                    true,
+                    black_box(&probes),
+                    black_box(&keys),
+                    &mut stats,
+                ))
+            });
+        });
+        group.bench_function(format!("blocked_emit_256x2e{exp}"), |b| {
+            let mut stats = KernelStats::default();
+            b.iter(|| {
+                let mut hits = 0u64;
+                emit_block(
+                    JoinPredicate::Equi,
+                    true,
+                    black_box(&probes),
+                    black_box(&keys),
+                    &mut stats,
+                    |_, _| hits += 1,
+                );
+                black_box(hits)
             });
         });
     }
@@ -260,6 +318,7 @@ fn main() {
     par_simulation(&mut criterion);
     synthesis_model(&mut criterion);
     sw_probe(&mut criterion);
+    sw_kernel(&mut criterion);
     workload_generation(&mut criterion);
     select_variants(&mut criterion);
     datapath_push(&mut criterion);

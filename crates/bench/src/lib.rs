@@ -14,6 +14,7 @@
 //! | `fig15`  | uni-flow HW latency |
 //! | `fig16`  | software SplitJoin latency |
 //! | `fig17`  | clock frequency vs cores |
+//! | `kernel` | scalar vs blocked probe kernels (software SplitJoin) |
 //! | `partition` | broadcast vs hash-partitioned dispatch + zipf occupancy |
 //! | `power`  | Section V power comparison |
 //! | `reconfig` | Fig. 6 deployment paths + live re-query |
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod hwfigs;
+mod kernelfigs;
 pub mod obsout;
 mod partfigs;
 mod reconfigfig;
@@ -35,6 +37,7 @@ pub use hwfigs::{
     fig14b_run, fig14c, fig14c_run, fig14c_threads, fig14c_threads_run, fig15, fig15_run,
     fig15_threads, fig15_threads_run, fig17, fig17_run, hashjoin_ablation, power, power_run,
 };
+pub use kernelfigs::{kernel_figure, kernel_figure_windows, kernel_run_opts};
 pub use partfigs::partition_run_opts;
 pub use reconfigfig::{deployment_paths, live_requery};
 pub use swfigs::{

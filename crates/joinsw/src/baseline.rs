@@ -209,6 +209,7 @@ impl StreamJoin for BaselineJoin {
             fault: crate::fault::FaultReport::default(),
             ring_stats: None,
             partition_stats: None,
+            kernel_stats: None,
         })
     }
 }

@@ -49,6 +49,40 @@ pub fn default_transport() -> Transport {
     })
 }
 
+/// Which probe kernel the join cores run against their windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// One pass over the window per tuple
+    /// ([`JoinPredicate::count_matches`] / per-key evaluation) — the
+    /// original path, kept as the semantic reference.
+    Scalar,
+    /// Blocked batch×window compare tiles ([`streamcore::kernel`]):
+    /// every distribution batch probes the window snapshot in
+    /// cache-sized key tiles with 8-wide unrolled compare loops, plus
+    /// software-prefetched hash-chain walks and O(1) partitioned-chain
+    /// counting. The default (see [`default_kernel`]). SplitJoin only:
+    /// the handshake chain probes tuple-by-tuple by construction.
+    Blocked,
+}
+
+/// The process-wide default probe kernel: `ACCEL_SW_KERNEL` when set to
+/// `scalar` or `blocked`, [`Kernel::Blocked`] otherwise (CI pins both
+/// values explicitly in its test matrix).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo must not silently change
+/// which probe kernel a whole CI leg measures.
+pub fn default_kernel() -> Kernel {
+    static KERNEL: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(|| match std::env::var("ACCEL_SW_KERNEL") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("scalar") => Kernel::Scalar,
+        Ok(v) if v.trim().eq_ignore_ascii_case("blocked") => Kernel::Blocked,
+        Ok(v) => panic!("ACCEL_SW_KERNEL must be `scalar` or `blocked`, got {v:?}"),
+        Err(_) => Kernel::Blocked,
+    })
+}
+
 /// How the SplitJoin router dispatches tuples to the join cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Partitioning {
@@ -119,6 +153,10 @@ pub struct JoinConfig {
     /// to [`default_partitioning`]. [`Partitioning::Hash`] requires an
     /// equi-join predicate (checked at spawn) and is SplitJoin-only.
     pub partitioning: Partitioning,
+    /// Which probe kernel the join cores run (see [`Kernel`]); defaults
+    /// to [`default_kernel`]. SplitJoin-only; the kernels are
+    /// observationally identical, so this is purely a performance knob.
+    pub kernel: Kernel,
 }
 
 impl JoinConfig {
@@ -142,6 +180,7 @@ impl JoinConfig {
             transport: default_transport(),
             pin_workers: false,
             partitioning: default_partitioning(),
+            kernel: default_kernel(),
         }
     }
 
@@ -156,6 +195,13 @@ impl JoinConfig {
     #[must_use]
     pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
         self.partitioning = partitioning;
+        self
+    }
+
+    /// Selects the probe kernel (see [`Kernel`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -300,6 +346,14 @@ mod tests {
         let config = JoinConfig::new(2, 8).with_partitioning(Partitioning::Hash);
         assert_eq!(config.partitioning, Partitioning::Hash);
         assert_eq!(JoinConfig::new(2, 8).partitioning, default_partitioning());
+    }
+
+    #[test]
+    fn kernel_builder_and_default() {
+        let config = JoinConfig::new(2, 8).with_kernel(Kernel::Scalar);
+        assert_eq!(config.kernel, Kernel::Scalar);
+        // The default comes from the environment override hook.
+        assert_eq!(JoinConfig::new(2, 8).kernel, default_kernel());
     }
 
     #[test]

@@ -506,24 +506,6 @@ impl HandshakeJoin {
             fault: report,
         })
     }
-
-    /// Pre-fault-model [`HandshakeJoin::process`]: panics on failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `process` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
-        self.process(tag, tuple).expect("chain alive");
-    }
-
-    /// Pre-fault-model [`HandshakeJoin::flush`]: panics on failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `flush` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn flush_or_panic(&self) {
-        self.flush().expect("chain alive");
-    }
-
-    /// Pre-fault-model [`HandshakeJoin::shutdown`]: panics on failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `shutdown` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn shutdown_or_panic(self) -> HandshakeOutcome {
-        self.shutdown().expect("core thread panicked")
-    }
 }
 
 impl crate::streamjoin::StreamJoin for HandshakeJoin {
@@ -1092,14 +1074,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn fallible_surface_round_trips_a_match() {
         let join = HandshakeJoin::spawn(HandshakeConfig::new(2, 8));
-        join.process_or_panic(StreamTag::S, Tuple::new(3, 0));
-        join.flush_or_panic();
-        join.process_or_panic(StreamTag::R, Tuple::new(3, 1));
-        join.flush_or_panic();
-        let outcome = join.shutdown_or_panic();
+        join.process(StreamTag::S, Tuple::new(3, 0)).unwrap();
+        join.flush().unwrap();
+        join.process(StreamTag::R, Tuple::new(3, 1)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 1);
     }
 

@@ -81,8 +81,26 @@ pub fn measure_throughput_with<J: StreamJoin>(
     tuples: u64,
     key_domain: u32,
 ) -> Result<(Throughput, J::Outcome), JoinError> {
-    let window = config.common().window_size;
     config.common_mut().collect_results = false;
+    measure_throughput_collecting::<J>(config, tuples, key_domain)
+}
+
+/// [`measure_throughput_with`] that honors the config's
+/// `collect_results` flag instead of forcing counting-only. With
+/// collection on, the timed segment exercises the full materializing
+/// path — matches are built, chunked, and handed to a live collector
+/// draining concurrently — which is what the kernel figure's
+/// materializing variants compare across probe kernels.
+///
+/// # Errors
+///
+/// See [`StreamJoin::process`].
+pub fn measure_throughput_collecting<J: StreamJoin>(
+    config: J::Config,
+    tuples: u64,
+    key_domain: u32,
+) -> Result<(Throughput, J::Outcome), JoinError> {
+    let window = config.common().window_size;
     let join = J::spawn(config);
     prefill_steady_state(&join, window)?;
     let start = Instant::now();
@@ -296,6 +314,30 @@ mod tests {
             );
             assert_eq!(modeled_throughput(one, 4), 3_500.0);
         }
+    }
+
+    #[test]
+    fn harness_workload_is_kernel_invariant() {
+        // The bench harness drives the same deterministic tuple stream
+        // through both kernels; every logical counter must be
+        // bit-identical, or the kernel A/B in `BENCH_swjoin.json` would
+        // compare different joins.
+        let mk = |kernel| {
+            SplitJoinConfig::new(3, 1 << 8)
+                .with_batch_size(64)
+                .with_kernel(kernel)
+                .counting_only()
+        };
+        let (_, scalar) =
+            measure_throughput_outcome(mk(crate::config::Kernel::Scalar), 3_000, 1 << 10)
+                .unwrap();
+        let (_, blocked) =
+            measure_throughput_outcome(mk(crate::config::Kernel::Blocked), 3_000, 1 << 10)
+                .unwrap();
+        assert_eq!(scalar.result_count, blocked.result_count);
+        assert_eq!(scalar.worker_stats, blocked.worker_stats);
+        assert!(scalar.kernel_stats.is_none());
+        assert!(blocked.kernel_stats.unwrap().tiles > 0);
     }
 
     #[test]

@@ -84,6 +84,6 @@ pub mod streamjoin;
 mod supervise;
 
 pub use accel_error::{JoinError, WorkerStats};
-pub use config::{default_partitioning, JoinConfig, JoinParams, Partitioning};
+pub use config::{default_kernel, default_partitioning, JoinConfig, JoinParams, Kernel, Partitioning};
 pub use fault::{FaultEvent, FaultPlan, FaultReport};
 pub use streamjoin::{JoinSummary, StreamJoin};

@@ -145,13 +145,14 @@ use std::time::{Duration, Instant};
 use accel_error::JoinError;
 pub use accel_error::WorkerStats;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use streamcore::kernel::{self, KernelStats, MIN_BLOCK_PROBES};
 use streamcore::ring::{self, ArenaReader, ArenaWriter, PopError, RingConsumer, RingProducer};
 use streamcore::{
     FlatWindow, FreqSketch, HashIndexWindow, JoinPredicate, MatchPair, PartitionMap,
     PartitionedWindow, StreamTag, Tuple,
 };
 
-use crate::config::{JoinConfig, JoinParams, Partitioning, Transport};
+use crate::config::{JoinConfig, JoinParams, Kernel, Partitioning, Transport};
 use crate::fault::{round_robin_share, FaultPlan, FaultReport};
 use crate::supervise::{
     supervised_push, supervised_send, AliveGuard, SendStatus, SendSupervisor, WorkerCell,
@@ -368,6 +369,13 @@ impl SplitJoinConfig {
     #[must_use]
     pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
         self.common = self.common.with_partitioning(partitioning);
+        self
+    }
+
+    /// Selects the probe kernel (see [`Kernel`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.common = self.common.with_kernel(kernel);
         self
     }
 
@@ -623,6 +631,10 @@ pub struct JoinOutcome {
     /// Partitioned-dispatch telemetry; `None` in broadcast mode, so
     /// broadcast manifests keep their exact pre-partitioning shape.
     pub partition_stats: Option<PartitionStats>,
+    /// Blocked-kernel telemetry, folded across workers; `None` on
+    /// [`Kernel::Scalar`] runs, so scalar manifests keep their exact
+    /// pre-kernel shape.
+    pub kernel_stats: Option<KernelStats>,
 }
 
 impl JoinOutcome {
@@ -662,6 +674,12 @@ impl JoinOutcome {
                 "splitjoin.partition.balance_x1000",
                 (ps.balance() * 1_000.0).round() as u64,
             );
+        }
+        if let Some(ks) = &self.kernel_stats {
+            reg.record("splitjoin.kernel.tiles", ks.tiles);
+            reg.record("splitjoin.kernel.lanes", ks.lanes);
+            reg.record("splitjoin.kernel.match_density_x1000", ks.density_x1000());
+            reg.record("splitjoin.kernel.scalar_fallbacks", ks.scalar_fallbacks);
         }
         reg
     }
@@ -1363,6 +1381,9 @@ impl Router {
     }
 }
 
+/// What each worker thread leaves behind at exit.
+type WorkerExit = (WorkerStats, KernelStats, Option<obs::trace::TraceRing>);
+
 /// A running SplitJoin: N join-core threads plus (when collecting) a
 /// collector thread.
 ///
@@ -1370,9 +1391,12 @@ impl Router {
 #[derive(Debug)]
 pub struct SplitJoin {
     router: RefCell<Router>,
-    workers: Vec<JoinHandle<(WorkerStats, Option<obs::trace::TraceRing>)>>,
+    workers: Vec<JoinHandle<WorkerExit>>,
     collector: Option<JoinHandle<Vec<MatchPair>>>,
     batch_size: usize,
+    /// Which probe kernel the workers run — decides whether the outcome
+    /// carries [`JoinOutcome::kernel_stats`].
+    kernel: Kernel,
     /// Caller-side distribution buffer; drained on flush/shutdown so a
     /// partial batch is never lost.
     pending: RefCell<Vec<(StreamTag, Tuple)>>,
@@ -1528,6 +1552,7 @@ impl SplitJoin {
             workers,
             collector,
             batch_size: config.batch_size,
+            kernel: config.kernel,
             pending: RefCell::new(Vec::with_capacity(config.batch_size)),
         }
     }
@@ -1647,10 +1672,15 @@ impl SplitJoin {
         let mut worker_stats = Vec::with_capacity(self.workers.len());
         let mut trace = Vec::new();
         let mut panicked: Option<usize> = None;
+        let mut kernel_stats =
+            (self.kernel == Kernel::Blocked).then(KernelStats::default);
         for (i, w) in self.workers.into_iter().enumerate() {
             match w.join() {
-                Ok((stats, ring)) => {
+                Ok((stats, kstats, ring)) => {
                     worker_stats.push(stats);
+                    if let Some(ks) = kernel_stats.as_mut() {
+                        ks.merge(&kstats);
+                    }
                     trace.extend(ring);
                 }
                 Err(_) => {
@@ -1707,37 +1737,8 @@ impl SplitJoin {
             fault: router.report,
             ring_stats: router.ring_stats.take(),
             partition_stats,
+            kernel_stats,
         })
-    }
-
-    /// Pre-fault-model [`SplitJoin::process`]: panics on any failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `process` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn process_or_panic(&self, tag: StreamTag, tuple: Tuple) {
-        self.process(tag, tuple).expect("worker alive");
-    }
-
-    /// Pre-fault-model [`SplitJoin::process_batch`]: panics on failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `process_batch` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn process_batch_or_panic(&self, batch: &[(StreamTag, Tuple)]) {
-        self.process_batch(batch).expect("worker alive");
-    }
-
-    /// Pre-fault-model [`SplitJoin::prefill`]: panics on any failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `prefill` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn prefill_or_panic(&self, tag: StreamTag, tuples: &[Tuple]) {
-        self.prefill(tag, tuples).expect("worker alive");
-    }
-
-    /// Pre-fault-model [`SplitJoin::flush`]: panics on any failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `flush` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn flush_or_panic(&self) {
-        self.flush().expect("worker alive");
-    }
-
-    /// Pre-fault-model [`SplitJoin::shutdown`]: panics on any failure.
-    #[deprecated(since = "0.1.0", note = "use the fallible `shutdown` and handle `JoinError`; no in-repo callers remain and the shims are scheduled for removal in the next minor release")]
-    pub fn shutdown_or_panic(self) -> JoinOutcome {
-        self.shutdown().expect("worker thread panicked")
     }
 }
 
@@ -1865,15 +1866,61 @@ struct PartState {
     horizon: u64,
 }
 
+/// One probe of the blocked batch path: the tuple plus the index spans
+/// describing exactly which stored tuples were visible to it at its
+/// position in the batch (the windows themselves are only mutated after
+/// the whole batch is probed).
+#[derive(Debug, Clone, Copy)]
+struct BlockedProbe {
+    tuple: Tuple,
+    /// Opposite-side intra-batch stores made before this probe ran.
+    j: u32,
+    /// First snapshot index still in the ring when this probe ran
+    /// (earlier entries were overwritten by intra-batch stores).
+    sn_start: u32,
+    /// First intra-batch store still in the ring when this probe ran.
+    new_lo: u32,
+}
+
+/// Reused per-batch buffers of the blocked path. Arrays are indexed by
+/// window side (`0` = R, `1` = S, see [`tag_side`]); capacity persists
+/// across batches so steady state allocates nothing.
+#[derive(Debug, Default)]
+struct BlockedScratch {
+    /// Oldest-first copy of each sub-window's keys.
+    snap_keys: [Vec<u32>; 2],
+    /// Payloads parallel to `snap_keys`; filled only when materializing.
+    snap_pays: [Vec<u32>; 2],
+    /// Tuples this worker stores into each window during the batch.
+    news: [Vec<Tuple>; 2],
+    /// Keys parallel to `news` — counting-mode corrections scan this
+    /// contiguous slice instead of walking `news` pair by pair.
+    news_keys: [Vec<u32>; 2],
+    /// Probes against each window, in batch order.
+    probes: [Vec<BlockedProbe>; 2],
+    /// Keys parallel to `probes` — the contiguous slice the kernel scans.
+    probe_keys: [Vec<u32>; 2],
+}
+
+/// Scratch-array index of a stream side (R = 0, S = 1).
+fn tag_side(tag: StreamTag) -> usize {
+    match tag {
+        StreamTag::R => 0,
+        StreamTag::S => 1,
+    }
+}
+
 struct WorkerState {
     position: u64,
     n: u64,
     predicate: JoinPredicate,
+    kernel: Kernel,
     window_r: SwWindow,
     window_s: SwWindow,
     r_count: u64,
     s_count: u64,
     stats: WorkerStats,
+    kstats: KernelStats,
     /// Re-partitioned ownership after a sibling died; `None` means the
     /// original `count % n == position` discipline.
     map: Option<Arc<PartitionMap>>,
@@ -1887,6 +1934,8 @@ struct WorkerState {
     cell: Arc<WorkerCell>,
     /// Keyed-dispatch shards; `None` in broadcast mode.
     part: Option<PartState>,
+    /// Blocked-kernel batch buffers; idle on the scalar kernel.
+    scratch: BlockedScratch,
 }
 
 /// Hands one buffered chunk to the collector; a dead collector degrades
@@ -1940,6 +1989,202 @@ fn send_result_chunk(
 }
 
 impl WorkerState {
+    /// One distribution batch. The blocked kernel applies only where it
+    /// pays: nested-loop windows with enough probes to fill compare
+    /// tiles ([`MIN_BLOCK_PROBES`]). Everything else — the scalar
+    /// kernel, hash windows (whose chain walks are pointer-chasing, not
+    /// scannable), undersized batches — runs the per-tuple path.
+    fn handle_batch(&mut self, batch: &[(StreamTag, Tuple)]) {
+        let nested = matches!(self.window_r, SwWindow::Nested(_));
+        if self.kernel == Kernel::Blocked && nested {
+            if batch.len() >= MIN_BLOCK_PROBES {
+                self.handle_batch_blocked(batch);
+                return;
+            }
+            self.kstats.scalar_fallbacks += batch.len() as u64;
+        }
+        for &(tag, tuple) in batch {
+            self.handle_tuple(tag, tuple);
+        }
+    }
+
+    /// The blocked probe path: snapshot both sub-windows once, probe the
+    /// whole batch against the snapshots in cache-sized compare tiles
+    /// ([`kernel::count_block`] / [`kernel::emit_block`]), then apply the
+    /// deferred stores.
+    ///
+    /// Deferring stores is exact, not approximate. Per probe we record
+    /// `j` — how many opposite-side tuples this worker had stored so far
+    /// in the batch — so the window it *would* have seen is: snapshot
+    /// entries `[sn_start..len)` plus intra-batch stores `[new_lo..j)`,
+    /// where the two lower bounds come from the flat ring's overwrite
+    /// rule (at most `capacity` newest entries survive). The kernel
+    /// probes the full snapshot; per-probe scalar corrections subtract
+    /// the evicted prefix and add the intra-batch span, reproducing the
+    /// scalar path's `comparisons`/`matches`/`stored` bit for bit.
+    fn handle_batch_blocked(&mut self, batch: &[(StreamTag, Tuple)]) {
+        let materialize = self.results.is_some();
+        let mut lens = [0usize; 2];
+        let mut caps = [0usize; 2];
+        {
+            let WorkerState { window_r, window_s, scratch, .. } = self;
+            for (side, w) in [(0, &*window_r), (1, &*window_s)] {
+                let SwWindow::Nested(f) = w else {
+                    unreachable!("blocked batch path requires nested-loop windows")
+                };
+                f.snapshot_into(
+                    &mut scratch.snap_keys[side],
+                    &mut scratch.snap_pays[side],
+                    materialize,
+                );
+                lens[side] = f.len();
+                caps[side] = f.capacity();
+                scratch.news[side].clear();
+                scratch.news_keys[side].clear();
+                scratch.probes[side].clear();
+                scratch.probe_keys[side].clear();
+            }
+        }
+        self.stats.tuples_seen += batch.len() as u64;
+        // Phase 1: walk the batch in arrival order, recording each
+        // probe's visibility span and making the round-robin store
+        // decision exactly as [`WorkerState::store`] would — but
+        // deferring the inserts themselves.
+        for &(tag, tuple) in batch {
+            let side = tag_side(tag);
+            let g = 1 - side; // the window this tuple probes
+            let j = self.scratch.news[g].len();
+            let (l, cap) = (lens[g], caps[g]);
+            self.stats.comparisons += (l + j).min(cap) as u64;
+            let start = (l + j).saturating_sub(cap);
+            self.scratch.probes[g].push(BlockedProbe {
+                tuple,
+                j: j as u32,
+                sn_start: start.min(l) as u32,
+                new_lo: start.saturating_sub(l) as u32,
+            });
+            self.scratch.probe_keys[g].push(tuple.key());
+            let count = match tag {
+                StreamTag::R => &mut self.r_count,
+                StreamTag::S => &mut self.s_count,
+            };
+            let turn = *count;
+            *count += 1;
+            let my_turn = match &self.map {
+                None => turn % self.n == self.position,
+                Some(map) => map.owner(turn) == self.position as usize,
+            };
+            if my_turn {
+                self.stats.stored += 1;
+                self.scratch.news[side].push(tuple);
+                self.scratch.news_keys[side].push(tuple.key());
+            }
+        }
+        // Phase 2: blocked probe per window, plus per-probe scalar
+        // corrections (each correction is tallied as a fallback lane).
+        let WorkerState {
+            predicate,
+            stats,
+            kstats,
+            out,
+            out_chunk,
+            results,
+            cell,
+            scratch,
+            ..
+        } = self;
+        for g in 0..2 {
+            let probes = &scratch.probes[g];
+            if probes.is_empty() {
+                continue;
+            }
+            // Probes against the S window (`g == 1`) carry R tuples.
+            let probe_is_r = g == 1;
+            let tag = if probe_is_r { StreamTag::R } else { StreamTag::S };
+            let snap_keys = &scratch.snap_keys[g];
+            let news = &scratch.news[g];
+            if !materialize {
+                let mut matched = kernel::count_block(
+                    *predicate,
+                    probe_is_r,
+                    &scratch.probe_keys[g],
+                    snap_keys,
+                    kstats,
+                );
+                let news_keys = &scratch.news_keys[g];
+                for p in probes {
+                    let span = &news_keys[p.new_lo as usize..p.j as usize];
+                    if p.sn_start > 0 || !span.is_empty() {
+                        kstats.scalar_fallbacks += 1;
+                    }
+                    if p.sn_start > 0 {
+                        matched -= predicate.count_matches(
+                            p.tuple.key(),
+                            probe_is_r,
+                            &snap_keys[..p.sn_start as usize],
+                        ) as u64;
+                    }
+                    // The intra-batch span is a contiguous key slice, so
+                    // the correction vectorizes like a window sweep.
+                    matched += predicate.count_matches(p.tuple.key(), probe_is_r, span) as u64;
+                }
+                stats.matches += matched;
+            } else {
+                let snap_pays = &scratch.snap_pays[g];
+                kernel::emit_block(
+                    *predicate,
+                    probe_is_r,
+                    &scratch.probe_keys[g],
+                    snap_keys,
+                    kstats,
+                    |pi, ki| {
+                        let p = &probes[pi];
+                        if (ki as u32) < p.sn_start {
+                            return;
+                        }
+                        stats.matches += 1;
+                        if results.is_some() {
+                            out.push(MatchPair::oriented(
+                                tag,
+                                p.tuple,
+                                Tuple::new(snap_keys[ki], snap_pays[ki]),
+                            ));
+                            if out.len() >= *out_chunk {
+                                send_result_chunk(results, cell, out);
+                            }
+                        }
+                    },
+                );
+                for p in probes {
+                    let span = &news[p.new_lo as usize..p.j as usize];
+                    if p.sn_start > 0 || !span.is_empty() {
+                        kstats.scalar_fallbacks += 1;
+                    }
+                    for t in span {
+                        if predicate.matches_oriented(p.tuple.key(), probe_is_r, t.key()) {
+                            stats.matches += 1;
+                            if results.is_some() {
+                                out.push(MatchPair::oriented(tag, p.tuple, *t));
+                                if out.len() >= *out_chunk {
+                                    send_result_chunk(results, cell, out);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 3: the deferred stores, in arrival order per side (the
+        // two windows are independent, so side-major application lands
+        // the same final ring state as the interleaved scalar path).
+        for side in 0..2 {
+            let window = if side == 0 { &mut self.window_r } else { &mut self.window_s };
+            for &t in &self.scratch.news[side] {
+                window.insert(t);
+            }
+        }
+    }
+
     fn handle_tuple(&mut self, tag: StreamTag, tuple: Tuple) {
         self.stats.tuples_seen += 1;
         // Probe the opposite sub-window. The nested-loop path scans the
@@ -1949,9 +2194,11 @@ impl WorkerState {
         // mutate.
         let WorkerState {
             predicate,
+            kernel,
             window_r,
             window_s,
             stats,
+            kstats,
             out,
             out_chunk,
             results,
@@ -2002,15 +2249,29 @@ impl WorkerState {
                 }
             }
             SwWindow::Hash(w) => {
-                for stored in w.probe(probe_key) {
+                // The blocked kernel can't tile a hash chain walk, but it
+                // hides the walk's latency: prefetch the next chain node
+                // while evaluating the current one.
+                let hits = if *kernel == Kernel::Blocked {
+                    w.probe_prefetch(probe_key)
+                } else {
+                    w.probe(probe_key)
+                };
+                let mut matched = 0u64;
+                for stored in hits {
                     stats.comparisons += 1;
                     stats.matches += 1;
+                    matched += 1;
                     if results.is_some() {
                         out.push(MatchPair::oriented(tag, tuple, stored));
                         if out.len() >= *out_chunk {
                             send_result_chunk(results, cell, out);
                         }
                     }
+                }
+                if *kernel == Kernel::Blocked {
+                    kstats.lanes += matched;
+                    kstats.match_bits += matched;
                 }
             }
         }
@@ -2028,7 +2289,7 @@ impl WorkerState {
             self.stats.tuples_seen += 1;
         }
         // Disjoint field borrows, as in `handle_tuple`.
-        let WorkerState { part, stats, out, out_chunk, results, cell, .. } = self;
+        let WorkerState { part, kernel, stats, kstats, out, out_chunk, results, cell, .. } = self;
         let ps = part.as_mut().expect("keyed dispatch needs shard state");
         let horizon = ps.horizon;
         let (own, opposite) = match e.tag {
@@ -2037,13 +2298,24 @@ impl WorkerState {
         };
         if e.probe {
             opposite.evict_below(e.opp.saturating_sub(horizon));
-            for stored in opposite.probe(e.tuple.key()) {
-                stats.comparisons += 1;
-                stats.matches += 1;
-                if results.is_some() {
-                    out.push(MatchPair::oriented(e.tag, e.tuple, stored));
-                    if out.len() >= *out_chunk {
-                        send_result_chunk(results, cell, out);
+            if *kernel == Kernel::Blocked && results.is_none() {
+                // Keyed shards chain by exact key, so every chain entry
+                // matches: counting-only probes collapse to the O(1)
+                // chain length instead of walking it.
+                let n = opposite.probe_len(e.tuple.key()) as u64;
+                stats.comparisons += n;
+                stats.matches += n;
+                kstats.lanes += n;
+                kstats.match_bits += n;
+            } else {
+                for stored in opposite.probe(e.tuple.key()) {
+                    stats.comparisons += 1;
+                    stats.matches += 1;
+                    if results.is_some() {
+                        out.push(MatchPair::oriented(e.tag, e.tuple, stored));
+                        if out.len() >= *out_chunk {
+                            send_result_chunk(results, cell, out);
+                        }
                     }
                 }
             }
@@ -2132,9 +2404,7 @@ fn run_scripted_batch(
         w.cell.drops.fetch_add(1, Ordering::Relaxed);
     } else {
         let t0 = obs::trace::now_ns();
-        for &(tag, tuple) in batch {
-            w.handle_tuple(tag, tuple);
-        }
+        w.handle_batch(batch);
         if let Some(r) = ring.as_mut() {
             let t1 = obs::trace::now_ns();
             r.record_arg("probe", t0, t1.saturating_sub(t0), batch.len() as u64);
@@ -2205,7 +2475,7 @@ fn worker_loop(
     mut feed: WorkerFeed,
     results: Option<ResultsLane>,
     cell: &Arc<WorkerCell>,
-) -> (WorkerStats, Option<obs::trace::TraceRing>) {
+) -> WorkerExit {
     let _guard = AliveGuard(Arc::clone(cell));
     if config.pin_workers {
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -2221,11 +2491,13 @@ fn worker_loop(
         position: position as u64,
         n: config.num_cores as u64,
         predicate: config.predicate,
+        kernel: config.kernel,
         window_r: SwWindow::new(config.algorithm, sub),
         window_s: SwWindow::new(config.algorithm, sub),
         r_count: 0,
         s_count: 0,
         stats: WorkerStats::default(),
+        kstats: KernelStats::default(),
         map: None,
         out: Vec::new(),
         out_chunk: config.batch_size.max(1),
@@ -2236,6 +2508,7 @@ fn worker_loop(
             window_s: PartitionedWindow::new(),
             horizon: config.effective_window() as u64,
         }),
+        scratch: BlockedScratch::default(),
     };
 
     let mut ring = obs::trace::enabled().then(|| {
@@ -2258,7 +2531,7 @@ fn worker_loop(
                 if let BatchOutcome::Kill =
                     run_scripted_batch(&mut w, plan, position, batch_no, &batch, &mut ring)
                 {
-                    return (w.stats, ring);
+                    return (w.stats, w.kstats, ring);
                 }
             }
             Msg::ArenaBatch { seq } => {
@@ -2272,7 +2545,7 @@ fn worker_loop(
                     run_scripted_batch(&mut w, plan, position, batch_no, reader.read(seq), &mut ring);
                 reader.release(seq);
                 if let BatchOutcome::Kill = outcome {
-                    return (w.stats, ring);
+                    return (w.stats, w.kstats, ring);
                 }
             }
             Msg::Part(entries) => {
@@ -2280,7 +2553,7 @@ fn worker_loop(
                 if let BatchOutcome::Kill =
                     run_scripted_part_batch(&mut w, plan, position, batch_no, &entries, &mut ring)
                 {
-                    return (w.stats, ring);
+                    return (w.stats, w.kstats, ring);
                 }
             }
             Msg::Prefill(tag, tuples) => {
@@ -2332,7 +2605,7 @@ fn worker_loop(
     }
     w.flush_results();
     w.publish();
-    (w.stats, ring)
+    (w.stats, w.kstats, ring)
 }
 
 #[cfg(test)]
@@ -2629,14 +2902,150 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn fallible_surface_round_trips_a_match() {
         let join = SplitJoin::spawn(SplitJoinConfig::new(2, 8));
-        join.process_or_panic(StreamTag::S, Tuple::new(3, 0));
-        join.process_or_panic(StreamTag::R, Tuple::new(3, 1));
-        join.flush_or_panic();
-        let outcome = join.shutdown_or_panic();
+        join.process(StreamTag::S, Tuple::new(3, 0)).unwrap();
+        join.process(StreamTag::R, Tuple::new(3, 1)).unwrap();
+        join.flush().unwrap();
+        let outcome = join.shutdown().unwrap();
         assert_eq!(outcome.result_count, 1);
+    }
+
+    /// The per-worker stat fields that must be bit-identical across
+    /// kernels, folded over all workers.
+    fn folded_stats(outcome: &JoinOutcome) -> [u64; 4] {
+        let mut t = [0u64; 4];
+        for w in &outcome.worker_stats {
+            t[0] += w.tuples_seen;
+            t[1] += w.stored;
+            t[2] += w.comparisons;
+            t[3] += w.matches;
+        }
+        t
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_scalar() {
+        let inputs: Vec<_> = WorkloadSpec::new(900, KeyDist::Uniform { domain: 24 })
+            .generate()
+            .collect();
+        for pred in [
+            JoinPredicate::Equi,
+            JoinPredicate::Band { delta: 3 },
+            JoinPredicate::LessThan,
+            JoinPredicate::All,
+        ] {
+            for batch in [8usize, 64, 256] {
+                let mk = |kernel| {
+                    SplitJoinConfig::new(3, 48)
+                        .with_predicate(pred)
+                        .with_batch_size(batch)
+                        .with_kernel(kernel)
+                };
+                let scalar = run_workload(mk(Kernel::Scalar), &inputs);
+                let blocked = run_workload(mk(Kernel::Blocked), &inputs);
+                assert_eq!(
+                    as_multiset(&scalar.results),
+                    as_multiset(&blocked.results),
+                    "result mismatch: {pred:?} batch {batch}"
+                );
+                assert_eq!(
+                    folded_stats(&scalar),
+                    folded_stats(&blocked),
+                    "stat mismatch: {pred:?} batch {batch}"
+                );
+                assert!(scalar.kernel_stats.is_none());
+                let ks = blocked.kernel_stats.expect("blocked runs carry kernel stats");
+                if batch >= MIN_BLOCK_PROBES && pred != JoinPredicate::All {
+                    assert!(ks.tiles > 0, "{pred:?} batch {batch} never tiled");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_survives_intra_batch_window_wrap() {
+        // Window far smaller than the batch: most probes see snapshot
+        // entries evicted mid-batch plus freshly stored siblings, so the
+        // correction spans do all the work.
+        let inputs: Vec<_> = WorkloadSpec::new(800, KeyDist::Uniform { domain: 6 })
+            .generate()
+            .collect();
+        for cores in [1usize, 2, 3] {
+            let mk = |kernel| {
+                SplitJoinConfig::new(cores, 8).with_batch_size(512).with_kernel(kernel)
+            };
+            let scalar = run_workload(mk(Kernel::Scalar), &inputs);
+            let blocked = run_workload(mk(Kernel::Blocked), &inputs);
+            assert_eq!(as_multiset(&scalar.results), as_multiset(&blocked.results));
+            assert_eq!(folded_stats(&scalar), folded_stats(&blocked), "{cores} cores");
+            let want =
+                reference_join(&inputs, mk(Kernel::Blocked).effective_window(), JoinPredicate::Equi);
+            assert_eq!(as_multiset(&blocked.results), as_multiset(&want));
+            assert!(
+                blocked.kernel_stats.unwrap().scalar_fallbacks > 0,
+                "wrap corrections must be accounted"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_counting_matches_scalar_counting() {
+        let inputs: Vec<_> = WorkloadSpec::new(1_000, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let mk = |kernel| {
+            SplitJoinConfig::new(3, 24).with_batch_size(128).with_kernel(kernel).counting_only()
+        };
+        let scalar = run_workload(mk(Kernel::Scalar), &inputs);
+        let blocked = run_workload(mk(Kernel::Blocked), &inputs);
+        assert_eq!(scalar.result_count, blocked.result_count);
+        assert_eq!(folded_stats(&scalar), folded_stats(&blocked));
+        let ks = blocked.kernel_stats.unwrap();
+        assert!(ks.tiles > 0 && ks.lanes > 0);
+    }
+
+    #[test]
+    fn blocked_hash_algorithm_agrees_with_scalar() {
+        // Hash windows take the prefetched chain walk, not the tiles:
+        // identical results, zero tiles, lanes mirroring the hits.
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Uniform { domain: 12 })
+            .generate()
+            .collect();
+        let mk = |kernel| {
+            SplitJoinConfig::new(2, 32)
+                .with_algorithm(SwJoinAlgorithm::Hash)
+                .with_batch_size(64)
+                .with_kernel(kernel)
+        };
+        let scalar = run_workload(mk(Kernel::Scalar), &inputs);
+        let blocked = run_workload(mk(Kernel::Blocked), &inputs);
+        assert_eq!(as_multiset(&scalar.results), as_multiset(&blocked.results));
+        assert_eq!(folded_stats(&scalar), folded_stats(&blocked));
+        let ks = blocked.kernel_stats.unwrap();
+        assert_eq!(ks.tiles, 0, "hash probing never tiles");
+        assert_eq!(ks.lanes, folded_stats(&blocked)[3], "one lane per chain hit");
+    }
+
+    #[test]
+    fn kernel_stats_surface_in_registry() {
+        let inputs: Vec<_> = WorkloadSpec::new(400, KeyDist::Uniform { domain: 8 })
+            .generate()
+            .collect();
+        let blocked = run_workload(
+            SplitJoinConfig::new(2, 16).with_batch_size(64).with_kernel(Kernel::Blocked),
+            &inputs,
+        );
+        let reg = blocked.registry();
+        assert!(reg.get("splitjoin.kernel.tiles").is_some());
+        assert!(reg.get("splitjoin.kernel.lanes").is_some());
+        assert!(reg.get("splitjoin.kernel.match_density_x1000").is_some());
+        assert!(reg.get("splitjoin.kernel.scalar_fallbacks").is_some());
+        let scalar = run_workload(
+            SplitJoinConfig::new(2, 16).with_batch_size(64).with_kernel(Kernel::Scalar),
+            &inputs,
+        );
+        assert_eq!(scalar.registry().get("splitjoin.kernel.tiles"), None);
     }
 
     #[test]
@@ -2700,6 +3109,23 @@ mod tests {
 
     fn part_config(cores: usize, window: usize) -> SplitJoinConfig {
         SplitJoinConfig::new(cores, window).with_partitioning(Partitioning::Hash)
+    }
+
+    #[test]
+    fn partitioned_blocked_counting_matches_scalar() {
+        // Keyed dispatch + blocked + counting-only takes the O(1)
+        // chain-length shortcut; the tallies must not move.
+        let inputs: Vec<_> = WorkloadSpec::new(800, KeyDist::Zipf { domain: 64, s: 1.2 })
+            .generate()
+            .collect();
+        let mk = |kernel| part_config(4, 32).with_kernel(kernel).counting_only();
+        let scalar = run_workload(mk(Kernel::Scalar), &inputs);
+        let blocked = run_workload(mk(Kernel::Blocked), &inputs);
+        assert_eq!(scalar.result_count, blocked.result_count);
+        assert_eq!(folded_stats(&scalar), folded_stats(&blocked));
+        let ks = blocked.kernel_stats.unwrap();
+        assert_eq!(ks.tiles, 0, "keyed dispatch never tiles");
+        assert_eq!(ks.lanes, blocked.result_count, "one lane per chain entry");
     }
 
     #[test]

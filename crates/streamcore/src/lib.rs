@@ -20,6 +20,9 @@
 //!   ownership ([`PartitionMap::key_owner`]) for content partitioning;
 //! * [`FreqSketch`] — bounded Misra–Gries heavy-hitter summary driving
 //!   online hot-key splitting;
+//! * [`kernel`] — blocked batch×window probe kernels (tiled,
+//!   autovectorizer-friendly compare sweeps), the software analog of
+//!   the paper's comparator array;
 //! * [`workload`] — reproducible stream generators with controllable key
 //!   domains, skew, arrival interleaving, and bounded disorder;
 //! * [`metrics`] — throughput and latency recorders used by every
@@ -39,13 +42,14 @@
 //! assert_eq!(keys, vec![2, 3, 4]);
 //! ```
 
-// `deny` instead of `forbid`: the lock-free ring/arena transport and
-// the affinity shim are the only modules allowed to opt back in, each
-// with per-block safety arguments.
+// `deny` instead of `forbid`: the lock-free ring/arena transport, the
+// affinity shim, and the probe-kernel prefetch hint are the only
+// modules allowed to opt back in, each with per-block safety arguments.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod kernel;
 pub mod metrics;
 mod partition;
 pub mod ring;

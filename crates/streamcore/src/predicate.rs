@@ -54,6 +54,20 @@ impl JoinPredicate {
         }
     }
 
+    /// Evaluates the predicate with an explicit probe orientation: the
+    /// probe key sits on the R side of the pair when `probe_is_r`, on
+    /// the S side otherwise. This is the per-pair form of the
+    /// orientation handling in [`JoinPredicate::count_matches`] and the
+    /// blocked kernels ([`kernel`](crate::kernel)).
+    #[inline]
+    pub fn matches_oriented(&self, probe_key: u32, probe_is_r: bool, stored_key: u32) -> bool {
+        if probe_is_r {
+            self.matches_keys(probe_key, stored_key)
+        } else {
+            self.matches_keys(stored_key, probe_key)
+        }
+    }
+
     /// Counts the stored keys matching a probe key in one sweep —
     /// semantically `keys.filter(|k| matches_keys(..)).count()` with the
     /// predicate dispatch hoisted out of the loop, so each arm is a

@@ -243,6 +243,28 @@ impl FlatWindow {
         }
     }
 
+    /// Copies the window contents, oldest first, into contiguous
+    /// scratch vectors (cleared first). Payloads are copied only when
+    /// `with_payloads` — the counting path of the blocked probe kernels
+    /// ([`kernel`](crate::kernel)) never touches them. Index `i` of the
+    /// snapshot is the window's `i`-th oldest tuple, so per-probe
+    /// expiry can be expressed as an index range over the snapshot.
+    pub fn snapshot_into(
+        &self,
+        keys: &mut Vec<u32>,
+        payloads: &mut Vec<u32>,
+        with_payloads: bool,
+    ) {
+        keys.clear();
+        payloads.clear();
+        for (k, p) in self.segments() {
+            keys.extend_from_slice(k);
+            if with_payloads {
+                payloads.extend_from_slice(p);
+            }
+        }
+    }
+
     /// Iterates from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
         let [(k1, p1), (k2, p2)] = self.segments();
@@ -500,7 +522,28 @@ impl HashIndexWindow {
             Ok(pos) => self.table[pos].first,
             Err(_) => NIL,
         };
-        ProbeHits { window: self, cur }
+        ProbeHits {
+            window: self,
+            cur,
+            prefetch: false,
+        }
+    }
+
+    /// [`HashIndexWindow::probe`] with software prefetching: while each
+    /// chain node is evaluated, the next node's ring slots are hinted
+    /// into cache ([`kernel::prefetch_read`](crate::kernel::prefetch_read)),
+    /// overlapping the pointer-chase latency of long equi-chains. Yields
+    /// exactly the same tuples as `probe`.
+    pub fn probe_prefetch(&self, key: u32) -> ProbeHits<'_> {
+        let mut hits = self.probe(key);
+        hits.prefetch = true;
+        if hits.cur != NIL {
+            let slot = hits.cur as usize;
+            crate::kernel::prefetch_read(&self.keys, slot);
+            crate::kernel::prefetch_read(&self.payloads, slot);
+            crate::kernel::prefetch_read(&self.next, slot);
+        }
+        hits
     }
 
     /// Iterates every stored tuple from oldest to newest (test support;
@@ -524,11 +567,14 @@ impl HashIndexWindow {
     }
 }
 
-/// Iterator over the equi-join hits of one [`HashIndexWindow::probe`].
+/// Iterator over the equi-join hits of one [`HashIndexWindow::probe`]
+/// (or [`HashIndexWindow::probe_prefetch`]).
 #[derive(Debug)]
 pub struct ProbeHits<'a> {
     window: &'a HashIndexWindow,
     cur: u32,
+    /// Hint the next chain node into cache while this one is consumed.
+    prefetch: bool,
 }
 
 impl Iterator for ProbeHits<'_> {
@@ -541,6 +587,12 @@ impl Iterator for ProbeHits<'_> {
         }
         let slot = self.cur as usize;
         self.cur = self.window.next[slot];
+        if self.prefetch && self.cur != NIL {
+            let nxt = self.cur as usize;
+            crate::kernel::prefetch_read(&self.window.keys, nxt);
+            crate::kernel::prefetch_read(&self.window.payloads, nxt);
+            crate::kernel::prefetch_read(&self.window.next, nxt);
+        }
         Some(Tuple::new(
             self.window.keys[slot],
             self.window.payloads[slot],
@@ -657,6 +709,15 @@ impl PartitionedWindow {
         }
     }
 
+    /// Number of live tuples whose key equals `key`, in O(1) — the
+    /// counting-only shortcut of the blocked kernel integration: every
+    /// chain entry of an equi-probe is a match, so the tally needs no
+    /// chain walk.
+    #[must_use]
+    pub fn probe_len(&self, key: u32) -> usize {
+        self.chains.get(&key).map_or(0, VecDeque::len)
+    }
+
     /// Visits the live tuples whose key equals `key`, oldest first.
     pub fn probe(&self, key: u32) -> impl Iterator<Item = Tuple> + '_ {
         self.chains
@@ -744,6 +805,48 @@ mod tests {
             assert_eq!(w.newest(), Some(&i));
             assert_eq!(w.len(), 1);
         }
+    }
+
+    #[test]
+    fn flat_snapshot_is_oldest_first_across_wrap() {
+        let mut w = FlatWindow::new(4);
+        for i in 0..6u32 {
+            w.insert(Tuple::new(i, i + 100));
+        }
+        let (mut keys, mut pays) = (Vec::new(), Vec::new());
+        w.snapshot_into(&mut keys, &mut pays, true);
+        assert_eq!(keys, vec![2, 3, 4, 5]);
+        assert_eq!(pays, vec![102, 103, 104, 105]);
+        // Counting mode leaves payloads empty; scratch is reset each call.
+        w.snapshot_into(&mut keys, &mut pays, false);
+        assert_eq!(keys, vec![2, 3, 4, 5]);
+        assert!(pays.is_empty());
+    }
+
+    #[test]
+    fn hash_probe_prefetch_yields_identical_hits() {
+        let mut w = HashIndexWindow::new(8);
+        for i in 0..12u32 {
+            w.insert(Tuple::new(i % 3, i));
+        }
+        for key in 0..4u32 {
+            let plain: Vec<Tuple> = w.probe(key).collect();
+            let pre: Vec<Tuple> = w.probe_prefetch(key).collect();
+            assert_eq!(plain, pre, "prefetch must be perf-only (key {key})");
+        }
+    }
+
+    #[test]
+    fn partitioned_probe_len_counts_the_chain() {
+        let mut w = PartitionedWindow::new();
+        assert_eq!(w.probe_len(7), 0);
+        w.insert(0, Tuple::new(7, 1));
+        w.insert(1, Tuple::new(7, 2));
+        w.insert(2, Tuple::new(9, 3));
+        assert_eq!(w.probe_len(7), 2);
+        assert_eq!(w.probe_len(9), 1);
+        w.evict_below(1);
+        assert_eq!(w.probe_len(7), 1);
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! exact damage report — at every worker count, because batch message
 //! boundaries are identical on both paths.
 //!
-//! The final section pins *cross-dispatch* equivalence: hash-partitioned
+//! The next section pins *cross-dispatch* equivalence: hash-partitioned
 //! dispatch (PanJoin mode) must produce the same result multiset as
 //! broadcast dispatch — and both the single-threaded reference — on
 //! uniform and zipf-skewed workloads at every worker count, including
 //! when a scripted kill takes out a partition owner mid-run.
+//!
+//! The final section pins *cross-kernel* equivalence: the blocked probe
+//! kernel must be observationally identical to the scalar kernel —
+//! results and per-worker statistics — across the full
+//! kernel × transport × dispatch matrix.
 
 mod common;
 
@@ -23,7 +28,7 @@ use accel_landscape::joinhw::biflow::BiFlowJoin;
 use accel_landscape::joinhw::uniflow::UniFlowJoin;
 use accel_landscape::joinhw::{DesignParams, FlowModel, JoinOperator, NetworkKind};
 use accel_landscape::joinsw::baseline::reference_join;
-use accel_landscape::joinsw::config::{Partitioning, Transport};
+use accel_landscape::joinsw::config::{Kernel, Partitioning, Transport};
 use accel_landscape::joinsw::handshake::{HandshakeConfig, HandshakeJoin};
 use accel_landscape::joinsw::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
 use accel_landscape::joinsw::{FaultEvent, FaultPlan};
@@ -413,6 +418,60 @@ fn partitioned_kill_of_a_partition_owner_degrades_cleanly() {
     let stats = lossy.partition_stats.expect("hash dispatch reports stats");
     assert_eq!(stats.occupancy[victim], 0, "dead owner's ledger must be cleared");
     assert!(!stats.live.contains(&victim), "victim must leave the live set");
+}
+
+/// Runs a SplitJoin to completion at one point of the
+/// kernel × transport × dispatch matrix.
+fn run_matrix(
+    kernel: Kernel,
+    transport: Transport,
+    partitioning: Partitioning,
+    batch_size: usize,
+    inputs: &[(StreamTag, Tuple)],
+) -> JoinOutcome {
+    let config = SplitJoinConfig::new(CORES as usize, WINDOW)
+        .with_batch_size(batch_size)
+        .with_kernel(kernel)
+        .with_transport(transport)
+        .with_partitioning(partitioning);
+    let join = SplitJoin::spawn(config);
+    for &(tag, t) in inputs {
+        join.process(tag, t).unwrap();
+    }
+    join.flush().unwrap();
+    join.shutdown().unwrap()
+}
+
+#[test]
+fn kernels_agree_across_transports_and_dispatch_modes() {
+    let inputs = workload(600, 8, 123);
+    let want = as_multiset(&reference_join(&inputs, WINDOW, JoinPredicate::Equi));
+    assert!(!want.is_empty());
+    for transport in [Transport::Ring, Transport::Channel] {
+        for partitioning in [Partitioning::Broadcast, Partitioning::Hash] {
+            for batch in [16usize, 64] {
+                let scalar =
+                    run_matrix(Kernel::Scalar, transport, partitioning, batch, &inputs);
+                let blocked =
+                    run_matrix(Kernel::Blocked, transport, partitioning, batch, &inputs);
+                let label = format!("{transport:?}/{partitioning:?}/batch {batch}");
+                assert_eq!(
+                    as_multiset(&scalar.results),
+                    as_multiset(&blocked.results),
+                    "{label}: kernels diverge"
+                );
+                assert_eq!(
+                    scalar.worker_stats, blocked.worker_stats,
+                    "{label}: per-worker statistics diverge"
+                );
+                assert_eq!(as_multiset(&blocked.results), want, "{label}: vs reference");
+                assert!(
+                    scalar.kernel_stats.is_none() && blocked.kernel_stats.is_some(),
+                    "{label}: kernel telemetry belongs to the blocked kernel only"
+                );
+            }
+        }
+    }
 }
 
 #[test]
