@@ -1,15 +1,22 @@
 //! Regenerates the paper's fig16 experiment. Run with --release.
 //!
 //! Accepts `--batch N`, `--cores A,B,...`, `--windows LO..HI` (inclusive
-//! exponent range), `--samples N`, and `--trace [N]` (export worker span
-//! rings to `target/obs/fig16.trace.json`). Prints the table to stdout,
+//! exponent range), `--samples N`, `--trace [N]` (export worker span
+//! rings to `target/obs/fig16.trace.json`), `--live [MS]` (stream a
+//! live-telemetry series to `target/obs/fig16.series.jsonl`), and
+//! `--live-port PORT` (serve a Prometheus-style scrape endpoint while
+//! the figure runs; implies `--live`). Prints the table to stdout,
 //! writes a run manifest to `target/obs/fig16.json` (or
 //! `$ACCEL_OBS_DIR`), and upserts every measured point into
 //! `BENCH_swjoin.json` alongside it.
 fn main() {
     let opts = bench::swjoin::SwRunOpts::from_args();
     opts.setup_trace();
+    let live = opts.setup_live("fig16");
     let (t, m, entries) = bench::fig16_run_opts(&opts);
+    if let Some(live) = live {
+        live.finish();
+    }
     println!("{t}");
     bench::obsout::emit(&m);
     bench::swjoin::record(&entries);

@@ -7,6 +7,10 @@
 //! obstool diff <baseline.json> <candidate.json> [--tolerance PCT]
 //!             [--require PREFIX]
 //! obstool trace <file.trace.json>
+//! obstool series validate <file.series.jsonl>
+//! obstool series summarize <file.series.jsonl>
+//! obstool series spark <file.series.jsonl> <key>
+//! obstool scrape <ADDR> [--require PREFIX] [--retry N]
 //! ```
 //!
 //! `summarize` prints a manifest's config, counters, and histogram
@@ -19,6 +23,17 @@
 //! (the CI fault leg asserts `fault.*` made it into the schema).
 //! `trace` validates a trace export against the Chrome trace-event
 //! schema and summarizes spans per track.
+//!
+//! `series` works on the live-telemetry time-series artifacts
+//! (`<figure>.series.jsonl`, written by the `--live` flag of the figure
+//! binaries): `validate` strictly checks the schema (CI runs it on the
+//! bench-smoke artifacts), `summarize` prints per-key digests and
+//! rates, and `spark` renders one key's trajectory as a sparkline.
+//! `scrape` performs a single HTTP scrape of a running figure's
+//! `--live-port` endpoint, printing the exposition; `--require PREFIX`
+//! fails unless a sample under the prefix is present (dots in the
+//! prefix are matched against the sanitized exposition names), and
+//! `--retry N` retries a refused connection (the endpoint racing CI).
 
 use std::process::ExitCode;
 
@@ -30,7 +45,10 @@ fn usage() -> ExitCode {
         "usage: obstool summarize <manifest.json>\n\
         \x20      obstool diff <baseline.json> <candidate.json> [--tolerance PCT]\n\
         \x20                   [--require PREFIX]\n\
-        \x20      obstool trace <file.trace.json>"
+        \x20      obstool trace <file.trace.json>\n\
+        \x20      obstool series validate|summarize <file.series.jsonl>\n\
+        \x20      obstool series spark <file.series.jsonl> <key>\n\
+        \x20      obstool scrape <ADDR> [--require PREFIX] [--retry N]"
     );
     ExitCode::from(2)
 }
@@ -44,6 +62,16 @@ fn main() -> ExitCode {
             None => return usage(),
         },
         Some("trace") if args.len() == 2 => trace(&args[1]),
+        Some("series") => match args.get(1).map(String::as_str) {
+            Some("validate") if args.len() == 3 => series_validate(&args[2]),
+            Some("summarize") if args.len() == 3 => series_summarize(&args[2]),
+            Some("spark") if args.len() == 4 => series_spark(&args[2], &args[3]),
+            _ => return usage(),
+        },
+        Some("scrape") => match parse_scrape_args(&args[1..]) {
+            Some((addr, require, retries)) => scrape(addr, require, retries),
+            None => return usage(),
+        },
         _ => return usage(),
     };
     match result {
@@ -276,6 +304,192 @@ fn trace(path: &str) -> Result<bool, String> {
     Ok(true)
 }
 
+fn load_series(path: &str) -> Result<obs::series::SeriesDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    obs::series::SeriesDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn series_validate(path: &str) -> Result<bool, String> {
+    let doc = load_series(path)?;
+    println!(
+        "valid series: {} ({} samples, {} keys, {:.2}s span, {}ms interval, git {})",
+        doc.header.name,
+        doc.samples.len(),
+        doc.keys().len(),
+        doc.span_ns() as f64 / 1e9,
+        doc.header.interval_ms,
+        doc.header.git_rev,
+    );
+    Ok(true)
+}
+
+fn series_summarize(path: &str) -> Result<bool, String> {
+    let doc = load_series(path)?;
+    println!(
+        "series {} (git {}, {}ms interval, {} samples over {:.2}s)",
+        doc.header.name,
+        doc.header.git_rev,
+        doc.header.interval_ms,
+        doc.samples.len(),
+        doc.span_ns() as f64 / 1e9,
+    );
+    if !doc.header.config.is_empty() {
+        println!("config:");
+        for (k, v) in &doc.header.config {
+            println!("  {k} = {v}");
+        }
+    }
+    println!("keys:");
+    for key in doc.keys() {
+        let points = doc.series_of(key);
+        let first = points.first().map_or(0, |&(_, v)| v);
+        let last = points.last().map_or(0, |&(_, v)| v);
+        let max = points.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        match doc.rate_of(key) {
+            Some(rate) if last >= first => println!(
+                "  {key}: {first} -> {last} (max {max}, {rate:.1}/s)"
+            ),
+            _ => println!("  {key}: {first} -> {last} (max {max})"),
+        }
+    }
+    Ok(true)
+}
+
+/// Renders `values` as a fixed-palette sparkline, downsampled (by
+/// bucket max) to at most `width` columns. Empty input renders empty.
+fn sparkline(values: &[u64], width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets: Vec<u64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width)
+            .map(|b| {
+                let lo = b * values.len() / width;
+                let hi = ((b + 1) * values.len() / width).max(lo + 1);
+                values[lo..hi].iter().copied().max().unwrap_or(0)
+            })
+            .collect()
+    };
+    let lo = buckets.iter().copied().min().unwrap_or(0);
+    let hi = buckets.iter().copied().max().unwrap_or(0);
+    let span = (hi - lo).max(1);
+    buckets
+        .iter()
+        .map(|&v| LEVELS[((v - lo) * (LEVELS.len() as u64 - 1) / span) as usize])
+        .collect()
+}
+
+fn series_spark(path: &str, key: &str) -> Result<bool, String> {
+    let doc = load_series(path)?;
+    let points = doc.series_of(key);
+    if points.is_empty() {
+        let known = doc.keys().join(", ");
+        return Err(format!("key `{key}` not in series (known keys: {known})"));
+    }
+    let values: Vec<u64> = points.iter().map(|&(_, v)| v).collect();
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
+    println!("{key} ({} points, min {min}, max {max})", values.len());
+    println!("{}", sparkline(&values, 72));
+    Ok(true)
+}
+
+fn parse_scrape_args(rest: &[String]) -> Option<(&str, Option<&str>, u32)> {
+    let mut addr = None;
+    let mut require = None;
+    let mut retries = 0u32;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--require" => {
+                require = Some(rest.get(i + 1)?.as_str());
+                i += 2;
+            }
+            flag if flag.starts_with("--require=") => {
+                require = Some(&rest[i]["--require=".len()..]);
+                i += 1;
+            }
+            "--retry" => {
+                retries = rest.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            flag if flag.starts_with("--retry=") => {
+                retries = flag["--retry=".len()..].parse().ok()?;
+                i += 1;
+            }
+            a if addr.is_none() && !a.starts_with("--") => {
+                addr = Some(a);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    addr.map(|a| (a, require, retries))
+}
+
+/// Prometheus exposition names replace everything outside
+/// `[a-zA-Z0-9_:]` with `_` — apply the same mapping to a dotted
+/// `--require` prefix so `splitjoin.` matches `splitjoin_…` samples.
+fn sanitize_prefix(prefix: &str) -> String {
+    prefix
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn scrape(addr: &str, require: Option<&str>, retries: u32) -> Result<bool, String> {
+    let want = require.map(sanitize_prefix);
+    let mut attempt = 0;
+    loop {
+        // Both failure modes are retryable while attempts remain: a
+        // refused connection (endpoint not up yet) and a scrape where
+        // the required prefix has not registered yet (the figure's
+        // first engine has not spawned) — CI races both.
+        match obs::scrape::scrape_once(addr) {
+            Ok(body) => {
+                let hits = want.as_ref().map(|w| {
+                    body.lines()
+                        .filter(|l| !l.starts_with('#') && l.starts_with(w.as_str()))
+                        .count()
+                });
+                match hits {
+                    Some(0) if attempt >= retries => {
+                        print!("{body}");
+                        println!("FAIL: no sample under `{}*` in the scrape", require.unwrap_or(""));
+                        return Ok(false);
+                    }
+                    Some(0) => eprintln!(
+                        "scrape {addr} attempt {}/{retries}: required prefix absent; retrying",
+                        attempt + 1
+                    ),
+                    found => {
+                        print!("{body}");
+                        if let (Some(prefix), Some(n)) = (require, found) {
+                            println!("required `{prefix}*` present: {n} sample(s)");
+                        }
+                        return Ok(true);
+                    }
+                }
+            }
+            Err(e) if attempt >= retries => return Err(format!("scrape {addr}: {e}")),
+            Err(e) => {
+                eprintln!("scrape {addr} attempt {}/{retries} failed: {e}; retrying", attempt + 1);
+            }
+        }
+        attempt += 1;
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +572,85 @@ mod tests {
             parse_diff_args(&args),
             Some(("a.json", "b.json", 10.0, Some("fault.")))
         );
+    }
+
+    #[test]
+    fn scrape_args_parse_all_forms() {
+        let args: Vec<String> = ["127.0.0.1:9091", "--require", "splitjoin.", "--retry", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            parse_scrape_args(&args),
+            Some(("127.0.0.1:9091", Some("splitjoin."), 3))
+        );
+        let args: Vec<String> = ["--require=fault.", "localhost:1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_scrape_args(&args), Some(("localhost:1", Some("fault."), 0)));
+        assert_eq!(parse_scrape_args(&[]), None);
+        let bad: Vec<String> = ["--retry".to_string()].to_vec();
+        assert_eq!(parse_scrape_args(&bad), None);
+    }
+
+    #[test]
+    fn sanitize_prefix_matches_exposition_names() {
+        assert_eq!(sanitize_prefix("splitjoin.worker.0."), "splitjoin_worker_0_");
+        assert_eq!(sanitize_prefix("already_clean:ok"), "already_clean:ok");
+    }
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5], 10), "▁");
+        let line = sparkline(&[0, 7], 10);
+        assert_eq!(line.chars().collect::<Vec<_>>(), vec!['▁', '█']);
+        // Constant series stays at the floor instead of dividing by zero.
+        assert_eq!(sparkline(&[3, 3, 3], 10), "▁▁▁");
+        // 100 points squeeze into the requested width.
+        let wide: Vec<u64> = (0..100).collect();
+        assert_eq!(sparkline(&wide, 8).chars().count(), 8);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn scrape_round_trips_against_a_live_endpoint() {
+        let reg = obs::live::LiveRegistry::new();
+        reg.counter("splitjoin.tuples").add(41);
+        reg.gauge("splitjoin.workers.live").set(4);
+        let server = obs::scrape::serve(reg, 0).expect("bind ephemeral");
+        let addr = server.addr().to_string();
+        assert!(scrape(&addr, Some("splitjoin."), 0).unwrap());
+        assert!(!scrape(&addr, Some("nonexistent."), 0).unwrap());
+        server.stop();
+        // A dead endpoint with no retries is a hard error.
+        assert!(scrape(&addr, None, 0).is_err());
+    }
+
+    #[test]
+    fn series_commands_validate_and_summarize_a_real_artifact() {
+        let dir = std::env::temp_dir().join(format!("obstool-series-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reg = obs::live::LiveRegistry::new();
+        let c = reg.counter("sw.tuples");
+        let header = obs::series::SeriesHeader::new("obstool-test", 5);
+        let mut writer = obs::series::SeriesWriter::create(&dir, header).unwrap();
+        for v in [10u64, 30, 60] {
+            c.add(v);
+            writer.append(&reg.snapshot()).unwrap();
+        }
+        let path = writer.finish().unwrap();
+        let path = path.to_str().unwrap();
+        assert!(series_validate(path).unwrap());
+        assert!(series_summarize(path).unwrap());
+        #[cfg(feature = "obs")]
+        {
+            assert!(series_spark(path, "sw.tuples").unwrap());
+            let err = series_spark(path, "missing.key").unwrap_err();
+            assert!(err.contains("known keys"), "{err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

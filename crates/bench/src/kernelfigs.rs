@@ -173,6 +173,8 @@ mod tests {
             windows: Some(8..=9),
             samples: Some(1),
             trace: None,
+            live: None,
+            live_port: None,
         };
         let mut entries = Vec::new();
         let t = kernel_into(&opts, None, Some(&mut entries));

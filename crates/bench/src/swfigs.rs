@@ -383,6 +383,8 @@ mod tests {
             windows: Some(10..=11),
             samples: None,
             trace: None,
+            live: None,
+            live_port: None,
         };
         let mut entries = Vec::new();
         let t = fig14d_into(&opts, None, Some(&mut entries));

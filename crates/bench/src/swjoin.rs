@@ -328,6 +328,12 @@ pub fn record(entries: &[SwJoinEntry]) {
 /// * `--trace [N]` — enable span tracing with 1-in-`N` provenance
 ///   sampling (`64` when the period is omitted); harvested rings are
 ///   written as a Perfetto trace next to the manifest.
+/// * `--live [MS]` — arm the live telemetry plane and sample it every
+///   `MS` milliseconds (`25` when omitted) into
+///   `target/obs/<figure>.series.jsonl`.
+/// * `--live-port PORT` — additionally serve a read-only Prometheus-style
+///   scrape endpoint on `127.0.0.1:PORT` (`0` = ephemeral, printed on
+///   stderr). Implies `--live`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwRunOpts {
     /// Distribution batch size.
@@ -340,6 +346,11 @@ pub struct SwRunOpts {
     pub samples: Option<usize>,
     /// Span-tracing sample period, `None` when tracing is off.
     pub trace: Option<u64>,
+    /// Live-plane sampling interval in milliseconds, `None` when the
+    /// plane stays unarmed.
+    pub live: Option<u64>,
+    /// Scrape-endpoint port (implies `live`); `Some(0)` binds ephemeral.
+    pub live_port: Option<u16>,
 }
 
 impl Default for SwRunOpts {
@@ -350,6 +361,8 @@ impl Default for SwRunOpts {
             windows: None,
             samples: None,
             trace: None,
+            live: None,
+            live_port: None,
         }
     }
 }
@@ -366,7 +379,7 @@ impl SwRunOpts {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--batch N] [--cores A,B,...] [--windows LO..HI] [--samples N] \
-                     [--trace [N]]"
+                     [--trace [N]] [--live [MS]] [--live-port PORT]"
                 );
                 std::process::exit(2);
             }
@@ -381,6 +394,18 @@ impl SwRunOpts {
             obs::trace::enable(n);
         }
         self.trace.is_some()
+    }
+
+    /// Applies the `--live` / `--live-port` flags: arms the live plane,
+    /// starts the background sampler (series artifact named after
+    /// `figure`) and, when a port was given, the scrape endpoint.
+    /// Returns `None` when live telemetry was not requested; the binary
+    /// calls [`LiveRun::finish`](crate::obsout::LiveRun::finish) after
+    /// the figure completes.
+    #[must_use]
+    pub fn setup_live(&self, figure: &str) -> Option<crate::obsout::LiveRun> {
+        let interval_ms = self.live.or(self.live_port.map(|_| 25))?;
+        Some(crate::obsout::live_start(figure, interval_ms, self.live_port))
     }
 
     /// Parses an argument list (`from_args` without the process exit).
@@ -472,6 +497,29 @@ impl SwRunOpts {
                     }
                     _ => Some(64),
                 };
+            } else if let Some(v) = arg.strip_prefix("--live=") {
+                let n = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--live takes a positive interval in milliseconds, got `{v}`")
+                })?;
+                opts.live = Some(n);
+            } else if arg == "--live" {
+                // The interval is optional, same shape as `--trace`.
+                opts.live = match args.get(i + 1) {
+                    Some(v) if !v.starts_with('-') => {
+                        let n = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("--live takes a positive interval in milliseconds, got `{v}`")
+                        })?;
+                        i += 1;
+                        Some(n)
+                    }
+                    _ => Some(25),
+                };
+            } else if arg == "--live-port" || arg.starts_with("--live-port=") {
+                let v = value_of(args, &mut i, "--live-port")?;
+                let port: u16 = v
+                    .parse()
+                    .map_err(|_| format!("--live-port requires a port number, got `{v}`"))?;
+                opts.live_port = Some(port);
             } else {
                 return Err(format!("unknown flag `{arg}`"));
             }
@@ -605,6 +653,39 @@ mod tests {
         assert_eq!(before_flag.batch_size, 32);
         assert!(SwRunOpts::parse(&["--trace".to_string(), "0".to_string()]).is_err());
         assert!(SwRunOpts::parse(&["--trace=x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn opts_parse_live_flag_forms() {
+        let with_interval =
+            SwRunOpts::parse(&["--live".to_string(), "50".to_string()]).unwrap();
+        assert_eq!(with_interval.live, Some(50));
+        assert_eq!(with_interval.live_port, None);
+        let eq_style = SwRunOpts::parse(&["--live=10".to_string()]).unwrap();
+        assert_eq!(eq_style.live, Some(10));
+        // Bare `--live` defaults to 25 ms, including before another flag.
+        let bare = SwRunOpts::parse(&["--live".to_string()]).unwrap();
+        assert_eq!(bare.live, Some(25));
+        let before_flag = SwRunOpts::parse(&[
+            "--live".to_string(),
+            "--batch".to_string(),
+            "32".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(before_flag.live, Some(25));
+        assert_eq!(before_flag.batch_size, 32);
+        // `--live-port` alone implies live sampling in `setup_live`
+        // (port 0 = ephemeral); parsing keeps the fields independent.
+        let port_only = SwRunOpts::parse(&["--live-port".to_string(), "0".to_string()]).unwrap();
+        assert_eq!(port_only.live, None);
+        assert_eq!(port_only.live_port, Some(0));
+        let both =
+            SwRunOpts::parse(&["--live=5".to_string(), "--live-port=9091".to_string()]).unwrap();
+        assert_eq!((both.live, both.live_port), (Some(5), Some(9091)));
+        assert!(SwRunOpts::parse(&["--live".to_string(), "0".to_string()]).is_err());
+        assert!(SwRunOpts::parse(&["--live=x".to_string()]).is_err());
+        assert!(SwRunOpts::parse(&["--live-port".to_string(), "70000".to_string()]).is_err());
+        assert!(SwRunOpts::parse(&["--live-port".to_string()]).is_err());
     }
 
     fn point(figure: &str, metric: &str, value: f64) -> SwJoinEntry {

@@ -680,6 +680,7 @@ impl ParSimulator {
             }],
             rings: Vec::new(),
         });
+        publish_live(self.last_stats.as_ref().expect("just set"));
         stopped
     }
 
@@ -805,7 +806,35 @@ impl ParSimulator {
             workers,
             rings: indexed_rings.into_iter().map(|(_, r)| r).collect(),
         });
+        publish_live(self.last_stats.as_ref().expect("just set"));
         stopped
+    }
+}
+
+/// Publishes one finished drive segment into the process-global live
+/// plane (`obs::live`) when it is armed: cumulative per-worker
+/// busy/wait/shard counters plus a pool-wide `hwsim.par.utilization_pct`
+/// gauge. Drive segments repeat (each `run`/`run_until` call is one), so
+/// the counters accumulate across a simulation while the gauge tracks
+/// the most recent segment. Costs one relaxed load when the plane is
+/// unarmed.
+fn publish_live(stats: &ParStats) {
+    if !obs::live::active() {
+        return;
+    }
+    let reg = obs::live::global();
+    reg.counter("hwsim.par.cycles").add(stats.cycles);
+    reg.gauge("hwsim.par.threads").set(stats.threads as u64);
+    let (mut busy, mut wait) = (0u64, 0u64);
+    for (i, w) in stats.workers.iter().enumerate() {
+        busy += w.busy_ns;
+        wait += w.wait_ns;
+        reg.counter(&format!("hwsim.par.worker.{i}.busy_ns")).add(w.busy_ns);
+        reg.counter(&format!("hwsim.par.worker.{i}.wait_ns")).add(w.wait_ns);
+        reg.counter(&format!("hwsim.par.worker.{i}.shards")).add(w.shards_executed);
+    }
+    if let Some(pct) = (busy * 100).checked_div(busy + wait) {
+        reg.gauge("hwsim.par.utilization_pct").set(pct);
     }
 }
 

@@ -217,6 +217,35 @@ pub struct HandshakeJoin {
     /// Caller-side damage tally: tuples that could not even enter the
     /// chain because an entry core was gone.
     report: RefCell<FaultReport>,
+    /// Live-telemetry handles; `None` unless the plane was armed at
+    /// spawn ([`obs::live::set_active`]).
+    live: Option<LiveChain>,
+}
+
+/// Handles into the process-global live plane (`obs::live`) for the
+/// handshake chain: wave-group throughput and the depth of the group
+/// most recently injected at an entry core. Updated once per injected
+/// group — relaxed atomic stores, nothing per tuple.
+#[derive(Debug)]
+struct LiveChain {
+    /// `handshake.waves` — wave groups injected at the chain entries.
+    waves: obs::live::SharedCounter,
+    /// `handshake.wave_tuples` — tuples carried by those groups.
+    wave_tuples: obs::live::SharedCounter,
+    /// `handshake.wave_depth` — size (waves per message) of the most
+    /// recently injected group; the sampler turns it into a trajectory.
+    wave_depth: obs::live::SharedGauge,
+}
+
+impl LiveChain {
+    fn new() -> Self {
+        let reg = obs::live::global();
+        Self {
+            waves: reg.counter("handshake.waves"),
+            wave_tuples: reg.counter("handshake.wave_tuples"),
+            wave_depth: reg.gauge("handshake.wave_depth"),
+        }
+    }
 }
 
 /// Shutdown outcome of a [`HandshakeJoin`].
@@ -316,6 +345,7 @@ impl HandshakeJoin {
             pending_s: RefCell::new(Vec::with_capacity(config.batch_size)),
             batch_hist: RefCell::new(obs::Histogram::new()),
             report: RefCell::new(FaultReport::default()),
+            live: obs::live::active().then(LiveChain::new),
         }
     }
 
@@ -376,6 +406,11 @@ impl HandshakeJoin {
         self.batch_hist
             .borrow_mut()
             .record_value(waves.len() as u64);
+        if let Some(lv) = self.live.as_ref() {
+            lv.waves.incr();
+            lv.wave_tuples.add(waves.len() as u64);
+            lv.wave_depth.set(waves.len() as u64);
+        }
         let (entry, core) = self.entry_for(tag);
         let count = waves.len() as u64;
         match supervised_send(entry, &self.cells[core], core, ChainMsg::Waves { tag, waves })? {

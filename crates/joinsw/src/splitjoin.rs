@@ -751,6 +751,139 @@ struct PartRouter {
     routed: u64,
 }
 
+/// Router-side handles into the process-global live telemetry plane
+/// (`obs::live`), created at spawn only when the plane was armed
+/// (`obs::live::set_active(true)` *before* [`SplitJoin::spawn`]). Every
+/// update is a relaxed atomic at per-batch granularity — an armed plane
+/// costs a handful of stores per *batch*, an unarmed one a single
+/// relaxed load at spawn.
+#[derive(Debug)]
+struct LiveRouter {
+    /// `splitjoin.batches` — caller batches routed.
+    batches: obs::live::SharedCounter,
+    /// `splitjoin.tuples` — stream tuples routed through batches.
+    tuples: obs::live::SharedCounter,
+    /// `splitjoin.partition.routed` — keyed-dispatch tuples routed
+    /// (stays 0 in broadcast mode).
+    routed: obs::live::SharedCounter,
+    /// `splitjoin.ring.occupancy` — queued messages on the lane most
+    /// recently pushed to (ring transport; instantaneous, the sampler
+    /// turns it into a trajectory).
+    ring_occupancy: obs::live::SharedGauge,
+    /// `splitjoin.arena.lag` — published sequence minus the slowest
+    /// reader's release watermark while the router waits on arena reuse.
+    arena_lag: obs::live::SharedGauge,
+    /// `splitjoin.workers.live` — live positions in the partition map.
+    workers_live: obs::live::SharedGauge,
+    /// `fault.workers_lost` / `fault.orphaned_tuples` — degradation as
+    /// it happens (the post-mortem `fault.*` registry only exists after
+    /// shutdown).
+    workers_lost: obs::live::SharedCounter,
+    orphaned: obs::live::SharedCounter,
+    /// `splitjoin.worker.<i>.heartbeat_age_ns` — nanoseconds since each
+    /// live worker's last heartbeat, refreshed once per routed batch (and
+    /// for the laggard while the router waits on the arena), so a
+    /// stalling worker is scrape-visible long before the 10 s
+    /// saturation deadline.
+    heartbeat_age: Vec<obs::live::SharedGauge>,
+}
+
+impl LiveRouter {
+    fn new(config: &SplitJoinConfig) -> Self {
+        let reg = obs::live::global();
+        let this = Self {
+            batches: reg.counter("splitjoin.batches"),
+            tuples: reg.counter("splitjoin.tuples"),
+            routed: reg.counter("splitjoin.partition.routed"),
+            ring_occupancy: reg.gauge("splitjoin.ring.occupancy"),
+            arena_lag: reg.gauge("splitjoin.arena.lag"),
+            workers_live: reg.gauge("splitjoin.workers.live"),
+            workers_lost: reg.counter("fault.workers_lost"),
+            orphaned: reg.counter("fault.orphaned_tuples"),
+            heartbeat_age: (0..config.num_cores)
+                .map(|i| reg.gauge(&format!("splitjoin.worker.{i}.heartbeat_age_ns")))
+                .collect(),
+        };
+        this.workers_live.set(config.num_cores as u64);
+        // Lane capacity is a constant of the run; exporting it lets
+        // `obs::health` turn occupancy into a pressure fraction.
+        reg.gauge("splitjoin.ring.capacity")
+            .set(config.channel_capacity as u64);
+        this
+    }
+
+    /// Per-batch router-side refresh: throughput counters plus the
+    /// heartbeat-age gauge of every live worker (one clock read).
+    fn on_batch(&self, len: usize, cells: &[Arc<WorkerCell>], live: &[usize]) {
+        self.batches.incr();
+        self.tuples.add(len as u64);
+        let now = obs::trace::now_ns();
+        for &w in live {
+            if let Some(age) = cells[w].heartbeat_age_ns(now) {
+                self.heartbeat_age[w].set(age);
+            }
+        }
+    }
+
+    /// A retired worker must stop alarming: its age gauge pins to zero
+    /// and the loss shows up in `fault.workers_lost` instead.
+    fn on_worker_lost(&self, worker: usize, orphans: u64, live_count: usize) {
+        self.workers_lost.incr();
+        self.orphaned.add(orphans);
+        self.workers_live.set(live_count as u64);
+        self.heartbeat_age[worker].set(0);
+    }
+}
+
+/// Worker-side live handles (`splitjoin.worker.<i>.*`), updated once per
+/// processed message from the worker thread itself. The deltas against
+/// the last publication keep every exported counter monotone.
+#[derive(Debug)]
+struct LiveWorker {
+    batches: obs::live::SharedCounter,
+    tuples: obs::live::SharedCounter,
+    matches: obs::live::SharedCounter,
+    /// `splitjoin.matches` — pool-wide match total. Each match is found
+    /// by exactly one worker, so the per-worker deltas sum exactly.
+    matches_total: obs::live::SharedCounter,
+    busy_ns: obs::live::SharedCounter,
+    wait_ns: obs::live::SharedCounter,
+    last_tuples: u64,
+    last_matches: u64,
+}
+
+impl LiveWorker {
+    fn new(position: usize) -> Self {
+        let reg = obs::live::global();
+        let name = |suffix: &str| format!("splitjoin.worker.{position}.{suffix}");
+        Self {
+            batches: reg.counter(&name("batches")),
+            tuples: reg.counter(&name("tuples")),
+            matches: reg.counter(&name("matches")),
+            matches_total: reg.counter("splitjoin.matches"),
+            busy_ns: reg.counter(&name("busy_ns")),
+            wait_ns: reg.counter(&name("wait_ns")),
+            last_tuples: 0,
+            last_matches: 0,
+        }
+    }
+
+    /// One processed message: service time plus stat deltas.
+    fn after_msg(&mut self, stats: &WorkerStats, busy_start_ns: u64) {
+        self.busy_ns
+            .add(obs::trace::now_ns().saturating_sub(busy_start_ns));
+        self.batches.incr();
+        self.tuples.add(stats.tuples_seen - self.last_tuples);
+        self.last_tuples = stats.tuples_seen;
+        let dm = stats.matches - self.last_matches;
+        self.last_matches = stats.matches;
+        if dm > 0 {
+            self.matches.add(dm);
+            self.matches_total.add(dm);
+        }
+    }
+}
+
 /// The supervised distribution side: senders, supervision cells, the
 /// live partition map, and the bookkeeping that makes loss accounting
 /// exact.
@@ -789,6 +922,9 @@ struct Router {
     flush_seq: u64,
     /// Keyed-dispatch state; `None` in broadcast mode.
     part: Option<PartRouter>,
+    /// Live-telemetry handles; `None` unless the plane was armed at
+    /// spawn ([`obs::live::set_active`]).
+    live: Option<LiveRouter>,
 }
 
 impl Router {
@@ -797,15 +933,18 @@ impl Router {
     /// [`SendStatus::Lost`].
     fn send_msg(&mut self, w: usize, msg: Msg) -> Result<SendStatus, JoinError> {
         // Split borrows: the lane is &mut while cells/stats are read.
-        let Router { senders, cells, ring_stats, .. } = self;
+        let Router { senders, cells, ring_stats, live, .. } = self;
         match senders[w].as_mut() {
             None => Ok(SendStatus::Lost),
             Some(Lane::Channel(tx)) => supervised_send(tx, &cells[w], w, msg),
             Some(Lane::Ring(prod)) => {
+                let depth = prod.len() as u64;
                 if let Some(stats) = ring_stats.as_mut() {
-                    let depth = prod.len() as u64;
                     stats.occupancy.record_value(depth);
                     stats.peak_occupancy.max(depth);
+                }
+                if let Some(lv) = live.as_ref() {
+                    lv.ring_occupancy.set(depth);
                 }
                 let (status, waited_ns) = supervised_push(prod, &cells[w], w, msg)?;
                 if waited_ns > 0 {
@@ -858,6 +997,21 @@ impl Router {
                         spins += 1;
                         std::thread::yield_now();
                     } else {
+                        // Slow path only: export how far behind the
+                        // slowest reader is and refresh its heartbeat
+                        // age, so an armed scrape shows *which* worker
+                        // is holding the arena and for how long.
+                        if let Some(lv) = self.live.as_ref() {
+                            let (seq, min) = {
+                                let a = self.arena.as_ref().expect("ring transport has an arena");
+                                (a.seq(), a.min_released())
+                            };
+                            lv.arena_lag.set(seq.saturating_sub(min));
+                            let now = obs::trace::now_ns();
+                            if let Some(age) = self.cells[laggard].heartbeat_age_ns(now) {
+                                lv.heartbeat_age[laggard].set(age);
+                            }
+                        }
                         let beat = self.cells[laggard].heartbeat.load(Ordering::Relaxed);
                         let wait = sup.next_wait(Instant::now(), laggard, beat)?;
                         std::thread::sleep(wait);
@@ -1053,6 +1207,10 @@ impl Router {
     fn send_part_batch(&mut self, batch: &[(StreamTag, Tuple)]) -> Result<(), JoinError> {
         self.batch_hist.record_value(batch.len() as u64);
         self.batches_sent += 1;
+        if let Some(lv) = self.live.as_ref() {
+            lv.on_batch(batch.len(), &self.cells, self.map.live());
+            lv.routed.add(batch.len() as u64);
+        }
         let boundary = self.batches_sent;
         for &(tag, tuple) in batch {
             self.route_tuple(tag, tuple, true);
@@ -1084,6 +1242,9 @@ impl Router {
         }
         self.batch_hist.record_value(batch.len() as u64);
         self.batches_sent += 1;
+        if let Some(lv) = self.live.as_ref() {
+            lv.on_batch(batch.len(), &self.cells, self.map.live());
+        }
         let boundary = self.batches_sent;
         self.note_batch(batch);
         if self.arena.is_some() {
@@ -1165,6 +1326,9 @@ impl Router {
         }
         self.report.workers_lost.push(worker);
         self.report.orphaned_tuples += orphans;
+        if let Some(lv) = self.live.as_ref() {
+            lv.on_worker_lost(worker, orphans, self.map.live_count());
+        }
 
         let mut lost = Vec::new();
         if self.map.live_count() > 0 {
@@ -1237,6 +1401,9 @@ impl Router {
         self.senders[worker] = None;
         self.report.workers_lost.push(worker);
         self.report.orphaned_tuples += orphans;
+        if let Some(lv) = self.live.as_ref() {
+            lv.on_worker_lost(worker, orphans, self.map.live_count());
+        }
         self.report.recovery_ns.record_value(t0.elapsed().as_nanos().max(1) as u64);
         if let Some(r) = self.ring.as_mut() {
             let now = obs::trace::now_ns();
@@ -1504,8 +1671,9 @@ impl SplitJoin {
                 }
             };
             let cfg = config.clone();
+            let live = obs::live::active().then(|| LiveWorker::new(position));
             workers.push(std::thread::spawn(move || {
-                worker_loop(position, &cfg, feed, results, &cell)
+                worker_loop(position, &cfg, feed, results, &cell, live)
             }));
         }
         drop(chan_results); // collector exits once every worker has stopped
@@ -1548,6 +1716,7 @@ impl SplitJoin {
                 ring_stats,
                 flush_seq: 0,
                 part,
+                live: obs::live::active().then(|| LiveRouter::new(&config)),
             }),
             workers,
             collector,
@@ -2363,13 +2532,16 @@ impl WorkerState {
     }
 
     /// Publishes the statistics snapshot and advances the heartbeat —
-    /// once per processed message.
+    /// once per processed message. With the live plane armed this also
+    /// timestamps the beat, which the router exports as
+    /// `splitjoin.worker.<i>.heartbeat_age_ns`.
     fn publish(&self) {
         self.cell.tuples_seen.store(self.stats.tuples_seen, Ordering::Relaxed);
         self.cell.stored.store(self.stats.stored, Ordering::Relaxed);
         self.cell.comparisons.store(self.stats.comparisons, Ordering::Relaxed);
         self.cell.matches.store(self.stats.matches, Ordering::Relaxed);
         self.cell.heartbeat.fetch_add(1, Ordering::Relaxed);
+        self.cell.stamp_beat();
     }
 }
 
@@ -2475,6 +2647,7 @@ fn worker_loop(
     mut feed: WorkerFeed,
     results: Option<ResultsLane>,
     cell: &Arc<WorkerCell>,
+    mut live: Option<LiveWorker>,
 ) -> WorkerExit {
     let _guard = AliveGuard(Arc::clone(cell));
     if config.pin_workers {
@@ -2520,7 +2693,19 @@ fn worker_loop(
     let mut idle_since = obs::trace::now_ns();
     let mut batch_no: u64 = 0;
 
-    while let Some(msg) = feed.recv() {
+    loop {
+        // With the live plane armed, time spent blocked in `recv` is
+        // exported as `.wait_ns` and the rest of the iteration as
+        // `.busy_ns`; unarmed, neither clock is read.
+        let wait_start = live.as_ref().map(|_| obs::trace::now_ns());
+        let Some(msg) = feed.recv() else { break };
+        let busy_start = wait_start.map(|t0| {
+            let now = obs::trace::now_ns();
+            if let Some(lv) = live.as_ref() {
+                lv.wait_ns.add(now.saturating_sub(t0));
+            }
+            now
+        });
         if let Some(r) = ring.as_mut() {
             let t = obs::trace::now_ns();
             r.record("recv", idle_since, t.saturating_sub(idle_since));
@@ -2599,6 +2784,9 @@ fn worker_loop(
                 }
             }
             Msg::Stop => break,
+        }
+        if let (Some(lv), Some(t0)) = (live.as_mut(), busy_start) {
+            lv.after_msg(&w.stats, t0);
         }
         w.publish();
         idle_since = obs::trace::now_ns();
@@ -3292,5 +3480,69 @@ mod tests {
             .registry()
             .iter()
             .any(|(n, _)| n.starts_with("splitjoin.partition.")));
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn live_plane_exports_router_and_worker_metrics() {
+        // The live registry is process-global: arm the plane, run one
+        // ring-transport engine, then check the global snapshot for
+        // every exported key family. Sibling tests running concurrently
+        // can only *add* to the shared counters, so the floor
+        // assertions below stay race-free.
+        obs::live::set_active(true);
+        let inputs: Vec<_> = WorkloadSpec::new(600, KeyDist::Uniform { domain: 16 })
+            .generate()
+            .collect();
+        let config = SplitJoinConfig::new(2, 32)
+            .with_batch_size(64)
+            .with_transport(Transport::Ring);
+        let outcome = run_workload(config, &inputs);
+        obs::live::set_active(false);
+        assert!(!outcome.results.is_empty());
+
+        let snap = obs::live::global().snapshot();
+        for key in [
+            "splitjoin.batches",
+            "splitjoin.tuples",
+            "splitjoin.matches",
+            "splitjoin.partition.routed",
+            "splitjoin.ring.occupancy",
+            "splitjoin.ring.capacity",
+            "splitjoin.arena.lag",
+            "splitjoin.workers.live",
+            "fault.workers_lost",
+            "fault.orphaned_tuples",
+            "splitjoin.worker.0.batches",
+            "splitjoin.worker.0.tuples",
+            "splitjoin.worker.0.matches",
+            "splitjoin.worker.0.busy_ns",
+            "splitjoin.worker.0.wait_ns",
+            "splitjoin.worker.0.heartbeat_age_ns",
+            "splitjoin.worker.1.heartbeat_age_ns",
+        ] {
+            assert!(snap.get(key).is_some(), "missing live key {key}");
+        }
+        assert!(snap.get("splitjoin.tuples").unwrap() >= 600);
+        assert!(snap.get("splitjoin.batches").unwrap() >= 600 / 64);
+        assert!(snap.get("splitjoin.matches").unwrap() > 0);
+        assert!(snap.get("splitjoin.ring.capacity").unwrap() > 0);
+        assert!(snap.get("splitjoin.worker.0.busy_ns").unwrap() > 0);
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn unarmed_live_plane_registers_nothing_new() {
+        // Spawning without `obs::live::set_active(true)` must not touch
+        // the global registry — the engine's `live` field stays `None`.
+        obs::live::set_active(false);
+        let inputs: Vec<_> = WorkloadSpec::new(50, KeyDist::Uniform { domain: 4 })
+            .generate()
+            .collect();
+        let outcome = run_workload(SplitJoinConfig::new(2, 16), &inputs);
+        assert!(!outcome.results.is_empty());
+        // No assertion on registry size (armed sibling tests may be
+        // interleaved); instead prove the cheap-path predicate directly.
+        assert!(!obs::live::active());
     }
 }

@@ -37,6 +37,13 @@ pub(crate) struct WorkerCell {
     /// worker (heartbeat advances) from a wedged one (frozen with a
     /// full channel).
     pub(crate) heartbeat: AtomicU64,
+    /// Monotonic instant (`obs::trace::now_ns`) of the last heartbeat
+    /// publication; 0 = never. Written only while the live telemetry
+    /// plane is armed — the router exports
+    /// `splitjoin.worker.<i>.heartbeat_age_ns` gauges from it so a
+    /// stalling worker is visible to a scrape/sampler *long* before the
+    /// 10 s [`SATURATION_DEADLINE`] fires.
+    pub(crate) last_beat_ns: AtomicU64,
     /// Set when the worker thread exits, normally or by unwinding.
     pub(crate) dead: AtomicBool,
     /// Set when the worker exits on a *scripted kill* — a cooperative
@@ -67,6 +74,24 @@ pub(crate) struct WorkerCell {
 impl WorkerCell {
     pub(crate) fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Acquire)
+    }
+
+    /// Stamps the heartbeat instant for live-telemetry age export. Gated
+    /// on [`obs::live::active`] so inactive runs pay only a relaxed load
+    /// (and `--no-default-features` builds pay nothing).
+    #[inline]
+    pub(crate) fn stamp_beat(&self) {
+        if obs::live::active() {
+            self.last_beat_ns
+                .store(obs::trace::now_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Nanoseconds since the last stamped heartbeat at `now_ns`; `None`
+    /// before the first beat (or when live telemetry is off).
+    pub(crate) fn heartbeat_age_ns(&self, now_ns: u64) -> Option<u64> {
+        let beat = self.last_beat_ns.load(Ordering::Relaxed);
+        (beat != 0).then(|| now_ns.saturating_sub(beat))
     }
 
     pub(crate) fn snapshot(&self) -> WorkerStats {
@@ -277,6 +302,16 @@ mod tests {
             supervised_push(&mut tx, &cell, 0, 7),
             Ok((SendStatus::Lost, 0))
         ));
+    }
+
+    #[test]
+    fn heartbeat_age_tracks_stamped_beats() {
+        let cell = WorkerCell::default();
+        assert_eq!(cell.heartbeat_age_ns(123), None, "no beat yet");
+        cell.last_beat_ns.store(100, Ordering::Relaxed);
+        assert_eq!(cell.heartbeat_age_ns(250), Some(150));
+        // A sampler racing the beat may read an earlier clock: clamp.
+        assert_eq!(cell.heartbeat_age_ns(50), Some(0));
     }
 
     #[test]

@@ -23,8 +23,16 @@ use std::cell::Cell;
 /// wrapper; without it the type is zero-sized, [`Counter::incr`] /
 /// [`Counter::add`] compile to nothing and [`Counter::get`] returns 0.
 ///
-/// `Clone` copies the current value into an independent cell (components
-/// that derive `Clone`, like the join networks, stay cloneable).
+/// # Clone is a value snapshot, not a shared handle
+///
+/// `Clone` copies the current value into an **independent** cell: after
+/// `let d = c.clone()`, increments to `c` are invisible through `d` and
+/// vice versa. This exists so components that derive `Clone` (the join
+/// networks) stay cloneable — a clone of an engine starts from the
+/// original's counts and diverges. If two parties must observe the *same*
+/// evolving value (an instrumented thread and a sampler), use
+/// [`live::SharedCounter`](crate::live::SharedCounter), whose `Clone`
+/// shares the underlying atomic.
 ///
 /// ```
 /// let stalls = obs::Counter::new();
@@ -101,7 +109,10 @@ impl Eq for Counter {}
 /// A last-value gauge (e.g. a high-water mark or a configuration knob).
 ///
 /// Same cost model as [`Counter`]: one unsynchronized store when the
-/// `enabled` feature is on, a no-op otherwise.
+/// `enabled` feature is on, a no-op otherwise. `Clone` has the same
+/// snapshot semantics as [`Counter`]'s — a value copy into an
+/// independent cell, **not** a shared handle (for that, see
+/// [`live::SharedGauge`](crate::live::SharedGauge)).
 ///
 /// ```
 /// let depth = obs::Gauge::new();
@@ -300,5 +311,50 @@ mod tests {
         sink.absorb(&reg);
         assert_eq!(sink.len(), 3);
         assert_eq!(sink.get("b"), Some(3));
+    }
+
+    #[test]
+    fn manifest_key_order_is_deterministic_across_runs() {
+        // Regression guard: two registries fed the same entries in
+        // *different* insertion orders must iterate (and therefore
+        // serialize into a RunManifest) identically — artifact diffs in
+        // CI depend on it.
+        let names = ["z.last", "a.first", "m.mid", "a.second", "fault.x"];
+        let mut forward = Registry::new();
+        for (i, n) in names.iter().enumerate() {
+            forward.record(*n, i as u64);
+        }
+        let mut reverse = Registry::new();
+        for (i, n) in names.iter().enumerate().rev() {
+            reverse.record(*n, i as u64);
+        }
+        let fwd: Vec<_> = forward.iter().map(|(k, _)| k.to_string()).collect();
+        let rev: Vec<_> = reverse.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(fwd, rev, "iteration order must not depend on insertion order");
+        let mut sorted = fwd.clone();
+        sorted.sort();
+        assert_eq!(fwd, sorted, "iteration is name-sorted");
+
+        let mut a = crate::RunManifest::new("order");
+        a.record_registry(&forward);
+        let mut b = crate::RunManifest::new("order");
+        b.record_registry(&reverse);
+        assert_eq!(a.to_json(), b.to_json(), "manifests must diff clean");
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn clone_is_a_value_snapshot_not_a_shared_handle() {
+        let c = Counter::new();
+        c.add(4);
+        let snap = c.clone();
+        c.add(10);
+        assert_eq!((c.get(), snap.get()), (14, 4));
+
+        let g = Gauge::new();
+        g.set(8);
+        let gsnap = g.clone();
+        g.set(2);
+        assert_eq!((g.get(), gsnap.get()), (2, 8));
     }
 }

@@ -115,6 +115,60 @@ impl Json {
         Ok(v)
     }
 
+    /// Serializes on a single line with no inter-token whitespace — the
+    /// JSONL form used by the live-telemetry series artifacts
+    /// (`*.series.jsonl`), where one sample must occupy exactly one line.
+    /// [`Json::parse`] accepts both this and the pretty [`std::fmt::Display`] form.
+    ///
+    /// ```
+    /// use obs::json::Json;
+    /// let doc = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::UInt(1)]))]);
+    /// assert_eq!(doc.to_compact(), "{\"a\":[1]}");
+    /// ```
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        Compact(self).to_string()
+    }
+
+    fn write_compact(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    write!(f, "null") // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    item.write_compact(f)?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(members) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":")?;
+                    v.write_compact(f)?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+
     fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent + 1);
         let close = "  ".repeat(indent);
@@ -162,6 +216,15 @@ impl fmt::Display for Json {
     /// on-disk format).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.write_indented(f, 0)
+    }
+}
+
+/// Single-line [`fmt::Display`] adapter behind [`Json::to_compact`].
+struct Compact<'a>(&'a Json);
+
+impl fmt::Display for Compact<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.write_compact(f)
     }
 }
 

@@ -31,6 +31,13 @@
 //! latency to pipeline stages (ingest → distribute → probe → gather →
 //! emit) with exact stage-sum accounting.
 //!
+//! Everything above is post-mortem; the **live telemetry plane** observes
+//! a run *while it executes*: [`live`] holds shared-atomic
+//! counters/gauges plus a background sampler, [`series`] is the JSONL
+//! time-series artifact it streams, [`health`] derives busy fraction /
+//! throughput / pressure from consecutive samples, and [`scrape`] serves
+//! the registry as Prometheus-style text over std TCP.
+//!
 //! Instrumentation must never change behaviour: counters carry no
 //! control-flow, and the simulation's golden cycle-count pins are tested
 //! with the feature both on and off.
@@ -66,10 +73,14 @@
 #![warn(missing_docs)]
 
 mod cell;
+pub mod health;
 mod hist;
 pub mod json;
+pub mod live;
 mod manifest;
 pub mod provenance;
+pub mod scrape;
+pub mod series;
 pub mod trace;
 
 pub use cell::{Counter, Gauge, Registry};
