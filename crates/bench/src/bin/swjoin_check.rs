@@ -12,7 +12,10 @@
 //! the same run. Then every point is compared against the matching point
 //! in the baseline — the committed `BENCH_swjoin.json` at the repo root
 //! unless `--baseline` overrides it — and the run fails when throughput
-//! fell (or latency rose) more than the tolerance, default 10%. The
+//! fell (or latency rose) more than the tolerance, default 10%. A
+//! baseline figure with no entries at all in the fresh run fails the
+//! check outright: unmatched points are skipped individually, so a
+//! silently-dropped figure would otherwise pass vacuously. The
 //! host's parallelism is printed next to the baseline's, with a warning
 //! on mismatch (a differently-sized host silently skews comparisons). A
 //! missing baseline only warns: fresh checkouts and pruned worktrees
@@ -20,7 +23,7 @@
 
 use std::path::PathBuf;
 
-use bench::swjoin::{default_path, regressions, SwJoinDoc};
+use bench::swjoin::{default_path, missing_figures, regressions, SwJoinDoc};
 
 /// The committed before/after evidence this repo gates against.
 const BASELINE: &str = "BENCH_swjoin.json";
@@ -193,6 +196,23 @@ fn main() {
             "warning: baseline {} records no host_parallelism; this host has {host}",
             opts.baseline.display()
         ),
+    }
+    // A figure in the baseline with no entries at all in the fresh run
+    // would pass the point-by-point gate vacuously (unmatched points are
+    // skipped); that is a coverage regression, not a tolerable sweep
+    // difference, and it fails loudly here.
+    let dropped = missing_figures(&baseline, &doc);
+    if !dropped.is_empty() {
+        eprintln!(
+            "error: baseline {} has figure(s) the fresh run never produced: {}",
+            opts.baseline.display(),
+            dropped.join(", ")
+        );
+        eprintln!(
+            "  (the regression gate would otherwise skip them silently; \
+             re-run the missing figure binaries or prune the baseline)"
+        );
+        std::process::exit(1);
     }
     let (compared, found) = regressions(&baseline, &doc, opts.tolerance);
     if found.is_empty() {

@@ -237,7 +237,7 @@ pub fn fig16_config(cores: &[usize], window_exps: &[u32], samples: usize) -> Tab
         cores,
         window_exps,
         samples,
-        joinsw::splitjoin::default_batch_size(),
+        joinsw::default_batch_size(),
         None,
         None,
     )

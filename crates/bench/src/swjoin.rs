@@ -41,7 +41,7 @@
 use std::path::{Path, PathBuf};
 
 use joinsw::harness::host_parallelism;
-use joinsw::splitjoin::default_batch_size;
+use joinsw::default_batch_size;
 use obs::json::Json;
 
 /// One measured (or modeled) software-join data point.
@@ -250,7 +250,10 @@ pub struct Regression {
 /// tolerance)`. Direction follows the metric: lower `throughput_mtps`
 /// is a regression, higher `latency_p50_ns` or `occupancy_ratio` is.
 /// Points present on only one side are ignored — sweeps legitimately
-/// cover different ranges.
+/// cover different ranges. That leniency is *per point* only: a whole
+/// figure present in the baseline but absent from the candidate means
+/// the fresh run silently dropped coverage, and callers must surface it
+/// via [`missing_figures`] instead of letting the gate pass vacuously.
 #[must_use]
 pub fn regressions(
     baseline: &SwJoinDoc,
@@ -285,6 +288,25 @@ pub fn regressions(
         }
     }
     (compared, out)
+}
+
+/// Figures with entries in `baseline` but none at all in `candidate`,
+/// sorted. [`regressions`] skips unmatched *points* (sweeps cover
+/// different ranges), which means a figure the fresh run never produced
+/// would otherwise pass the gate with zero comparisons — exactly the
+/// silent failure mode a coverage regression causes. `swjoin_check`
+/// fails when this is non-empty.
+#[must_use]
+pub fn missing_figures(baseline: &SwJoinDoc, candidate: &SwJoinDoc) -> Vec<String> {
+    let mut missing: Vec<String> = baseline
+        .entries
+        .iter()
+        .map(|e| e.figure.clone())
+        .filter(|figure| !candidate.entries.iter().any(|e| &e.figure == figure))
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+    missing
 }
 
 /// The default artifact path: `BENCH_swjoin.json` in the manifest
@@ -743,6 +765,27 @@ mod tests {
         let base = SwJoinDoc { entries: vec![point("fig14d", "throughput_mtps", 2.0)], ..Default::default() };
         let cand = SwJoinDoc { entries: vec![point("swflow", "throughput_mtps", 0.1)], ..Default::default() };
         assert_eq!(regressions(&base, &cand, 0.0), (0, vec![]));
+    }
+
+    #[test]
+    fn missing_figures_name_baseline_figures_the_fresh_run_dropped() {
+        let base = SwJoinDoc {
+            entries: vec![
+                point("fig14d", "throughput_mtps", 2.0),
+                point("kernel", "throughput_mtps", 5.0),
+                point("kernel", "latency_p50_ns", 900.0),
+            ],
+            ..Default::default()
+        };
+        // The fresh run covers fig14d (a different point of it is fine)
+        // but produced nothing at all for `kernel`.
+        let mut narrower = point("fig14d", "throughput_mtps", 2.0);
+        narrower.window = 2048;
+        let cand = SwJoinDoc { entries: vec![narrower], ..Default::default() };
+        assert_eq!(missing_figures(&base, &cand), vec!["kernel".to_string()]);
+        assert_eq!(missing_figures(&base, &base), Vec::<String>::new());
+        // An *extra* candidate figure is not a coverage loss.
+        assert_eq!(missing_figures(&cand, &base), Vec::<String>::new());
     }
 
     #[test]

@@ -67,6 +67,16 @@ pub enum JoinError {
     },
     /// Every worker is gone; the join cannot make progress at all.
     AllWorkersLost,
+    /// A mid-run result drain timed out: workers reported handing off
+    /// more results than the collector ever received. Indicates a
+    /// wedged collector thread (a panicked collector surfaces as
+    /// [`JoinError::CollectorPanicked`] at shutdown instead).
+    DrainStalled {
+        /// Results the workers successfully handed to their lanes.
+        expected: u64,
+        /// Results the collector had actually received at the deadline.
+        received: u64,
+    },
 }
 
 impl std::fmt::Display for JoinError {
@@ -90,6 +100,11 @@ impl std::fmt::Display for JoinError {
                  with a full input channel"
             ),
             JoinError::AllWorkersLost => write!(f, "all join workers are gone"),
+            JoinError::DrainStalled { expected, received } => write!(
+                f,
+                "result drain stalled: workers handed off {expected} results \
+                 but the collector received only {received}"
+            ),
         }
     }
 }

@@ -193,6 +193,13 @@ impl StreamJoin for BaselineJoin {
         Ok(()) // synchronous: nothing is ever in flight
     }
 
+    fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        // Synchronous engine: every produced match is already in the
+        // buffer, so a drain is a plain take. `matches` keeps counting
+        // across drains, preserving the total-ever `result_count`.
+        Ok(std::mem::take(&mut self.inner.borrow_mut().results))
+    }
+
     fn shutdown(self) -> Result<JoinOutcome, JoinError> {
         let s = self.inner.into_inner();
         Ok(JoinOutcome {

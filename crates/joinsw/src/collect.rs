@@ -1,0 +1,146 @@
+//! Crate-internal shared result sink for the software joins.
+//!
+//! Before the continuous-query runtime existed, each engine's collector
+//! thread accumulated matches *privately* and handed them back exactly
+//! once, at `shutdown`. Standing queries need the opposite: results
+//! must be harvestable **mid-run** (`StreamJoin::drain_results`) so the
+//! runtime can fan them out to per-query pipelines while the engine
+//! keeps streaming. The [`ResultSink`] is the meeting point — workers
+//! hand chunks to their lanes as before, the collector thread moves
+//! them into the sink, and the caller drains the sink behind a flush
+//! barrier.
+//!
+//! Completeness accounting: every *successful* worker→lane handoff
+//! bumps the worker's `results_sent` cell (failed handoffs bump
+//! `results_dropped` instead, exactly as before), and every sink
+//! deposit bumps [`ResultSink::received`]. After a flush barrier the
+//! two totals must meet — [`ResultSink::await_received`] waits for
+//! that convergence so a drain never races the collector out of
+//! in-flight chunks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use accel_error::JoinError;
+use streamcore::MatchPair;
+
+/// How long a drain waits for the collector to catch up with the
+/// workers' handoff total before reporting [`JoinError::DrainStalled`].
+/// Generous: the collector only has to move already-queued chunks, so a
+/// healthy run converges in microseconds.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Shared deposit point between an engine's collector thread (producer)
+/// and its coordinator handle (consumer). See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct ResultSink {
+    /// Matches received and not yet drained.
+    collected: Mutex<Vec<MatchPair>>,
+    /// Total matches ever deposited (drained + still collected). The
+    /// release store pairs with the acquire load in
+    /// [`ResultSink::await_received`]: once a drainer observes the
+    /// count, the matches behind it are visible in `collected`.
+    received: AtomicU64,
+}
+
+impl ResultSink {
+    /// Deposits one chunk and publishes the new running total.
+    pub(crate) fn deposit(&self, chunk: Vec<MatchPair>) {
+        if chunk.is_empty() {
+            return;
+        }
+        let n = chunk.len() as u64;
+        self.collected
+            .lock()
+            .expect("result sink poisoned")
+            .extend(chunk);
+        self.received.fetch_add(n, Ordering::Release);
+    }
+
+    /// Total matches ever deposited (drained + still collected).
+    pub(crate) fn received(&self) -> u64 {
+        self.received.load(Ordering::Acquire)
+    }
+
+    /// Removes and returns everything currently collected.
+    pub(crate) fn take(&self) -> Vec<MatchPair> {
+        std::mem::take(&mut *self.collected.lock().expect("result sink poisoned"))
+    }
+
+    /// Blocks until the deposit total reaches `expected` (the workers'
+    /// summed successful handoffs, read behind a flush barrier).
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::DrainStalled`] if the collector has not caught up
+    /// within the drain deadline.
+    pub(crate) fn await_received(&self, expected: u64) -> Result<(), JoinError> {
+        if self.received() >= expected {
+            return Ok(());
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut spins = 0u32;
+        loop {
+            if self.received() >= expected {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(JoinError::DrainStalled {
+                    expected,
+                    received: self.received(),
+                });
+            }
+            if spins < 256 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamcore::Tuple;
+
+    fn mp(k: u32) -> MatchPair {
+        MatchPair { r: Tuple::new(k, 0), s: Tuple::new(k, 1) }
+    }
+
+    #[test]
+    fn deposit_take_roundtrip_keeps_the_running_total() {
+        let sink = ResultSink::default();
+        sink.deposit(vec![mp(1), mp(2)]);
+        assert_eq!(sink.received(), 2);
+        assert_eq!(sink.take().len(), 2);
+        // Draining does not rewind the total...
+        assert_eq!(sink.received(), 2);
+        sink.deposit(vec![mp(3)]);
+        assert_eq!(sink.received(), 3);
+        assert_eq!(sink.take().len(), 1, "...and only undrained results remain");
+    }
+
+    #[test]
+    fn empty_deposits_are_free() {
+        let sink = ResultSink::default();
+        sink.deposit(Vec::new());
+        assert_eq!(sink.received(), 0);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn await_received_returns_once_the_total_lands() {
+        let sink = std::sync::Arc::new(ResultSink::default());
+        let producer = std::sync::Arc::clone(&sink);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            producer.deposit(vec![mp(9)]);
+        });
+        sink.await_received(1).expect("deposit arrives well inside the deadline");
+        t.join().unwrap();
+        assert_eq!(sink.take().len(), 1);
+    }
+}

@@ -12,10 +12,16 @@
 //! implementations, the measurement harness) reaches the shared fields of
 //! any engine's config.
 
+//! # Environment overrides
+//!
+//! Every process-wide default below can be overridden from the
+//! environment; [`JoinConfig::from_env`] is the one documented entry
+//! point and holds the precedence table. Nothing else in the workspace
+//! parses these variables.
+
 use streamcore::JoinPredicate;
 
 use crate::fault::FaultPlan;
-use crate::splitjoin::default_batch_size;
 
 /// Data-path transport between the distribution thread, the join
 /// cores, and the collector.
@@ -119,6 +125,25 @@ pub fn default_partitioning() -> Partitioning {
     })
 }
 
+/// Default distribution batch size (tuples per batch message), used
+/// unless overridden by the `ACCEL_SW_BATCH` environment variable (CI
+/// runs the whole suite at `ACCEL_SW_BATCH=1` to prove batched and
+/// unbatched paths agree).
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// The process-wide default batch size: `ACCEL_SW_BATCH` when set to a
+/// positive integer, [`DEFAULT_BATCH_SIZE`] otherwise.
+pub fn default_batch_size() -> usize {
+    static SIZE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("ACCEL_SW_BATCH")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_BATCH_SIZE)
+    })
+}
+
 /// The configuration fields shared by every software join engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinConfig {
@@ -163,6 +188,15 @@ impl JoinConfig {
     /// An equi-join configuration with the SplitJoin channel defaults
     /// (capacity 1024, batch size [`default_batch_size`]) and no faults.
     ///
+    /// Identical to [`JoinConfig::from_env`] except that the fault plan
+    /// starts empty — `new` is the data-path constructor, and scripted
+    /// faults are opted into explicitly (or via `from_env`). The other
+    /// environment-overridable knobs (batch size, transport,
+    /// partitioning, kernel) *are* env-aware here too: CI runs entire
+    /// test suites under `ACCEL_SW_BATCH=1`, `ACCEL_SW_TRANSPORT=channel`
+    /// and `ACCEL_SW_KERNEL=scalar` precisely because every engine
+    /// spawned through this constructor picks the overrides up.
+    ///
     /// # Panics
     ///
     /// Panics if `num_cores` or `window_size` is zero.
@@ -182,6 +216,40 @@ impl JoinConfig {
             partitioning: default_partitioning(),
             kernel: default_kernel(),
         }
+    }
+
+    /// The fully environment-resolved configuration: every overridable
+    /// knob read from the process environment, exactly once, through
+    /// this one entry point. Engines, harnesses, and bench binaries go
+    /// through this (or [`JoinConfig::new`], which differs only in the
+    /// fault plan) instead of parsing variables themselves.
+    ///
+    /// Precedence is **builder > environment > built-in default**: a
+    /// `with_*` builder call (or direct field write) after construction
+    /// always wins over the environment, and the environment wins over
+    /// the built-in default.
+    ///
+    /// | Variable | Field | Values | Built-in default |
+    /// |---|---|---|---|
+    /// | `ACCEL_SW_BATCH` | [`batch_size`](JoinConfig::batch_size) | positive integer | [`DEFAULT_BATCH_SIZE`] (256) |
+    /// | `ACCEL_SW_TRANSPORT` | [`transport`](JoinConfig::transport) | `channel`, `ring` | [`Transport::Ring`] |
+    /// | `ACCEL_SW_PARTITIONING` | [`partitioning`](JoinConfig::partitioning) | `broadcast`, `hash` | [`Partitioning::Broadcast`] |
+    /// | `ACCEL_SW_KERNEL` | [`kernel`](JoinConfig::kernel) | `scalar`, `blocked` | [`Kernel::Blocked`] |
+    /// | `ACCEL_FAULTS` | [`fault_plan`](JoinConfig::fault_plan) | [`FaultPlan::parse`] spec | empty plan |
+    ///
+    /// Each variable is read once per process (the first resolution is
+    /// cached), so mutating the environment mid-run has no effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` or `window_size` is zero, or if a set
+    /// variable holds an unrecognized value — a typo must not silently
+    /// change what a whole CI leg measures.
+    pub fn from_env(num_cores: usize, window_size: usize) -> Self {
+        let mut config = Self::new(num_cores, window_size);
+        config.fault_plan = FaultPlan::from_env();
+        config.fault_plan.validate(num_cores);
+        config
     }
 
     /// Selects the data-path transport (see [`Transport`]).
@@ -354,6 +422,22 @@ mod tests {
         assert_eq!(config.kernel, Kernel::Scalar);
         // The default comes from the environment override hook.
         assert_eq!(JoinConfig::new(2, 8).kernel, default_kernel());
+    }
+
+    #[test]
+    fn from_env_matches_new_plus_the_env_fault_plan() {
+        // `from_env` and `new` resolve the same knobs from the same
+        // cached environment reads; the only divergence is the fault
+        // plan, which `from_env` takes from `ACCEL_FAULTS` (the empty
+        // plan when unset). Runs under any CI env leg unchanged.
+        let a = JoinConfig::from_env(4, 32);
+        let b = JoinConfig::new(4, 32);
+        assert_eq!(a.batch_size, b.batch_size);
+        assert_eq!(a.transport, b.transport);
+        assert_eq!(a.partitioning, b.partitioning);
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(a.fault_plan, FaultPlan::from_env());
+        assert_eq!(b.fault_plan, FaultPlan::none());
     }
 
     #[test]

@@ -208,7 +208,11 @@ pub struct HandshakeJoin {
     entry_s: Sender<ChainMsg>,
     workers: Vec<JoinHandle<(u64, Option<obs::trace::TraceRing>)>>,
     cells: Vec<Arc<WorkerCell>>,
-    collector: Option<JoinHandle<Vec<MatchPair>>>,
+    collector: Option<JoinHandle<()>>,
+    /// Shared deposit point the collector thread feeds and
+    /// [`HandshakeJoin::drain_results`] harvests; `None` when
+    /// counting-only.
+    sink: Option<Arc<crate::collect::ResultSink>>,
     batch_size: usize,
     /// Caller-side wave buffers, one per lane; drained on flush/shutdown.
     pending_r: RefCell<Vec<Wave>>,
@@ -251,9 +255,11 @@ impl LiveChain {
 /// Shutdown outcome of a [`HandshakeJoin`].
 #[derive(Debug, Clone, Default)]
 pub struct HandshakeOutcome {
-    /// All collected results (empty when counting only).
+    /// Collected results no mid-run [`HandshakeJoin::drain_results`]
+    /// call harvested (all of them when nothing drained; empty when
+    /// counting only).
     pub results: Vec<MatchPair>,
-    /// Total results observed.
+    /// Total results ever observed, including drained ones.
     pub result_count: u64,
     /// Sizes of the wave groups injected at the chain entries (tuples per
     /// message): `total()` is the number of entry messages.
@@ -279,20 +285,21 @@ impl HandshakeJoin {
     pub fn spawn(config: HandshakeConfig) -> Self {
         config.common.validate();
         let n = config.num_cores;
-        let (result_tx, collector) = if config.collect_results {
+        let (result_tx, collector, sink) = if config.collect_results {
             let (tx, rx) = bounded::<Vec<MatchPair>>(8_192);
+            let shared = Arc::new(crate::collect::ResultSink::default());
+            let dst = Arc::clone(&shared);
             (
                 Some(tx),
                 Some(std::thread::spawn(move || {
-                    let mut kept = Vec::new();
                     for chunk in rx.iter() {
-                        kept.extend(chunk);
+                        dst.deposit(chunk);
                     }
-                    kept
                 })),
+                Some(shared),
             )
         } else {
-            (None, None)
+            (None, None, None)
         };
 
         // Each core has one inbox per direction lane. Only the two entry
@@ -340,6 +347,7 @@ impl HandshakeJoin {
             workers,
             cells,
             collector,
+            sink,
             batch_size: config.batch_size,
             pending_r: RefCell::new(Vec::with_capacity(config.batch_size)),
             pending_s: RefCell::new(Vec::with_capacity(config.batch_size)),
@@ -472,6 +480,28 @@ impl HandshakeJoin {
         Ok(())
     }
 
+    /// Flushes the chain, then removes and returns every match produced
+    /// so far and not yet drained — see
+    /// [`StreamJoin::drain_results`](crate::streamjoin::StreamJoin::drain_results).
+    /// Counting-only runs return an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`HandshakeJoin::flush`]; additionally
+    /// [`JoinError::DrainStalled`] if the collector fails to catch up
+    /// with the cores' successful result handoffs.
+    pub fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        self.flush()?;
+        let Some(sink) = &self.sink else { return Ok(Vec::new()) };
+        let sent: u64 = self
+            .cells
+            .iter()
+            .map(|c| c.results_sent.load(Ordering::Acquire))
+            .sum();
+        sink.await_received(sent)?;
+        Ok(sink.take())
+    }
+
     /// Stops the chain and returns the accumulated outcome. Pending
     /// partial wave groups are injected first, so no submitted tuple is
     /// lost even without an explicit [`HandshakeJoin::flush`].
@@ -525,13 +555,16 @@ impl HandshakeJoin {
                 stats_so_far: self.cells[worker].snapshot(),
             });
         }
-        let (results, result_count) = match collected {
-            Some(Ok(results)) => {
-                let count = results.len() as u64;
-                (results, count)
+        let (results, result_count) = match (collected, self.sink) {
+            (Some(Ok(())), Some(sink)) => {
+                // `results` holds only what no mid-run drain harvested;
+                // the sink's running total is every match ever
+                // collected, so the count survives draining.
+                let count = sink.received();
+                (sink.take(), count)
             }
-            Some(Err(_)) => return Err(JoinError::CollectorPanicked),
-            None => (Vec::new(), counted),
+            (Some(Err(_)), _) => return Err(JoinError::CollectorPanicked),
+            _ => (Vec::new(), counted),
         };
         Ok(HandshakeOutcome {
             results,
@@ -558,6 +591,9 @@ impl crate::streamjoin::StreamJoin for HandshakeJoin {
     }
     fn flush(&self) -> Result<(), JoinError> {
         HandshakeJoin::flush(self)
+    }
+    fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        HandshakeJoin::drain_results(self)
     }
     fn shutdown(self) -> Result<HandshakeOutcome, JoinError> {
         HandshakeJoin::shutdown(self)
@@ -711,12 +747,7 @@ fn core_loop(
                             if results.is_some() {
                                 out.push(MatchPair { r, s });
                                 if out.len() >= RESULT_CHUNK {
-                                    let chunk = std::mem::take(&mut out);
-                                    let len = chunk.len() as u64;
-                                    if results.as_ref().expect("checked").send(chunk).is_err() {
-                                        cell.results_dropped.fetch_add(len, Ordering::Relaxed);
-                                        results = None;
-                                    }
+                                    hand_results(&mut results, cell, &mut out);
                                 }
                             }
                         }
@@ -787,16 +818,7 @@ fn core_loop(
                 }
             }
             ChainMsg::Flush(ack) => {
-                if let Some(tx) = &results {
-                    if !out.is_empty() {
-                        let chunk = std::mem::take(&mut out);
-                        let len = chunk.len() as u64;
-                        if tx.send(chunk).is_err() {
-                            cell.results_dropped.fetch_add(len, Ordering::Relaxed);
-                            results = None;
-                        }
-                    }
-                }
+                hand_results(&mut results, cell, &mut out);
                 let next = if from_r { &mut r_next } else { &mut s_next };
                 // At the exit end — or a severed link — acknowledge
                 // directly: the barrier covers the reachable chain.
@@ -817,16 +839,32 @@ fn core_loop(
         publish(cell, &stats);
         idle_since = obs::trace::now_ns();
     }
-    if let Some(tx) = &results {
-        if !out.is_empty() {
-            let len = out.len() as u64;
-            if tx.send(out).is_err() {
-                cell.results_dropped.fetch_add(len, Ordering::Relaxed);
-            }
-        }
-    }
+    hand_results(&mut results, cell, &mut out);
     publish(cell, &stats);
     (stats.matches, ring)
+}
+
+/// Hands the core's buffered result chunk to the collector, keeping the
+/// sent/dropped completeness accounting the drain barrier relies on
+/// (see `collect::ResultSink`). A dead collector degrades the core to
+/// counting — it doesn't kill it.
+fn hand_results(
+    results: &mut Option<Sender<Vec<MatchPair>>>,
+    cell: &WorkerCell,
+    out: &mut Vec<MatchPair>,
+) {
+    let Some(tx) = results else { return };
+    if out.is_empty() {
+        return;
+    }
+    let chunk = std::mem::take(out);
+    let n = chunk.len() as u64;
+    if tx.send(chunk).is_ok() {
+        cell.results_sent.fetch_add(n, Ordering::Release);
+    } else {
+        cell.results_dropped.fetch_add(n, Ordering::Relaxed);
+        *results = None;
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+mod collect;
 pub mod config;
 pub mod fault;
 pub mod handshake;
@@ -84,6 +85,33 @@ pub mod streamjoin;
 mod supervise;
 
 pub use accel_error::{JoinError, WorkerStats};
-pub use config::{default_kernel, default_partitioning, JoinConfig, JoinParams, Kernel, Partitioning};
+pub use config::{
+    default_batch_size, default_kernel, default_partitioning, default_transport, JoinConfig,
+    JoinParams, Kernel, Partitioning, Transport, DEFAULT_BATCH_SIZE,
+};
 pub use fault::{FaultEvent, FaultPlan, FaultReport};
 pub use streamjoin::{JoinSummary, StreamJoin};
+
+/// The convenient single import for driving the software joins: the
+/// unified trait surface, the shared configuration with its env-override
+/// story, the error vocabulary, and every engine type.
+///
+/// ```
+/// use joinsw::prelude::*;
+/// use streamcore::{StreamTag, Tuple};
+///
+/// let join = BaselineJoin::spawn(JoinConfig::new(1, 16));
+/// join.process(StreamTag::S, Tuple::new(1, 0)).unwrap();
+/// join.process(StreamTag::R, Tuple::new(1, 1)).unwrap();
+/// assert_eq!(join.drain_results().unwrap().len(), 1);
+/// join.shutdown().unwrap();
+/// ```
+pub mod prelude {
+    pub use crate::baseline::{BaselineJoin, NestedLoopJoin};
+    pub use crate::config::{JoinConfig, JoinParams, Kernel, Partitioning, Transport};
+    pub use crate::fault::{FaultEvent, FaultPlan, FaultReport};
+    pub use crate::handshake::{HandshakeConfig, HandshakeJoin, HandshakeOutcome};
+    pub use crate::splitjoin::{JoinOutcome, SplitJoin, SplitJoinConfig};
+    pub use crate::streamjoin::{JoinSummary, StreamJoin};
+    pub use accel_error::{JoinError, WorkerStats};
+}

@@ -168,11 +168,7 @@ const RESULT_RING_CAPACITY: usize = 8_192;
 /// spinning and yielding have not produced work.
 const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
-/// Default distribution batch size (tuples per batch message), used by
-/// [`SplitJoinConfig::new`] unless overridden by the `ACCEL_SW_BATCH`
-/// environment variable (CI runs the whole suite at `ACCEL_SW_BATCH=1`
-/// to prove batched and unbatched paths agree).
-pub const DEFAULT_BATCH_SIZE: usize = 256;
+pub use crate::config::{default_batch_size, DEFAULT_BATCH_SIZE};
 
 /// Default hot-key promotion factor (see
 /// [`SplitJoinConfig::hot_key_factor`]): a key is split once it exceeds
@@ -188,19 +184,6 @@ pub const DEFAULT_HOT_MIN_SAMPLE: u64 = 1_024;
 /// `1/(capacity+1)` traffic share is guaranteed tracked, far below the
 /// promotion threshold for any plausible core count.
 const SKETCH_CAPACITY: usize = 64;
-
-/// The process-wide default batch size: `ACCEL_SW_BATCH` when set to a
-/// positive integer, [`DEFAULT_BATCH_SIZE`] otherwise.
-pub fn default_batch_size() -> usize {
-    static SIZE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *SIZE.get_or_init(|| {
-        std::env::var("ACCEL_SW_BATCH")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(DEFAULT_BATCH_SIZE)
-    })
-}
 
 /// Join algorithm inside each worker (mirrors `joinhw::JoinAlgorithm`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -603,10 +586,12 @@ impl PartitionStats {
 /// Everything a [`SplitJoin`] leaves behind at shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct JoinOutcome {
-    /// All collected results (empty when configured counting-only).
+    /// Collected results no mid-run [`SplitJoin::drain_results`] call
+    /// harvested (all of them when nothing drained; empty when
+    /// configured counting-only).
     pub results: Vec<MatchPair>,
-    /// Total matches: the collector's tally, or the per-worker counters
-    /// folded together when counting-only.
+    /// Total matches ever collected — including drained ones — or the
+    /// per-worker counters folded together when counting-only.
     pub result_count: u64,
     /// Per-worker statistics, indexed by core position. A lost worker's
     /// entry is its last published snapshot.
@@ -1559,7 +1544,10 @@ type WorkerExit = (WorkerStats, KernelStats, Option<obs::trace::TraceRing>);
 pub struct SplitJoin {
     router: RefCell<Router>,
     workers: Vec<JoinHandle<WorkerExit>>,
-    collector: Option<JoinHandle<Vec<MatchPair>>>,
+    collector: Option<JoinHandle<()>>,
+    /// Shared deposit point the collector thread feeds and
+    /// [`SplitJoin::drain_results`] harvests; `None` when counting-only.
+    sink: Option<Arc<crate::collect::ResultSink>>,
     batch_size: usize,
     /// Which probe kernel the workers run — decides whether the outcome
     /// carries [`JoinOutcome::kernel_stats`].
@@ -1601,14 +1589,17 @@ impl SplitJoin {
         // Result path: one shared MPSC channel (channel transport) or
         // one dedicated SPSC ring per worker (ring transport).
         let mut collector = None;
+        let mut sink = None;
         let mut chan_results: Option<Sender<Vec<MatchPair>>> = None;
         let mut ring_results: Vec<Option<ResultsLane>> = Vec::new();
         if config.collect_results {
+            let shared = Arc::new(crate::collect::ResultSink::default());
             match transport {
                 Transport::Channel => {
                     let (tx, rx) = bounded::<Vec<MatchPair>>(1_024);
                     chan_results = Some(tx);
-                    collector = Some(std::thread::spawn(move || collector_loop(&rx)));
+                    let dst = Arc::clone(&shared);
+                    collector = Some(std::thread::spawn(move || collector_loop(&rx, &dst)));
                 }
                 Transport::Ring => {
                     let mut consumers = Vec::with_capacity(config.num_cores);
@@ -1617,9 +1608,12 @@ impl SplitJoin {
                         ring_results.push(Some(ResultsLane::Ring(tx)));
                         consumers.push(rx);
                     }
-                    collector = Some(std::thread::spawn(move || ring_collector_loop(consumers)));
+                    let dst = Arc::clone(&shared);
+                    collector =
+                        Some(std::thread::spawn(move || ring_collector_loop(consumers, &dst)));
                 }
             }
+            sink = Some(shared);
         }
 
         // Distribution path. The arena holds `channel_capacity + 2`
@@ -1720,6 +1714,7 @@ impl SplitJoin {
             }),
             workers,
             collector,
+            sink,
             batch_size: config.batch_size,
             kernel: config.kernel,
             pending: RefCell::new(Vec::with_capacity(config.batch_size)),
@@ -1802,6 +1797,36 @@ impl SplitJoin {
         self.router.borrow_mut().flush()
     }
 
+    /// Flushes, then removes and returns every match produced so far
+    /// and not yet drained — see
+    /// [`StreamJoin::drain_results`](crate::streamjoin::StreamJoin::drain_results).
+    /// Counting-only runs return an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`SplitJoin::flush`]; additionally
+    /// [`JoinError::DrainStalled`] if the collector fails to catch up
+    /// with the workers' successful result handoffs.
+    pub fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        self.flush()?;
+        let Some(sink) = &self.sink else { return Ok(Vec::new()) };
+        // The flush barrier guarantees every live worker has handed its
+        // buffered results to its lane; killed workers already accounted
+        // their unflushed buffers as `results_dropped`, never as sent.
+        // So the summed successful handoffs are exactly what must reach
+        // the sink.
+        let sent: u64 = {
+            let router = self.router.borrow();
+            router
+                .cells
+                .iter()
+                .map(|c| c.results_sent.load(Ordering::Acquire))
+                .sum()
+        };
+        sink.await_received(sent)?;
+        Ok(sink.take())
+    }
+
     /// Stops all threads and returns the accumulated outcome. Any
     /// buffered partial batch is drained first — workers never observe
     /// channel close with submitted-but-unsent tuples outstanding, so an
@@ -1872,14 +1897,17 @@ impl SplitJoin {
                 stats_so_far: router.cells[worker].snapshot(),
             });
         }
-        let (results, result_count) = match collected {
-            Some(Ok(results)) => {
-                let count = results.len() as u64;
-                (results, count)
+        let (results, result_count) = match (collected, self.sink) {
+            (Some(Ok(())), Some(sink)) => {
+                // `results` holds only what no mid-run drain harvested;
+                // the sink's running total is every match ever
+                // collected, so the count survives draining.
+                let count = sink.received();
+                (sink.take(), count)
             }
-            Some(Err(_)) => return Err(JoinError::CollectorPanicked),
+            (Some(Err(_)), _) => return Err(JoinError::CollectorPanicked),
             // Counting-only: fold the per-worker match counters.
-            None => (Vec::new(), worker_stats.iter().map(|w| w.matches).sum()),
+            _ => (Vec::new(), worker_stats.iter().map(|w| w.matches).sum()),
         };
         if let Some(ring) = router.ring.take() {
             if !ring.is_empty() {
@@ -1930,6 +1958,9 @@ impl crate::streamjoin::StreamJoin for SplitJoin {
     fn flush(&self) -> Result<(), JoinError> {
         SplitJoin::flush(self)
     }
+    fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        SplitJoin::drain_results(self)
+    }
     fn shutdown(self) -> Result<JoinOutcome, JoinError> {
         SplitJoin::shutdown(self)
     }
@@ -1953,25 +1984,25 @@ impl crate::streamjoin::JoinSummary for JoinOutcome {
     }
 }
 
-fn collector_loop(rx: &Receiver<Vec<MatchPair>>) -> Vec<MatchPair> {
-    let mut kept = Vec::new();
+fn collector_loop(rx: &Receiver<Vec<MatchPair>>, sink: &crate::collect::ResultSink) {
     for chunk in rx.iter() {
-        kept.extend(chunk);
+        sink.deposit(chunk);
     }
-    kept
 }
 
 /// Ring-transport result gathering: drains every worker's SPSC result
 /// ring round-robin until all of them disconnect (their producers drop
-/// when the workers exit).
-fn ring_collector_loop(mut rxs: Vec<RingConsumer<MatchPair>>) -> Vec<MatchPair> {
-    let mut kept = Vec::new();
+/// when the workers exit). Each sweep's harvest is deposited into the
+/// shared sink as one chunk, so a concurrent drain sees results land
+/// in batches, not one at a time.
+fn ring_collector_loop(mut rxs: Vec<RingConsumer<MatchPair>>, sink: &crate::collect::ResultSink) {
+    let mut scratch = Vec::new();
     let mut spins = 0u32;
     loop {
         let mut drained = 0usize;
         let mut open = false;
         for rx in &mut rxs {
-            match rx.pop_batch(&mut kept, usize::MAX) {
+            match rx.pop_batch(&mut scratch, usize::MAX) {
                 Ok(n) => {
                     drained += n;
                     open = true;
@@ -1980,8 +2011,11 @@ fn ring_collector_loop(mut rxs: Vec<RingConsumer<MatchPair>>) -> Vec<MatchPair> 
                 Err(PopError::Disconnected) => {}
             }
         }
+        if drained > 0 {
+            sink.deposit(std::mem::take(&mut scratch));
+        }
         if !open {
-            return kept;
+            return;
         }
         if drained == 0 {
             if spins < 256 {
@@ -2124,6 +2158,8 @@ fn send_result_chunk(
             if tx.send(chunk).is_err() {
                 cell.results_dropped.fetch_add(n, Ordering::Relaxed);
                 *results = None;
+            } else {
+                cell.results_sent.fetch_add(n, Ordering::Release);
             }
         }
         ResultsLane::Ring(tx) => {
@@ -2141,6 +2177,7 @@ fn send_result_chunk(
                         }
                     }
                     Ok(n) => {
+                        cell.results_sent.fetch_add(n as u64, Ordering::Release);
                         sent += n;
                         spins = 0;
                     }

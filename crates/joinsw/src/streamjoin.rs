@@ -110,6 +110,24 @@ pub trait StreamJoin: Sized {
     /// See [`StreamJoin::process`].
     fn flush(&self) -> Result<(), JoinError>;
 
+    /// Flushes, then removes and returns every match produced so far
+    /// and not yet drained — the mid-run harvest the continuous-query
+    /// runtime fans out to standing queries while the engine keeps
+    /// streaming. Counting-only engines return an empty vector; the
+    /// outcome's [`JoinSummary::result_count`] still reports the total
+    /// ever produced (drained + returned at shutdown), while
+    /// [`JoinSummary::results`] holds only the undrained remainder.
+    ///
+    /// Mirrors the `drain_results` verb the `joinhw` hardware
+    /// simulations have always exposed.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamJoin::process`]; additionally
+    /// [`JoinError::DrainStalled`] if the engine's collector fails to
+    /// catch up with the workers' handoff accounting.
+    fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError>;
+
     /// Stops the engine and returns the accumulated outcome.
     ///
     /// # Errors

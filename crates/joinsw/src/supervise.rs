@@ -59,6 +59,10 @@ pub(crate) struct WorkerCell {
     pub(crate) drops: AtomicU64,
     /// Buffered matches lost to an abrupt exit or a dead collector.
     pub(crate) results_dropped: AtomicU64,
+    /// Matches successfully handed to this worker's result lane — the
+    /// drain barrier compares the sum of these against the collector
+    /// sink's received total (see `collect::ResultSink`).
+    pub(crate) results_sent: AtomicU64,
     /// Orphans adopted from a dead sibling's replica.
     pub(crate) adopted: AtomicU64,
     /// Window tuples this worker's death (or a severed link next to it)

@@ -1,0 +1,795 @@
+//! Compiling logical plans onto the join fabric.
+//!
+//! [`compile`] takes a [`LogicalPlan`], validates it against a
+//! [`Catalog`] by lowering it to an `fqp` query and reusing
+//! [`fqp::plan::bind`] (unknown streams and fields surface as the same
+//! typed [`PlanError`]s the flexible query processor reports), checks
+//! that the plan is *representable* on the software engines (64-bit
+//! tuples: at most two ≤32-bit fields per stream, join key first), and
+//! then chooses an engine by running [`fqp::placement::place`] over
+//! engine-calibrated [`SiteProfile`]s.
+//!
+//! The output is a [`CompiledQuery`]: the bound `fqp` plan, the
+//! placement decision, the chosen [`EngineKind`], and the
+//! [`PostPipeline`] of bound post-join conditions and projection indices
+//! the runtime applies to each match the shared engine emits.
+
+use std::fmt;
+
+use fqp::placement::{place, Objective, Placement, SiteKind, SiteProfile};
+use fqp::plan::{bind, BoundCondition, Catalog, Plan, PlanError, PlanOp};
+use fqp::query::{AggFunc, Condition, JoinClause, Projection, Query, WindowKind};
+
+use crate::logical::LogicalPlan;
+
+/// Which physical engine a compiled query runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Single-stream pipeline executed inline by the runtime (no join).
+    Inline,
+    /// Single-threaded nested-loop baseline.
+    Baseline,
+    /// Multithreaded SplitJoin router (uni-flow).
+    Split,
+    /// Handshake join chain (bi-flow).
+    Handshake,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EngineKind::Inline => "inline",
+            EngineKind::Baseline => "baseline",
+            EngineKind::Split => "splitjoin",
+            EngineKind::Handshake => "handshake",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The sharing key of a windowed join: every standing query over the
+/// same stream pair and window shares one physical engine, because
+/// windows hold raw arrivals (filters prune match output, not window
+/// contents).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey {
+    /// Left (`R`) stream name.
+    pub left: String,
+    /// Right (`S`) stream name.
+    pub right: String,
+    /// Per-stream window size in tuples.
+    pub window: usize,
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⋈{}/w{}", self.left, self.right, self.window)
+    }
+}
+
+/// Errors produced while compiling a [`LogicalPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Binding against the catalog failed (unknown stream/field, …) —
+    /// the same typed error `fqp::plan::bind` reports.
+    Plan(PlanError),
+    /// The logical tree has a shape the fabric cannot run.
+    UnsupportedShape {
+        /// What was wrong, human-readable.
+        what: String,
+    },
+    /// The plan bound cleanly but cannot be represented on the 64-bit
+    /// tuple engines.
+    Unrepresentable {
+        /// The offending stream.
+        stream: String,
+        /// Why it does not fit.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Plan(e) => write!(f, "{e}"),
+            CompileError::UnsupportedShape { what } => {
+                write!(f, "unsupported plan shape: {what}")
+            }
+            CompileError::Unrepresentable { stream, reason } => {
+                write!(f, "stream {stream:?} does not fit the join engines: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<PlanError> for CompileError {
+    fn from(e: PlanError) -> Self {
+        CompileError::Plan(e)
+    }
+}
+
+/// The bound post-join (or post-source) pipeline the runtime applies to
+/// each record: a conjunction of conditions over the *unprojected*
+/// record, then an optional projection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PostPipeline {
+    /// Bound conditions over the full (joined) record.
+    pub conditions: Vec<BoundCondition>,
+    /// Output field indices into the full record (`None` = keep all).
+    pub projection: Option<Vec<usize>>,
+}
+
+impl PostPipeline {
+    /// Runs the pipeline on one record's field values: `None` when a
+    /// condition rejects it, otherwise the projected output row.
+    pub fn apply(&self, values: &[u64]) -> Option<Vec<u64>> {
+        if !self.conditions.iter().all(|c| c.eval(values)) {
+            return None;
+        }
+        Some(match &self.projection {
+            Some(idx) => idx.iter().map(|&i| values[i]).collect(),
+            None => values.to_vec(),
+        })
+    }
+}
+
+/// A windowed-aggregate spec for single-stream queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Aggregated field index (`None` for `COUNT`).
+    pub field: Option<usize>,
+    /// Window size in tuples.
+    pub window: usize,
+    /// Sliding or tumbling advancement.
+    pub kind: WindowKind,
+}
+
+/// The physical shape of a compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// Single-stream filter/project/aggregate pipeline, executed inline
+    /// by the runtime on each arrival.
+    Single {
+        /// The input stream.
+        stream: String,
+        /// Arity of the stream's schema (1 or 2 engine-tuple fields).
+        arity: usize,
+        /// Filter + projection over the arrival record.
+        post: PostPipeline,
+        /// Windowed aggregate, if any (applied after the filter).
+        aggregate: Option<AggSpec>,
+    },
+    /// Windowed equi-join executed on a shared physical engine; the
+    /// runtime fans each match through the post pipeline.
+    Joined {
+        /// The engine-sharing key.
+        key: GroupKey,
+        /// Arity of the left stream's schema.
+        left_arity: usize,
+        /// Arity of the right stream's schema.
+        right_arity: usize,
+        /// Filter + projection over the joined record.
+        post: PostPipeline,
+    },
+}
+
+/// A logical plan compiled onto the fabric.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The source logical plan.
+    pub logical: LogicalPlan,
+    /// The bound `fqp` plan (validation artifact; drives placement and
+    /// `EXPLAIN`).
+    pub plan: Plan,
+    /// The placement decision over the engine-calibrated sites.
+    pub placement: Placement,
+    /// The chosen engine.
+    pub engine: EngineKind,
+    /// The physical shape the runtime executes.
+    pub shape: Shape,
+}
+
+impl CompiledQuery {
+    /// The engine-sharing key, for joined queries.
+    pub fn group(&self) -> Option<&GroupKey> {
+        match &self.shape {
+            Shape::Joined { key, .. } => Some(key),
+            Shape::Single { .. } => None,
+        }
+    }
+
+    /// An `EXPLAIN`-style rendering: the bound pipeline plus the engine
+    /// decision.
+    pub fn explain(&self) -> String {
+        format!("{}  Engine: {}\n", self.plan.explain(), self.engine)
+    }
+}
+
+/// The canonical decomposition of a supported logical tree.
+struct Normalized<'a> {
+    conditions: Vec<Condition>,
+    projection: Option<Vec<String>>,
+    aggregate: Option<(AggFunc, Option<String>, usize, WindowKind)>,
+    from: &'a LogicalPlan,
+}
+
+fn unsupported(what: impl Into<String>) -> CompileError {
+    CompileError::UnsupportedShape { what: what.into() }
+}
+
+/// Walks the operator chain above the source/join, enforcing the
+/// canonical order Aggregate|Project → Filter* → Source|WindowJoin.
+fn normalize(plan: &LogicalPlan) -> Result<Normalized<'_>, CompileError> {
+    let mut n = Normalized {
+        conditions: Vec::new(),
+        projection: None,
+        aggregate: None,
+        from: plan,
+    };
+    let mut node = plan;
+    loop {
+        match node {
+            LogicalPlan::Filter { input, conditions } => {
+                n.conditions.extend(conditions.iter().cloned());
+                node = input;
+            }
+            LogicalPlan::Project { input, fields } => {
+                if n.projection.is_some() {
+                    return Err(unsupported("more than one projection"));
+                }
+                if !n.conditions.is_empty() {
+                    return Err(unsupported(
+                        "projection below a filter (filter first, then project)",
+                    ));
+                }
+                if n.aggregate.is_some() {
+                    return Err(unsupported("projection below an aggregate"));
+                }
+                n.projection = Some(fields.clone());
+                node = input;
+            }
+            LogicalPlan::Aggregate {
+                input,
+                func,
+                field,
+                window,
+                kind,
+            } => {
+                if n.aggregate.is_some() {
+                    return Err(unsupported("nested aggregates"));
+                }
+                if n.projection.is_some() || !n.conditions.is_empty() {
+                    return Err(unsupported(
+                        "aggregate must be the topmost operator of its pipeline",
+                    ));
+                }
+                n.aggregate = Some((*func, field.clone(), *window, *kind));
+                node = input;
+            }
+            LogicalPlan::Source { .. } | LogicalPlan::WindowJoin { .. } => {
+                n.from = node;
+                return Ok(n);
+            }
+        }
+    }
+}
+
+/// Requires a join input to be a bare source: filters below the join
+/// would make window contents query-specific and defeat engine sharing.
+fn source_name(node: &LogicalPlan, side: &str) -> Result<String, CompileError> {
+    match node {
+        LogicalPlan::Source { stream } => Ok(stream.clone()),
+        LogicalPlan::Filter { .. } => Err(unsupported(format!(
+            "filter below the {side} side of a join — windows run over raw \
+             arrivals (CQL semantics); apply filters above the join instead",
+        ))),
+        other => Err(unsupported(format!(
+            "the {side} side of a join must be a source stream, not {other:?}",
+        ))),
+    }
+}
+
+/// Engine-calibrated execution sites, in [`EngineKind`] decoding order:
+/// baseline, splitjoin (scaled by `cores`), handshake chain.
+///
+/// Throughputs are order-of-magnitude calibrations from this repo's own
+/// software measurements (Figs. 14d/16 harnesses); they exist to make
+/// [`place`] pick the *right* engine for an objective, not to predict
+/// absolute numbers.
+pub fn engine_sites(cores: usize) -> Vec<SiteProfile> {
+    let cores = cores.max(1) as f64;
+    vec![
+        SiteProfile {
+            name: "baseline (1 core, nested loop)".into(),
+            kind: SiteKind::Cpu,
+            filter_tps: 50e6,
+            join_tps_per_1k_window: 1.2e6,
+            aggregate_tps: 30e6,
+            // Synchronous full-window probe per tuple.
+            tuple_latency_us: 20.0,
+            transfer_latency_us: 0.0,
+        },
+        SiteProfile {
+            name: "splitjoin router".into(),
+            kind: SiteKind::Cpu,
+            filter_tps: 50e6,
+            join_tps_per_1k_window: 0.9e6 * cores,
+            aggregate_tps: 30e6,
+            // Batched distribution and collection trade latency for
+            // throughput.
+            tuple_latency_us: 8.0,
+            transfer_latency_us: 0.5,
+        },
+        SiteProfile {
+            name: "handshake chain".into(),
+            kind: SiteKind::Cpu,
+            filter_tps: 50e6,
+            join_tps_per_1k_window: 0.6e6 * cores,
+            aggregate_tps: 30e6,
+            // Low-latency fast-forwarding through the chain.
+            tuple_latency_us: 2.0,
+            transfer_latency_us: 0.5,
+        },
+    ]
+}
+
+fn engine_of_site(site: usize) -> EngineKind {
+    match site {
+        0 => EngineKind::Baseline,
+        1 => EngineKind::Split,
+        _ => EngineKind::Handshake,
+    }
+}
+
+/// Compiles `logical` against `catalog` for a worker pool of `cores`
+/// threads, optimizing for `objective`.
+///
+/// # Errors
+///
+/// [`CompileError::Plan`] when binding fails (unknown stream or field),
+/// [`CompileError::UnsupportedShape`] for trees the fabric cannot run,
+/// and [`CompileError::Unrepresentable`] when a stream's schema does
+/// not fit the 64-bit engine tuple.
+pub fn compile(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    cores: usize,
+    objective: Objective,
+) -> Result<CompiledQuery, CompileError> {
+    let n = normalize(logical)?;
+    match n.from {
+        LogicalPlan::Source { stream } => compile_single(logical, catalog, cores, objective, &n, stream),
+        LogicalPlan::WindowJoin {
+            left,
+            right,
+            on,
+            window,
+        } => {
+            if n.aggregate.is_some() {
+                return Err(unsupported("aggregate over a join"));
+            }
+            let left = source_name(left, "left")?;
+            let right = source_name(right, "right")?;
+            if left == right {
+                return Err(unsupported(format!("self-join of stream {left:?}")));
+            }
+            compile_joined(
+                logical, catalog, cores, objective, &n, &left, &right, on, *window,
+            )
+        }
+        _ => unreachable!("normalize returns only sources and joins"),
+    }
+}
+
+fn compile_single(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    cores: usize,
+    objective: Objective,
+    n: &Normalized<'_>,
+    stream: &str,
+) -> Result<CompiledQuery, CompileError> {
+    let query = Query {
+        select: match (&n.projection, &n.aggregate) {
+            (Some(fields), _) => Projection::Fields(fields.clone()),
+            _ => Projection::All,
+        },
+        from: stream.to_string(),
+        conditions: n.conditions.clone(),
+        where_expr: None,
+        join: None,
+        aggregate: n.aggregate.as_ref().map(|(func, field, window, kind)| {
+            fqp::query::AggregateClause {
+                func: *func,
+                field: field.clone(),
+                window: *window,
+                kind: *kind,
+            }
+        }),
+    };
+    let plan = bind(&query, catalog)?;
+    let schema = catalog.schema(stream).expect("bind resolved the stream");
+    check_engine_tuple(stream, schema)?;
+
+    // Bind the post pipeline against the *source* record: conditions and
+    // projection both see the raw arrival.
+    let mut post = PostPipeline::default();
+    for c in &query.conditions {
+        post.conditions.push(bind_against(c, schema, stream)?);
+    }
+    let mut aggregate = None;
+    if let Some(PlanOp::Aggregate {
+        func,
+        field,
+        window,
+        kind,
+    }) = plan.ops.iter().find(|op| matches!(op, PlanOp::Aggregate { .. }))
+    {
+        aggregate = Some(AggSpec {
+            func: *func,
+            field: *field,
+            window: *window,
+            kind: *kind,
+        });
+    } else if let Some(PlanOp::Project { fields }) =
+        plan.ops.iter().find(|op| matches!(op, PlanOp::Project { .. }))
+    {
+        post.projection = Some(fields.clone());
+    }
+
+    let placement = place(&plan, &engine_sites(cores), objective);
+    Ok(CompiledQuery {
+        logical: logical.clone(),
+        plan,
+        placement,
+        engine: EngineKind::Inline,
+        shape: Shape::Single {
+            stream: stream.to_string(),
+            arity: schema.arity(),
+            post,
+            aggregate,
+        },
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_joined(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    cores: usize,
+    objective: Objective,
+    n: &Normalized<'_>,
+    left: &str,
+    right: &str,
+    on: &str,
+    window: usize,
+) -> Result<CompiledQuery, CompileError> {
+    // Lower to an fqp query *without* the filter conditions: fqp binds
+    // conditions against the primary stream pre-join, while the standing
+    // query's CQL semantics filter the joined record. The join itself,
+    // the streams, and the projection are validated by the same bind.
+    let query = Query {
+        select: match &n.projection {
+            Some(fields) => Projection::Fields(fields.clone()),
+            None => Projection::All,
+        },
+        from: left.to_string(),
+        conditions: Vec::new(),
+        where_expr: None,
+        join: Some(JoinClause {
+            stream: right.to_string(),
+            on: on.to_string(),
+            window,
+        }),
+        aggregate: None,
+    };
+    let plan = bind(&query, catalog)?;
+
+    let left_schema = catalog.schema(left).expect("bind resolved the stream");
+    let right_schema = catalog.schema(right).expect("bind resolved the stream");
+    check_engine_tuple(left, left_schema)?;
+    check_engine_tuple(right, right_schema)?;
+
+    // The engines join on the tuple's 32-bit key, which is field 0.
+    let Some(&PlanOp::Join {
+        key_left,
+        key_right,
+        ..
+    }) = plan.ops.iter().find(|op| matches!(op, PlanOp::Join { .. }))
+    else {
+        unreachable!("joined query always binds a Join op");
+    };
+    for (stream, key) in [(left, key_left), (right, key_right)] {
+        if key != 0 {
+            return Err(CompileError::Unrepresentable {
+                stream: stream.to_string(),
+                reason: format!(
+                    "join key {on:?} is field {key}, but the engine tuple \
+                     joins on its first field"
+                ),
+            });
+        }
+    }
+
+    // The post pipeline binds against the full joined record, so rebind
+    // with `SELECT *` to recover the pre-projection schema.
+    let joined_schema = bind(
+        &Query {
+            select: Projection::All,
+            ..query.clone()
+        },
+        catalog,
+    )?
+    .output_schema;
+    let mut post = PostPipeline::default();
+    for c in &n.conditions {
+        post.conditions.push(bind_against(c, &joined_schema, "joined record")?);
+    }
+    if let Some(PlanOp::Project { fields }) =
+        plan.ops.iter().find(|op| matches!(op, PlanOp::Project { .. }))
+    {
+        post.projection = Some(fields.clone());
+    }
+
+    let sites = engine_sites(cores);
+    let placement = place(&plan, &sites, objective);
+    let join_pos = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, PlanOp::Join { .. }))
+        .expect("joined plan has a join op");
+    let engine = engine_of_site(placement.sites[join_pos]);
+
+    Ok(CompiledQuery {
+        logical: logical.clone(),
+        plan,
+        placement,
+        engine,
+        shape: Shape::Joined {
+            key: GroupKey {
+                left: left.to_string(),
+                right: right.to_string(),
+                window,
+            },
+            left_arity: left_schema.arity(),
+            right_arity: right_schema.arity(),
+            post,
+        },
+    })
+}
+
+/// A stream fits the engines when its schema is one or two fields of at
+/// most 32 bits each: field 0 maps to the tuple's join key, field 1 to
+/// its payload.
+fn check_engine_tuple(stream: &str, schema: &streamcore::Schema) -> Result<(), CompileError> {
+    if schema.arity() > 2 {
+        return Err(CompileError::Unrepresentable {
+            stream: stream.to_string(),
+            reason: format!(
+                "{} fields, but the 64-bit engine tuple carries at most 2",
+                schema.arity()
+            ),
+        });
+    }
+    for f in schema.fields() {
+        if f.width_bits() > 32 {
+            return Err(CompileError::Unrepresentable {
+                stream: stream.to_string(),
+                reason: format!(
+                    "field {:?} is {} bits wide, but engine tuple halves are 32",
+                    f.name(),
+                    f.width_bits()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn bind_against(
+    c: &Condition,
+    schema: &streamcore::Schema,
+    context: &str,
+) -> Result<BoundCondition, CompileError> {
+    let field = schema
+        .index_of(&c.field)
+        .ok_or_else(|| PlanError::UnknownField {
+            field: c.field.clone(),
+            context: context.to_string(),
+        })?;
+    Ok(BoundCondition {
+        field,
+        op: c.op,
+        value: c.value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqp::query::CmpOp;
+    use streamcore::{Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_spec("trades=sym:32,qty:32").unwrap();
+        c.register_spec("quotes=sym:32,px:32").unwrap();
+        c.register_spec("heartbeats=node:32").unwrap();
+        c.register(
+            "wide",
+            Schema::new(vec![
+                Field::new("sym", 32).unwrap(),
+                Field::new("b", 32).unwrap(),
+                Field::new("c", 32).unwrap(),
+            ])
+            .unwrap(),
+        );
+        c
+    }
+
+    fn joined() -> LogicalPlan {
+        LogicalPlan::source("trades").join(LogicalPlan::source("quotes"), "sym", 64)
+    }
+
+    #[test]
+    fn joined_query_compiles_to_a_shared_group() {
+        let q = compile(
+            &joined().filter("qty", CmpOp::Gt, 10).filter("px", CmpOp::Lt, 50),
+            &catalog(),
+            4,
+            Objective::MaxThroughput,
+        )
+        .unwrap();
+        let Shape::Joined {
+            key,
+            left_arity,
+            right_arity,
+            post,
+        } = &q.shape
+        else {
+            panic!("expected joined shape, got {:?}", q.shape);
+        };
+        assert_eq!(key.to_string(), "trades⋈quotes/w64");
+        assert_eq!((*left_arity, *right_arity), (2, 2));
+        // qty is field 1 of trades; px is field 3 of the joined record.
+        assert_eq!(post.conditions[0].field, 1);
+        assert_eq!(post.conditions[1].field, 3);
+        assert_eq!(q.engine, EngineKind::Split, "{}", q.explain());
+    }
+
+    #[test]
+    fn projection_binds_against_the_joined_record() {
+        let q = compile(
+            &joined().project(["qty", "px"]),
+            &catalog(),
+            2,
+            Objective::MaxThroughput,
+        )
+        .unwrap();
+        let Shape::Joined { post, .. } = &q.shape else {
+            panic!("expected joined shape");
+        };
+        assert_eq!(post.projection, Some(vec![1, 3]));
+        assert_eq!(post.apply(&[7, 100, 7, 42]), Some(vec![100, 42]));
+    }
+
+    #[test]
+    fn objectives_pick_different_engines() {
+        let latency = compile(&joined(), &catalog(), 4, Objective::MinLatency).unwrap();
+        assert_eq!(latency.engine, EngineKind::Handshake, "{}", latency.explain());
+        let single_core = compile(&joined(), &catalog(), 1, Objective::MaxThroughput).unwrap();
+        assert_eq!(single_core.engine, EngineKind::Baseline);
+    }
+
+    #[test]
+    fn unknown_streams_and_fields_reuse_fqp_plan_errors() {
+        let cat = catalog();
+        let e = compile(
+            &LogicalPlan::source("nope").filter("x", CmpOp::Eq, 1),
+            &cat,
+            2,
+            Objective::MaxThroughput,
+        )
+        .unwrap_err();
+        assert!(matches!(e, CompileError::Plan(PlanError::UnknownStream { .. })), "{e}");
+
+        let e = compile(
+            &joined().filter("volume", CmpOp::Gt, 1),
+            &cat,
+            2,
+            Objective::MaxThroughput,
+        )
+        .unwrap_err();
+        assert!(matches!(e, CompileError::Plan(PlanError::UnknownField { .. })), "{e}");
+        assert!(e.to_string().contains("volume"));
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected_with_reasons() {
+        let cat = catalog();
+        let below = LogicalPlan::source("trades")
+            .filter("qty", CmpOp::Gt, 1)
+            .join(LogicalPlan::source("quotes"), "sym", 8);
+        let e = compile(&below, &cat, 2, Objective::MaxThroughput).unwrap_err();
+        assert!(e.to_string().contains("raw arrivals"), "{e}");
+
+        let selfjoin = LogicalPlan::source("trades").join(LogicalPlan::source("trades"), "sym", 8);
+        let e = compile(&selfjoin, &cat, 2, Objective::MaxThroughput).unwrap_err();
+        assert!(e.to_string().contains("self-join"), "{e}");
+
+        let agg_over_join = joined().aggregate(AggFunc::Count, None, 8, WindowKind::Sliding);
+        let e = compile(&agg_over_join, &cat, 2, Objective::MaxThroughput).unwrap_err();
+        assert!(e.to_string().contains("aggregate over a join"), "{e}");
+    }
+
+    #[test]
+    fn unrepresentable_schemas_are_rejected() {
+        let cat = catalog();
+        let wide = LogicalPlan::source("wide").join(LogicalPlan::source("quotes"), "sym", 8);
+        let e = compile(&wide, &cat, 2, Objective::MaxThroughput).unwrap_err();
+        assert!(
+            matches!(e, CompileError::Unrepresentable { ref stream, .. } if stream == "wide"),
+            "{e}"
+        );
+
+        // Join key must be field 0 on both sides: px is field 1 of quotes.
+        let mut cat2 = Catalog::new();
+        cat2.register_spec("a=px:32,sym:32").unwrap();
+        cat2.register_spec("b=sym:32,px:32").unwrap();
+        let q = LogicalPlan::source("a").join(LogicalPlan::source("b"), "px", 8);
+        let e = compile(&q, &cat2, 2, Objective::MaxThroughput).unwrap_err();
+        assert!(e.to_string().contains("first field"), "{e}");
+    }
+
+    #[test]
+    fn single_stream_pipeline_compiles_inline() {
+        let q = compile(
+            &LogicalPlan::source("trades")
+                .filter("qty", CmpOp::Ge, 5)
+                .project(["qty"]),
+            &catalog(),
+            2,
+            Objective::MaxThroughput,
+        )
+        .unwrap();
+        assert_eq!(q.engine, EngineKind::Inline);
+        let Shape::Single { post, aggregate, .. } = &q.shape else {
+            panic!("expected single shape");
+        };
+        assert!(aggregate.is_none());
+        assert_eq!(post.apply(&[1, 7]), Some(vec![7]));
+        assert_eq!(post.apply(&[1, 3]), None);
+    }
+
+    #[test]
+    fn single_stream_aggregate_compiles() {
+        let q = compile(
+            &LogicalPlan::source("heartbeats").aggregate(
+                AggFunc::Count,
+                None,
+                16,
+                WindowKind::Tumbling,
+            ),
+            &catalog(),
+            2,
+            Objective::MaxThroughput,
+        )
+        .unwrap();
+        let Shape::Single { aggregate, .. } = &q.shape else {
+            panic!("expected single shape");
+        };
+        assert_eq!(
+            aggregate,
+            &Some(AggSpec {
+                func: AggFunc::Count,
+                field: None,
+                window: 16,
+                kind: WindowKind::Tumbling,
+            })
+        );
+    }
+}

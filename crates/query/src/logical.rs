@@ -1,0 +1,337 @@
+//! Logical plans for standing queries.
+//!
+//! A [`LogicalPlan`] is the tree a client builds programmatically —
+//! sources, filters, projections, window joins, and windowed aggregates
+//! over *named* streams — before handing it to
+//! [`compile`](crate::compile::compile) to be validated against a
+//! [`Catalog`](fqp::plan::Catalog) and lowered onto a join engine.
+//!
+//! The builder is fluent and order-enforcing only at compile time: you
+//! can construct any tree here, and the compiler rejects shapes the
+//! fabric cannot run with a typed
+//! [`CompileError`](crate::compile::CompileError) rather than a panic.
+//!
+//! # Semantics: windows over raw arrivals
+//!
+//! Filters and projections above a [`LogicalPlan::WindowJoin`] apply to
+//! the *joined* record, CQL-style: the join windows always hold the last
+//! `window` raw arrivals of each stream, and predicates prune match
+//! output, not window contents. This is what lets the runtime share one
+//! physical join engine between every standing query over the same
+//! stream pair — see [`QueryRuntime`](crate::runtime::QueryRuntime).
+//!
+//! ```
+//! use query::logical::LogicalPlan;
+//! use fqp::query::CmpOp;
+//!
+//! let plan = LogicalPlan::source("trades")
+//!     .join(LogicalPlan::source("quotes"), "sym", 1024)
+//!     .filter("qty", CmpOp::Gt, 10)
+//!     .project(["qty", "px"]);
+//! assert_eq!(plan.to_string(),
+//!     "SELECT qty, px FROM trades JOIN quotes ON sym WINDOW 1024 WHERE qty > 10");
+//! ```
+
+use std::fmt;
+
+use fqp::query::{AggFunc, CmpOp, Condition, WindowKind};
+
+/// A logical standing-query plan over named streams.
+///
+/// Build one with the fluent constructors ([`LogicalPlan::source`],
+/// [`LogicalPlan::filter`], [`LogicalPlan::project`],
+/// [`LogicalPlan::join`], [`LogicalPlan::aggregate`]), then compile it
+/// with [`compile`](crate::compile::compile) or admit it directly into a
+/// [`QueryRuntime`](crate::runtime::QueryRuntime).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// A named input stream (resolved against the catalog at compile
+    /// time).
+    Source {
+        /// Stream name, case-insensitive.
+        stream: String,
+    },
+    /// Keep only records satisfying a conjunction of comparisons.
+    Filter {
+        /// The input plan.
+        input: Box<LogicalPlan>,
+        /// Conjunctive conditions, evaluated left to right.
+        conditions: Vec<Condition>,
+    },
+    /// Keep only the named fields, in order.
+    Project {
+        /// The input plan.
+        input: Box<LogicalPlan>,
+        /// Output field names.
+        fields: Vec<String>,
+    },
+    /// Sliding-window equi-join of two streams on a shared key field.
+    WindowJoin {
+        /// Left (primary, `R`) input.
+        left: Box<LogicalPlan>,
+        /// Right (secondary, `S`) input.
+        right: Box<LogicalPlan>,
+        /// Join key field name (must exist on both sides).
+        on: String,
+        /// Per-stream window size in tuples.
+        window: usize,
+    },
+    /// Windowed aggregate over a single stream.
+    Aggregate {
+        /// The input plan.
+        input: Box<LogicalPlan>,
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated field (`None` for `COUNT(*)`).
+        field: Option<String>,
+        /// Window size in tuples.
+        window: usize,
+        /// Sliding (emit per record) or tumbling (emit per full window).
+        kind: WindowKind,
+    },
+}
+
+impl LogicalPlan {
+    /// Starts a plan from a named stream.
+    pub fn source(stream: impl Into<String>) -> Self {
+        LogicalPlan::Source {
+            stream: stream.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Adds one comparison to the plan's filter conjunction.
+    ///
+    /// Consecutive `filter` calls merge into a single conjunction rather
+    /// than nesting.
+    pub fn filter(self, field: impl Into<String>, op: CmpOp, value: u64) -> Self {
+        let cond = Condition {
+            field: field.into().to_ascii_lowercase(),
+            op,
+            value,
+        };
+        match self {
+            LogicalPlan::Filter {
+                input,
+                mut conditions,
+            } => {
+                conditions.push(cond);
+                LogicalPlan::Filter { input, conditions }
+            }
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                conditions: vec![cond],
+            },
+        }
+    }
+
+    /// Projects the plan onto the named fields.
+    pub fn project<I, S>(self, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            fields: fields
+                .into_iter()
+                .map(|f| f.into().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Window-joins this plan (as the left/`R` side) with `right` on the
+    /// shared key field `on`, with per-stream windows of `window`
+    /// tuples.
+    pub fn join(self, right: LogicalPlan, on: impl Into<String>, window: usize) -> Self {
+        LogicalPlan::WindowJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on.into().to_ascii_lowercase(),
+            window,
+        }
+    }
+
+    /// Applies a windowed aggregate (`None` field means `COUNT(*)`).
+    pub fn aggregate(
+        self,
+        func: AggFunc,
+        field: Option<&str>,
+        window: usize,
+        kind: WindowKind,
+    ) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            func,
+            field: field.map(str::to_ascii_lowercase),
+            window,
+            kind,
+        }
+    }
+
+    /// The names of every source stream in the tree, in left-to-right
+    /// order.
+    pub fn source_streams(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_sources(&mut out);
+        out
+    }
+
+    fn collect_sources<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LogicalPlan::Source { stream } => out.push(stream),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.collect_sources(out),
+            LogicalPlan::WindowJoin { left, right, .. } => {
+                left.collect_sources(out);
+                right.collect_sources(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    /// Renders the plan as the CQL-ish text the `fqp` parser accepts
+    /// (for canonical tree shapes), or a best-effort rendering
+    /// otherwise. Used in manifests and error messages.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decompose the tree into the canonical clauses.
+        let mut conditions: Vec<&Condition> = Vec::new();
+        let mut projection: Option<&[String]> = None;
+        let mut aggregate = None;
+        let mut node = self;
+        loop {
+            match node {
+                LogicalPlan::Filter {
+                    input,
+                    conditions: c,
+                } => {
+                    conditions.extend(c.iter());
+                    node = input;
+                }
+                LogicalPlan::Project { input, fields } => {
+                    projection = Some(fields);
+                    node = input;
+                }
+                LogicalPlan::Aggregate {
+                    input,
+                    func,
+                    field,
+                    window,
+                    kind,
+                } => {
+                    aggregate = Some((func, field, window, kind));
+                    node = input;
+                }
+                _ => break,
+            }
+        }
+        match (projection, aggregate) {
+            (_, Some((func, field, window, kind))) => {
+                write!(f, "SELECT {func}({})", field.as_deref().unwrap_or("*"))?;
+                write_from(f, node)?;
+                write_where(f, &conditions)?;
+                write!(f, " WINDOW {window}")?;
+                if *kind == WindowKind::Tumbling {
+                    write!(f, " TUMBLING")?;
+                }
+                Ok(())
+            }
+            (Some(fields), None) => {
+                write!(f, "SELECT {}", fields.join(", "))?;
+                write_from(f, node)?;
+                write_where(f, &conditions)
+            }
+            (None, None) => {
+                write!(f, "SELECT *")?;
+                write_from(f, node)?;
+                write_where(f, &conditions)
+            }
+        }
+    }
+}
+
+fn write_from(f: &mut fmt::Formatter<'_>, node: &LogicalPlan) -> fmt::Result {
+    match node {
+        LogicalPlan::Source { stream } => write!(f, " FROM {stream}"),
+        LogicalPlan::WindowJoin {
+            left,
+            right,
+            on,
+            window,
+        } => {
+            write_from_side(f, left, " FROM")?;
+            write_from_side(f, right, " JOIN")?;
+            write!(f, " ON {on} WINDOW {window}")
+        }
+        other => write!(f, " FROM <{other:?}>"),
+    }
+}
+
+fn write_from_side(f: &mut fmt::Formatter<'_>, node: &LogicalPlan, kw: &str) -> fmt::Result {
+    match node {
+        LogicalPlan::Source { stream } => write!(f, "{kw} {stream}"),
+        other => write!(f, "{kw} <{other:?}>"),
+    }
+}
+
+fn write_where(f: &mut fmt::Formatter<'_>, conditions: &[&Condition]) -> fmt::Result {
+    for (i, c) in conditions.iter().enumerate() {
+        let kw = if i == 0 { " WHERE" } else { " AND" };
+        write!(f, "{kw} {c}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_the_expected_tree() {
+        let plan = LogicalPlan::source("Trades")
+            .filter("qty", CmpOp::Gt, 5)
+            .filter("sym", CmpOp::Lt, 100);
+        let LogicalPlan::Filter { input, conditions } = &plan else {
+            panic!("expected filter, got {plan:?}");
+        };
+        assert_eq!(conditions.len(), 2, "filters merge into one conjunction");
+        assert_eq!(**input, LogicalPlan::source("trades"));
+    }
+
+    #[test]
+    fn source_streams_walks_joins() {
+        let plan = LogicalPlan::source("a")
+            .join(LogicalPlan::source("b"), "k", 8)
+            .filter("k", CmpOp::Ge, 1);
+        assert_eq!(plan.source_streams(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_matches_the_fqp_grammar() {
+        let plan = LogicalPlan::source("trades")
+            .join(LogicalPlan::source("quotes"), "sym", 64)
+            .filter("qty", CmpOp::Gt, 10);
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "SELECT * FROM trades JOIN quotes ON sym WINDOW 64 WHERE qty > 10"
+        );
+
+        let agg = LogicalPlan::source("trades").aggregate(
+            AggFunc::Sum,
+            Some("qty"),
+            32,
+            WindowKind::Tumbling,
+        );
+        assert_eq!(agg.to_string(), "SELECT SUM(qty) FROM trades WINDOW 32 TUMBLING");
+    }
+
+    #[test]
+    fn single_stream_display_round_trips_through_the_parser() {
+        let plan = LogicalPlan::source("trades").filter("qty", CmpOp::Gt, 10);
+        let parsed = fqp::query::Query::parse(&plan.to_string()).unwrap();
+        assert_eq!(parsed.from, "trades");
+        assert_eq!(parsed.conditions.len(), 1);
+    }
+}

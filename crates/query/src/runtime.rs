@@ -1,0 +1,1120 @@
+//! The multi-tenant standing-query runtime.
+//!
+//! A [`QueryRuntime`] admits compiled standing queries, shares one
+//! physical join engine between every query over the same stream pair
+//! and window (see [`GroupKey`]), routes arrivals, fans drained matches
+//! through each query's post pipeline, and supports *live re-planning*:
+//! swapping a group's engine mid-run without losing a single result.
+//!
+//! # Sharing model
+//!
+//! Window contents are raw arrivals (CQL semantics — see
+//! [`crate::logical`]), so two queries
+//! `trades ⋈ quotes WINDOW 1024 WHERE qty > 10` and
+//! `… WHERE px < 50` need exactly the same join work. The runtime keeps
+//! one engine per [`GroupKey`] and applies each query's
+//! [`PostPipeline`](crate::compile::PostPipeline) to the shared match
+//! stream, so N standing queries cost one engine's worker pool, not N.
+//!
+//! # Re-planning without loss
+//!
+//! [`QueryRuntime::replan`] performs drain-and-handoff:
+//!
+//! 1. flush + [`drain_results`](joinsw::StreamJoin::drain_results) the
+//!    old engine (the drain barrier guarantees the collector caught up
+//!    with every result the workers handed off) and fan the harvest out;
+//! 2. shut the old engine down and verify completeness: total-ever
+//!    result count equals drained + residual, nothing orphaned, nothing
+//!    dropped;
+//! 3. spawn the new engine and *replay* the runtime's shadow windows —
+//!    the last `window` arrivals per stream, re-interleaved into their
+//!    original arrival order — through its ordinary `process` path, so
+//!    the new engine's windows are exactly the old engine's. The replay
+//!    re-produces matches between shadow tuples; every one of them was
+//!    already delivered by the old engine (both endpoints arrived, and
+//!    the later probed the earlier inside the window), so the runtime
+//!    drains and discards them, keeping each query's result stream an
+//!    exact continuation.
+//!
+//! The returned [`HandoffReport`] carries the full accounting;
+//! [`HandoffReport::lossless`] is the zero-lost-tuples check.
+//!
+//! # Exactness and the handshake chain
+//!
+//! Joined results must equal a single-query reference run tuple for
+//! tuple. SplitJoin and the baseline are exact under pipelined feeding;
+//! the handshake chain is exact only when waves are serialized (see
+//! `joinsw::handshake`'s equivalence tests), so the runtime flushes
+//! handshake groups after every arrival — which suits the engine's
+//! role: placement only chooses it when minimizing latency.
+//!
+//! # Telemetry
+//!
+//! Every query publishes `query.<id>.rows` / `query.<id>.matches_in` /
+//! `query.<id>.replans` counters and every group
+//! `group.<key>.arrivals` / `group.<key>.drained` into the runtime's
+//! [`LiveRegistry`](obs::live::LiveRegistry) (see
+//! [`QueryRuntime::live`]), and [`QueryRuntime::finish`] emits one
+//! [`RunManifest`](obs::RunManifest) per query.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use accel_error::JoinError;
+use fqp::placement::Objective;
+use fqp::plan::Catalog;
+use joinsw::handshake::{HandshakeConfig, HandshakeJoin};
+use joinsw::prelude::{BaselineJoin, JoinConfig, JoinSummary, SplitJoin, SplitJoinConfig, StreamJoin};
+use streamcore::{MatchPair, StreamTag, Tuple};
+
+use crate::compile::{compile, AggSpec, CompileError, CompiledQuery, EngineKind, GroupKey, Shape};
+use crate::logical::LogicalPlan;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Admission failed at compile time.
+    Compile(CompileError),
+    /// A query with this id is already admitted.
+    Duplicate {
+        /// The clashing id.
+        id: String,
+    },
+    /// No admitted query has this id.
+    Unknown {
+        /// The missing id.
+        id: String,
+    },
+    /// The operation only applies to joined queries.
+    NotJoined {
+        /// The single-stream query's id.
+        id: String,
+    },
+    /// An engine verb failed.
+    Engine(JoinError),
+    /// An engine's shutdown accounting did not balance: results were
+    /// produced that neither a drain nor the final outcome carried.
+    Completeness {
+        /// The group whose engine failed the check.
+        group: String,
+        /// Results the engine reports producing since spawn.
+        produced: u64,
+        /// Results actually delivered (drained + residual).
+        delivered: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "{e}"),
+            RuntimeError::Duplicate { id } => write!(f, "query {id:?} is already admitted"),
+            RuntimeError::Unknown { id } => write!(f, "no standing query {id:?}"),
+            RuntimeError::NotJoined { id } => {
+                write!(f, "query {id:?} runs inline (no join engine to re-plan)")
+            }
+            RuntimeError::Engine(e) => write!(f, "{e}"),
+            RuntimeError::Completeness {
+                group,
+                produced,
+                delivered,
+            } => write!(
+                f,
+                "group {group} engine produced {produced} results but only \
+                 {delivered} were delivered"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
+
+impl From<JoinError> for RuntimeError {
+    fn from(e: JoinError) -> Self {
+        RuntimeError::Engine(e)
+    }
+}
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker-pool size shared by every spawned engine.
+    pub cores: usize,
+    /// Placement objective used when compiling admitted queries.
+    pub objective: Objective,
+}
+
+impl RuntimeConfig {
+    /// A pool of `cores` workers optimizing for throughput.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores,
+            objective: Objective::MaxThroughput,
+        }
+    }
+}
+
+/// Any physical engine behind one dispatchable surface. The
+/// [`StreamJoin`] trait has engine-specific associated types, so the
+/// runtime erases them with this enum rather than boxing.
+enum AnyEngine {
+    Baseline(Box<BaselineJoin>),
+    Split(Box<SplitJoin>),
+    Handshake(Box<HandshakeJoin>),
+}
+
+/// What an engine reports at shutdown, engine-erased.
+struct EngineOutcome {
+    residual: Vec<MatchPair>,
+    result_count: u64,
+    orphaned_tuples: u64,
+    results_dropped: u64,
+}
+
+impl AnyEngine {
+    /// Spawns an engine of `kind` with windows that realize `window`
+    /// exactly: the worker count is clamped to the largest pool divisor
+    /// of `window` so `effective_window == window` and shared-engine
+    /// results match a single-query reference run tuple for tuple.
+    fn spawn(kind: EngineKind, pool: usize, window: usize) -> Self {
+        let cores = (1..=pool.max(1)).rev().find(|c| window.is_multiple_of(*c)).unwrap_or(1);
+        match kind {
+            EngineKind::Baseline | EngineKind::Inline => {
+                AnyEngine::Baseline(Box::new(BaselineJoin::spawn(JoinConfig::new(1, window))))
+            }
+            EngineKind::Split => {
+                AnyEngine::Split(Box::new(SplitJoin::spawn(SplitJoinConfig::new(cores, window))))
+            }
+            EngineKind::Handshake => {
+                AnyEngine::Handshake(Box::new(HandshakeJoin::spawn(HandshakeConfig::new(cores, window))))
+            }
+        }
+    }
+
+    fn process(&self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
+        match self {
+            AnyEngine::Baseline(e) => e.process(tag, tuple),
+            AnyEngine::Split(e) => e.process(tag, tuple),
+            AnyEngine::Handshake(e) => e.process(tag, tuple),
+        }
+    }
+
+    fn flush(&self) -> Result<(), JoinError> {
+        match self {
+            AnyEngine::Baseline(e) => e.flush(),
+            AnyEngine::Split(e) => e.flush(),
+            AnyEngine::Handshake(e) => e.flush(),
+        }
+    }
+
+    fn drain_results(&self) -> Result<Vec<MatchPair>, JoinError> {
+        match self {
+            AnyEngine::Baseline(e) => e.drain_results(),
+            AnyEngine::Split(e) => e.drain_results(),
+            AnyEngine::Handshake(e) => e.drain_results(),
+        }
+    }
+
+    fn shutdown(self) -> Result<EngineOutcome, JoinError> {
+        fn erase<O: JoinSummary>(outcome: O) -> EngineOutcome {
+            EngineOutcome {
+                residual: outcome.results().to_vec(),
+                result_count: outcome.result_count(),
+                orphaned_tuples: outcome.fault().orphaned_tuples,
+                results_dropped: outcome.fault().results_dropped,
+            }
+        }
+        match self {
+            AnyEngine::Baseline(e) => e.shutdown().map(erase),
+            AnyEngine::Split(e) => e.shutdown().map(erase),
+            AnyEngine::Handshake(e) => e.shutdown().map(erase),
+        }
+    }
+}
+
+/// One engine shared by every query over the same [`GroupKey`].
+struct EngineGroup {
+    key: GroupKey,
+    engine: AnyEngine,
+    kind: EngineKind,
+    members: Vec<String>,
+    /// Last `window` arrivals per stream, each stamped with its global
+    /// arrival sequence number — the handoff replay source
+    /// (re-interleaved by stamp to reproduce arrival order).
+    shadow_r: VecDeque<(u64, Tuple)>,
+    shadow_s: VecDeque<(u64, Tuple)>,
+    /// Global arrival counter stamping the shadows.
+    seq: u64,
+    /// Results harvested from the *current* engine since it spawned.
+    drained_since_spawn: u64,
+    replans: u64,
+    arrivals: obs::live::SharedCounter,
+    drained: obs::live::SharedCounter,
+}
+
+impl EngineGroup {
+    fn push(&mut self, tag: StreamTag, tuple: Tuple) -> Result<(), JoinError> {
+        self.engine.process(tag, tuple)?;
+        // The handshake chain is only exact when waves are serialized —
+        // see the module docs.
+        if self.kind == EngineKind::Handshake {
+            self.engine.flush()?;
+        }
+        let shadow = match tag {
+            StreamTag::R => &mut self.shadow_r,
+            StreamTag::S => &mut self.shadow_s,
+        };
+        shadow.push_back((self.seq, tuple));
+        self.seq += 1;
+        if shadow.len() > self.key.window {
+            shadow.pop_front();
+        }
+        self.arrivals.incr();
+        Ok(())
+    }
+
+    /// The shadows merged back into arrival order.
+    fn replay_sequence(&self) -> Vec<(StreamTag, Tuple)> {
+        let mut merged: Vec<(u64, StreamTag, Tuple)> = self
+            .shadow_r
+            .iter()
+            .map(|&(seq, t)| (seq, StreamTag::R, t))
+            .chain(self.shadow_s.iter().map(|&(seq, t)| (seq, StreamTag::S, t)))
+            .collect();
+        merged.sort_unstable_by_key(|&(seq, _, _)| seq);
+        merged.into_iter().map(|(_, tag, t)| (tag, t)).collect()
+    }
+
+    fn metric_key(key: &GroupKey) -> String {
+        format!("{}_{}_w{}", key.left, key.right, key.window)
+    }
+}
+
+/// The windowed-aggregate execution state of a single-stream query.
+struct AggState {
+    spec: AggSpec,
+    values: VecDeque<u64>,
+}
+
+impl AggState {
+    fn push(&mut self, v: u64) -> Option<u64> {
+        use fqp::query::WindowKind;
+        self.values.push_back(v);
+        match self.spec.kind {
+            WindowKind::Sliding => {
+                if self.values.len() > self.spec.window {
+                    self.values.pop_front();
+                }
+                Some(self.eval())
+            }
+            WindowKind::Tumbling => {
+                if self.values.len() == self.spec.window {
+                    let out = self.eval();
+                    self.values.clear();
+                    Some(out)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn eval(&self) -> u64 {
+        use fqp::query::AggFunc;
+        let n = self.values.len() as u64;
+        match self.spec.func {
+            AggFunc::Count => n,
+            AggFunc::Sum => self.values.iter().sum(),
+            AggFunc::Min => self.values.iter().copied().min().unwrap_or(0),
+            AggFunc::Max => self.values.iter().copied().max().unwrap_or(0),
+            AggFunc::Avg => self.values.iter().sum::<u64>().checked_div(n).unwrap_or(0),
+        }
+    }
+}
+
+/// One admitted standing query.
+struct Standing {
+    compiled: CompiledQuery,
+    rows: Vec<Vec<u64>>,
+    agg: Option<AggState>,
+    /// Records fanned in (plain count — authoritative for reports even
+    /// when the `obs` feature compiles the live counters to no-ops).
+    seen: u64,
+    /// Rows emitted (plain count, same reasoning).
+    emitted: u64,
+    matches_in: obs::live::SharedCounter,
+    rows_out: obs::live::SharedCounter,
+    replans: u64,
+}
+
+impl Standing {
+    /// Fans one full-record value vector through the post pipeline.
+    fn feed(&mut self, values: &[u64]) {
+        self.seen += 1;
+        self.matches_in.incr();
+        let post = match &self.compiled.shape {
+            Shape::Single { post, .. } | Shape::Joined { post, .. } => post,
+        };
+        if let Some(agg) = &mut self.agg {
+            // Aggregates: filter, then fold the selected field.
+            if !post.conditions.iter().all(|c| c.eval(values)) {
+                return;
+            }
+            let v = agg.spec.field.map_or(1, |i| values[i]);
+            if let Some(out) = agg.push(v) {
+                self.rows.push(vec![out]);
+                self.emitted += 1;
+                self.rows_out.incr();
+            }
+        } else if let Some(row) = post.apply(values) {
+            self.rows.push(row);
+            self.emitted += 1;
+            self.rows_out.incr();
+        }
+    }
+}
+
+/// The accounting of one drain-and-handoff re-plan. All counts are for
+/// the group's *old* engine unless stated otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffReport {
+    /// The re-planned group.
+    pub group: GroupKey,
+    /// Engine before the handoff.
+    pub from: EngineKind,
+    /// Engine after the handoff.
+    pub to: EngineKind,
+    /// Results harvested by the handoff's final drain.
+    pub drained: u64,
+    /// Results the shutdown outcome still carried after that drain
+    /// (zero in a healthy handoff: nothing arrives between the drain
+    /// barrier and shutdown).
+    pub residual: u64,
+    /// Total results the old engine produced over its whole life.
+    pub produced_total: u64,
+    /// Total results delivered to queries over the engine's life
+    /// (earlier drains + final drain + residual).
+    pub delivered_total: u64,
+    /// Window tuples orphaned by worker loss (0 unless faults were
+    /// injected).
+    pub orphaned_tuples: u64,
+    /// Results dropped on the engine's floor (0 unless faults).
+    pub results_dropped: u64,
+    /// Tuples replayed into the new engine's windows `(R, S)`.
+    pub prefilled: (usize, usize),
+    /// Matches the replay re-produced and the runtime discarded — each
+    /// one a duplicate of a result the old engine already delivered.
+    pub duplicates_discarded: u64,
+}
+
+impl HandoffReport {
+    /// `true` when the handoff lost nothing: every result the old
+    /// engine ever produced reached the standing queries, no window
+    /// tuple was orphaned, and the new engine's windows hold exactly
+    /// the old engine's contents.
+    pub fn lossless(&self) -> bool {
+        self.produced_total == self.delivered_total
+            && self.orphaned_tuples == 0
+            && self.results_dropped == 0
+    }
+}
+
+impl fmt::Display for HandoffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {}, drained {} (+{} residual) of {} produced, \
+             prefilled {}R/{}S{}",
+            self.group,
+            self.from,
+            self.to,
+            self.drained,
+            self.residual,
+            self.produced_total,
+            self.prefilled.0,
+            self.prefilled.1,
+            if self.lossless() { ", lossless" } else { ", LOSSY" }
+        )
+    }
+}
+
+/// Final per-query accounting, with its archival manifest.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The query id.
+    pub id: String,
+    /// Engine the query ran on at the end.
+    pub engine: EngineKind,
+    /// Sharing group, for joined queries.
+    pub group: Option<GroupKey>,
+    /// Output rows not yet taken via [`QueryRuntime::take_rows`].
+    pub rows: Vec<Vec<u64>>,
+    /// Records fanned into the query (arrivals or join matches).
+    pub matches_in: u64,
+    /// Output rows emitted over the query's life.
+    pub rows_emitted: u64,
+    /// Re-plans this query lived through.
+    pub replans: u64,
+    /// The per-query archival manifest (`query_<id>`), carrying the
+    /// query text, engine, group, and counters.
+    pub manifest: obs::RunManifest,
+}
+
+/// The multi-tenant standing-query runtime. See the module docs for the
+/// sharing and re-planning model.
+pub struct QueryRuntime {
+    catalog: Catalog,
+    config: RuntimeConfig,
+    live: obs::live::LiveRegistry,
+    groups: BTreeMap<GroupKey, EngineGroup>,
+    queries: BTreeMap<String, Standing>,
+}
+
+impl QueryRuntime {
+    /// Creates a runtime over `catalog`.
+    pub fn new(catalog: Catalog, config: RuntimeConfig) -> Self {
+        Self {
+            catalog,
+            config,
+            live: obs::live::LiveRegistry::new(),
+            groups: BTreeMap::new(),
+            queries: BTreeMap::new(),
+        }
+    }
+
+    /// The runtime's live-metric registry (`query.*` and `group.*`
+    /// series) — hand it to an [`obs::live::Sampler`] or scrape
+    /// endpoint to watch standing queries in flight.
+    pub fn live(&self) -> &obs::live::LiveRegistry {
+        &self.live
+    }
+
+    /// Admitted query ids, sorted.
+    pub fn query_ids(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of live engine groups (shared engines).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The engine a query currently runs on.
+    pub fn engine_of(&self, id: &str) -> Option<EngineKind> {
+        let q = self.queries.get(id)?;
+        match q.compiled.group() {
+            Some(key) => self.groups.get(key).map(|g| g.kind),
+            None => Some(EngineKind::Inline),
+        }
+    }
+
+    /// Compiles and admits a standing query under `id`. Joined queries
+    /// attach to an existing engine group when one matches their
+    /// [`GroupKey`] (the group keeps its current engine); otherwise the
+    /// compiled engine choice is spawned. Returns the engine the query
+    /// runs on.
+    ///
+    /// A query admitted after arrivals have already flowed only sees
+    /// matches from its admission point onward (its group's windows are
+    /// shared, its result stream starts now).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Duplicate`] for an id collision, or any
+    /// [`CompileError`] via [`RuntimeError::Compile`].
+    pub fn admit(&mut self, id: &str, logical: &LogicalPlan) -> Result<EngineKind, RuntimeError> {
+        if self.queries.contains_key(id) {
+            return Err(RuntimeError::Duplicate { id: id.to_string() });
+        }
+        let compiled = compile(logical, &self.catalog, self.config.cores, self.config.objective)?;
+        let engine = match &compiled.shape {
+            Shape::Single { .. } => EngineKind::Inline,
+            Shape::Joined { key, .. } => {
+                if let Some(group) = self.groups.get_mut(key) {
+                    group.members.push(id.to_string());
+                    group.kind
+                } else {
+                    let metric = EngineGroup::metric_key(key);
+                    let group = EngineGroup {
+                        key: key.clone(),
+                        engine: AnyEngine::spawn(compiled.engine, self.config.cores, key.window),
+                        kind: compiled.engine,
+                        members: vec![id.to_string()],
+                        shadow_r: VecDeque::with_capacity(key.window + 1),
+                        shadow_s: VecDeque::with_capacity(key.window + 1),
+                        seq: 0,
+                        drained_since_spawn: 0,
+                        replans: 0,
+                        arrivals: self.live.counter(&format!("group.{metric}.arrivals")),
+                        drained: self.live.counter(&format!("group.{metric}.drained")),
+                    };
+                    self.groups.insert(key.clone(), group);
+                    compiled.engine
+                }
+            }
+        };
+        let agg = match &compiled.shape {
+            Shape::Single {
+                aggregate: Some(spec),
+                ..
+            } => Some(AggState {
+                spec: *spec,
+                values: VecDeque::new(),
+            }),
+            _ => None,
+        };
+        self.queries.insert(
+            id.to_string(),
+            Standing {
+                compiled,
+                rows: Vec::new(),
+                agg,
+                seen: 0,
+                emitted: 0,
+                matches_in: self.live.counter(&format!("query.{id}.matches_in")),
+                rows_out: self.live.counter(&format!("query.{id}.rows")),
+                replans: 0,
+            },
+        );
+        Ok(engine)
+    }
+
+    /// Routes one arrival on `stream` to every standing query and
+    /// engine group that consumes it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Engine`] when an engine rejects the tuple.
+    pub fn push(&mut self, stream: &str, tuple: Tuple) -> Result<(), RuntimeError> {
+        let stream = stream.to_ascii_lowercase();
+        for group in self.groups.values_mut() {
+            if group.key.left == stream {
+                group.push(StreamTag::R, tuple)?;
+            }
+            if group.key.right == stream {
+                group.push(StreamTag::S, tuple)?;
+            }
+        }
+        for q in self.queries.values_mut() {
+            if let Shape::Single {
+                stream: s, arity, ..
+            } = &q.compiled.shape
+            {
+                if *s == stream {
+                    let values = [tuple.key() as u64, tuple.payload() as u64];
+                    let arity = *arity;
+                    q.feed(&values[..arity]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes a batch of arrivals on `stream`.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryRuntime::push`].
+    pub fn push_batch(&mut self, stream: &str, tuples: &[Tuple]) -> Result<(), RuntimeError> {
+        for &t in tuples {
+            self.push(stream, t)?;
+        }
+        Ok(())
+    }
+
+    /// Harvests every group engine's pending matches and fans them
+    /// through the member queries' post pipelines. Returns the total
+    /// number of matches drained.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Engine`] — including
+    /// [`JoinError::DrainStalled`]
+    /// if a collector fails to catch up with its workers.
+    pub fn poll(&mut self) -> Result<u64, RuntimeError> {
+        let mut total = 0;
+        let keys: Vec<GroupKey> = self.groups.keys().cloned().collect();
+        for key in keys {
+            total += self.drain_group(&key)?;
+        }
+        Ok(total)
+    }
+
+    fn drain_group(&mut self, key: &GroupKey) -> Result<u64, RuntimeError> {
+        let group = self.groups.get_mut(key).expect("caller verified the group");
+        let matches = group.engine.drain_results()?;
+        group.drained_since_spawn += matches.len() as u64;
+        group.drained.add(matches.len() as u64);
+        let members = group.members.clone();
+        self.fan_out(&members, &matches);
+        Ok(matches.len() as u64)
+    }
+
+    fn fan_out(&mut self, members: &[String], matches: &[MatchPair]) {
+        for id in members {
+            let Some(q) = self.queries.get_mut(id) else { continue };
+            let Shape::Joined {
+                left_arity,
+                right_arity,
+                ..
+            } = q.compiled.shape
+            else {
+                continue;
+            };
+            let mut values = [0u64; 4];
+            for m in matches {
+                let left = [m.r.key() as u64, m.r.payload() as u64];
+                let right = [m.s.key() as u64, m.s.payload() as u64];
+                values[..left_arity].copy_from_slice(&left[..left_arity]);
+                values[left_arity..left_arity + right_arity]
+                    .copy_from_slice(&right[..right_arity]);
+                q.feed(&values[..left_arity + right_arity]);
+            }
+        }
+    }
+
+    /// Takes the rows a query has produced since the last take.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] for an unadmitted id.
+    pub fn take_rows(&mut self, id: &str) -> Result<Vec<Vec<u64>>, RuntimeError> {
+        let q = self.queries.get_mut(id).ok_or_else(|| RuntimeError::Unknown {
+            id: id.to_string(),
+        })?;
+        Ok(std::mem::take(&mut q.rows))
+    }
+
+    /// Re-plans a joined query's group onto the engine `objective`
+    /// prefers, using drain-and-handoff (see the module docs). Every
+    /// member query of the group moves with it. Returns the handoff
+    /// accounting; a no-op handoff (same engine) still drains and
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`], [`RuntimeError::NotJoined`] for
+    /// inline queries, [`RuntimeError::Engine`] on a failed verb, or
+    /// [`RuntimeError::Completeness`] if the old engine's accounting
+    /// does not balance.
+    pub fn replan(&mut self, id: &str, objective: Objective) -> Result<HandoffReport, RuntimeError> {
+        let q = self.queries.get(id).ok_or_else(|| RuntimeError::Unknown {
+            id: id.to_string(),
+        })?;
+        let key = q
+            .compiled
+            .group()
+            .ok_or_else(|| RuntimeError::NotJoined { id: id.to_string() })?
+            .clone();
+        let target = compile(&q.compiled.logical, &self.catalog, self.config.cores, objective)?
+            .engine;
+
+        // 1. Drain the old engine and fan the harvest out.
+        let drained = self.drain_group(&key)?;
+        let group = self.groups.get_mut(&key).expect("drained above");
+        let from = group.kind;
+        let delivered_before = group.drained_since_spawn;
+
+        // 2. Shut it down and verify completeness. The residual is
+        // whatever slipped between the drain barrier and shutdown
+        // (nothing, absent concurrent pushes); it is fanned out too, so
+        // it is delivered, not lost.
+        let engine = std::mem::replace(
+            &mut group.engine,
+            AnyEngine::spawn(target, self.config.cores, key.window),
+        );
+        group.kind = target;
+        group.drained_since_spawn = 0;
+        group.replans += 1;
+        let outcome = engine.shutdown()?;
+        let members = group.members.clone();
+        let replay = group.replay_sequence();
+        let prefilled = (group.shadow_r.len(), group.shadow_s.len());
+        self.fan_out(&members, &outcome.residual);
+        let delivered_total = delivered_before + outcome.residual.len() as u64;
+        if delivered_total != outcome.result_count {
+            return Err(RuntimeError::Completeness {
+                group: key.to_string(),
+                produced: outcome.result_count,
+                delivered: delivered_total,
+            });
+        }
+
+        // 3. Replay the shadow through the new engine in original
+        // arrival order, then discard the duplicate matches it
+        // re-produces (already delivered by the old engine — see the
+        // module docs). After this the new engine's windows are exactly
+        // the old engine's and its result stream continues seamlessly.
+        let group = self.groups.get_mut(&key).expect("still present");
+        for &(tag, tuple) in &replay {
+            group.engine.process(tag, tuple)?;
+            if group.kind == EngineKind::Handshake {
+                group.engine.flush()?;
+            }
+        }
+        let duplicates = group.engine.drain_results()?;
+        group.drained_since_spawn += duplicates.len() as u64;
+
+        for id in &members {
+            if let Some(q) = self.queries.get_mut(id) {
+                q.compiled.engine = target;
+                q.replans += 1;
+                self.live.counter(&format!("query.{id}.replans")).incr();
+            }
+        }
+
+        Ok(HandoffReport {
+            group: key,
+            from,
+            to: target,
+            drained,
+            residual: outcome.residual.len() as u64,
+            produced_total: outcome.result_count,
+            delivered_total,
+            orphaned_tuples: outcome.orphaned_tuples,
+            results_dropped: outcome.results_dropped,
+            prefilled,
+            duplicates_discarded: duplicates.len() as u64,
+        })
+    }
+
+    /// Cancels a standing query. When it was the last member of its
+    /// engine group, the group's engine is drained (the final harvest
+    /// still reaches the query's report) and shut down with the same
+    /// completeness check as [`QueryRuntime::finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`], [`RuntimeError::Engine`], or
+    /// [`RuntimeError::Completeness`].
+    pub fn cancel(&mut self, id: &str) -> Result<QueryReport, RuntimeError> {
+        if !self.queries.contains_key(id) {
+            return Err(RuntimeError::Unknown { id: id.to_string() });
+        }
+        let key = self.queries[id].compiled.group().cloned();
+        if let Some(key) = &key {
+            self.drain_group(key)?;
+            let group = self.groups.get_mut(key).expect("member implies group");
+            group.members.retain(|m| m != id);
+            if group.members.is_empty() {
+                let group = self.groups.remove(key).expect("present");
+                let delivered = group.drained_since_spawn;
+                let outcome = group.engine.shutdown()?;
+                // The last member is gone, so the residual has no
+                // audience — but it must still balance the books.
+                let delivered = delivered + outcome.residual.len() as u64;
+                if delivered != outcome.result_count {
+                    return Err(RuntimeError::Completeness {
+                        group: key.to_string(),
+                        produced: outcome.result_count,
+                        delivered,
+                    });
+                }
+            }
+        }
+        let q = self.queries.remove(id).expect("checked above");
+        Ok(self.report(id, q))
+    }
+
+    /// Drains and shuts down every engine, verifies completeness, and
+    /// returns one [`QueryReport`] (with archival manifest) per query,
+    /// sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Engine`] or [`RuntimeError::Completeness`].
+    pub fn finish(mut self) -> Result<Vec<QueryReport>, RuntimeError> {
+        let keys: Vec<GroupKey> = self.groups.keys().cloned().collect();
+        for key in keys {
+            self.drain_group(&key)?;
+            let group = self.groups.remove(&key).expect("just listed");
+            let members = group.members.clone();
+            let delivered_before = group.drained_since_spawn;
+            let outcome = group.engine.shutdown()?;
+            self.fan_out(&members, &outcome.residual);
+            let delivered = delivered_before + outcome.residual.len() as u64;
+            if delivered != outcome.result_count {
+                return Err(RuntimeError::Completeness {
+                    group: key.to_string(),
+                    produced: outcome.result_count,
+                    delivered,
+                });
+            }
+        }
+        let queries = std::mem::take(&mut self.queries);
+        Ok(queries
+            .into_iter()
+            .map(|(id, q)| self.report(&id, q))
+            .collect())
+    }
+
+    fn report(&self, id: &str, q: Standing) -> QueryReport {
+        let engine = match q.compiled.group() {
+            Some(key) => self
+                .groups
+                .get(key)
+                .map_or(q.compiled.engine, |g| g.kind),
+            None => EngineKind::Inline,
+        };
+        let mut manifest = obs::RunManifest::new(format!("query_{id}"));
+        manifest.config("query", &q.compiled.logical);
+        manifest.config("engine", engine);
+        manifest.config("objective", format!("{:?}", self.config.objective));
+        manifest.config("cores", self.config.cores);
+        if let Some(key) = q.compiled.group() {
+            manifest.config("group", key);
+        }
+        manifest.counter(format!("query.{id}.matches_in"), q.seen);
+        manifest.counter(format!("query.{id}.rows"), q.emitted);
+        manifest.counter(format!("query.{id}.replans"), q.replans);
+        QueryReport {
+            id: id.to_string(),
+            engine,
+            group: q.compiled.group().cloned(),
+            matches_in: q.seen,
+            rows_emitted: q.emitted,
+            replans: q.replans,
+            rows: q.rows,
+            manifest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqp::query::{AggFunc, CmpOp, WindowKind};
+    use joinsw::baseline::reference_join;
+    use streamcore::JoinPredicate;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_spec("trades=sym:32,qty:32").unwrap();
+        c.register_spec("quotes=sym:32,px:32").unwrap();
+        c
+    }
+
+    fn runtime(cores: usize) -> QueryRuntime {
+        QueryRuntime::new(catalog(), RuntimeConfig::new(cores))
+    }
+
+    fn joined() -> LogicalPlan {
+        LogicalPlan::source("trades").join(LogicalPlan::source("quotes"), "sym", 16)
+    }
+
+    /// Deterministic interleaved workload over both streams.
+    fn workload(tuples: usize, domain: u32) -> Vec<(StreamTag, Tuple)> {
+        use streamcore::workload::{KeyDist, WorkloadSpec};
+        WorkloadSpec::new(tuples, KeyDist::Zipf { domain, s: 0.8 })
+            .with_seed(7)
+            .generate()
+            .collect()
+    }
+
+    fn feed(rt: &mut QueryRuntime, inputs: &[(StreamTag, Tuple)]) {
+        for &(tag, t) in inputs {
+            let stream = match tag {
+                StreamTag::R => "trades",
+                StreamTag::S => "quotes",
+            };
+            rt.push(stream, t).unwrap();
+        }
+    }
+
+    fn sorted(mut rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn shared_group_fans_matches_through_each_query() {
+        let mut rt = runtime(4);
+        rt.admit("all", &joined()).unwrap();
+        rt.admit("big", &joined().filter("qty", CmpOp::Gt, 500)).unwrap();
+        rt.admit("slim", &joined().project(["qty", "px"])).unwrap();
+        assert_eq!(rt.group_count(), 1, "all three share one engine");
+
+        let inputs = workload(400, 24);
+        feed(&mut rt, &inputs);
+        let reports = rt.finish().unwrap();
+
+        let reference = reference_join(&inputs, 16, JoinPredicate::Equi);
+        let whole: Vec<Vec<u64>> = reference
+            .iter()
+            .map(|m| {
+                vec![
+                    m.r.key() as u64,
+                    m.r.payload() as u64,
+                    m.s.key() as u64,
+                    m.s.payload() as u64,
+                ]
+            })
+            .collect();
+        assert!(!whole.is_empty(), "workload produced no matches");
+
+        let by_id: BTreeMap<&str, &QueryReport> =
+            reports.iter().map(|r| (r.id.as_str(), r)).collect();
+        assert_eq!(sorted(by_id["all"].rows.clone()), sorted(whole.clone()));
+        assert_eq!(
+            sorted(by_id["big"].rows.clone()),
+            sorted(whole.iter().filter(|v| v[1] > 500).cloned().collect())
+        );
+        assert_eq!(
+            sorted(by_id["slim"].rows.clone()),
+            sorted(whole.iter().map(|v| vec![v[1], v[3]]).collect())
+        );
+    }
+
+    #[test]
+    fn replan_is_lossless_and_preserves_equivalence() {
+        let mut rt = runtime(4);
+        rt.admit("q", &joined()).unwrap();
+        assert_eq!(rt.engine_of("q"), Some(EngineKind::Split));
+
+        let inputs = workload(600, 16);
+        let (first, rest) = inputs.split_at(300);
+        feed(&mut rt, first);
+        let handoff = rt.replan("q", Objective::MinLatency).unwrap();
+        assert!(handoff.lossless(), "{handoff}");
+        assert_eq!(handoff.to, EngineKind::Handshake);
+        assert_eq!(rt.engine_of("q"), Some(EngineKind::Handshake));
+        assert_eq!(handoff.prefilled, (
+            first.iter().filter(|(t, _)| *t == StreamTag::R).count().min(16),
+            first.iter().filter(|(t, _)| *t == StreamTag::S).count().min(16),
+        ));
+        feed(&mut rt, rest);
+
+        let reports = rt.finish().unwrap();
+        let reference = reference_join(&inputs, 16, JoinPredicate::Equi);
+        let want: Vec<Vec<u64>> = reference
+            .iter()
+            .map(|m| {
+                vec![
+                    m.r.key() as u64,
+                    m.r.payload() as u64,
+                    m.s.key() as u64,
+                    m.s.payload() as u64,
+                ]
+            })
+            .collect();
+        assert_eq!(sorted(reports[0].rows.clone()), sorted(want));
+        assert_eq!(reports[0].replans, 1);
+    }
+
+    #[test]
+    fn single_stream_pipelines_run_inline() {
+        let mut rt = runtime(2);
+        rt.admit(
+            "hot",
+            &LogicalPlan::source("trades")
+                .filter("qty", CmpOp::Gt, 10)
+                .project(["sym"]),
+        )
+        .unwrap();
+        rt.admit(
+            "volume",
+            &LogicalPlan::source("trades").aggregate(
+                AggFunc::Sum,
+                Some("qty"),
+                4,
+                WindowKind::Tumbling,
+            ),
+        )
+        .unwrap();
+        assert_eq!(rt.group_count(), 0);
+
+        for (i, qty) in [5u32, 20, 30, 40].iter().enumerate() {
+            rt.push("trades", Tuple::new(i as u32, *qty)).unwrap();
+        }
+        assert_eq!(rt.take_rows("hot").unwrap(), vec![vec![1], vec![2], vec![3]]);
+        // Tumbling SUM over the unfiltered arrivals: one row per 4.
+        assert_eq!(rt.take_rows("volume").unwrap(), vec![vec![95]]);
+    }
+
+    #[test]
+    fn duplicate_unknown_and_inline_replans_are_typed_errors() {
+        let mut rt = runtime(2);
+        rt.admit("q", &joined()).unwrap();
+        assert!(matches!(
+            rt.admit("q", &joined()),
+            Err(RuntimeError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            rt.take_rows("ghost"),
+            Err(RuntimeError::Unknown { .. })
+        ));
+        rt.admit("inline", &LogicalPlan::source("trades")).unwrap();
+        assert!(matches!(
+            rt.replan("inline", Objective::MinLatency),
+            Err(RuntimeError::NotJoined { .. })
+        ));
+        assert!(matches!(
+            rt.admit("bad", &LogicalPlan::source("nope")),
+            Err(RuntimeError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn cancel_detaches_and_reaps_empty_groups() {
+        let mut rt = runtime(2);
+        rt.admit("a", &joined()).unwrap();
+        rt.admit("b", &joined().filter("qty", CmpOp::Gt, 0)).unwrap();
+        assert_eq!(rt.group_count(), 1);
+
+        let inputs = workload(100, 8);
+        feed(&mut rt, &inputs);
+        let report = rt.cancel("a").unwrap();
+        assert!(report.matches_in > 0);
+        assert_eq!(rt.group_count(), 1, "b still holds the group");
+        let report = rt.cancel("b").unwrap();
+        assert_eq!(rt.group_count(), 0, "last member reaps the engine");
+        assert!(report.rows_emitted > 0);
+        assert!(rt.finish().unwrap().is_empty());
+    }
+
+    // Snapshot assertions need real live cells; without the `obs`
+    // feature every counter is a compiled-out no-op (report fields and
+    // manifests still carry the plain counts — see `Standing`).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn live_counters_and_manifests_are_tagged_per_query() {
+        let mut rt = runtime(2);
+        rt.admit("tagged", &joined()).unwrap();
+        let inputs = workload(120, 8);
+        feed(&mut rt, &inputs);
+        rt.poll().unwrap();
+
+        let snap = rt.live().snapshot();
+        assert!(snap.get("group.trades_quotes_w16.arrivals").unwrap() > 0);
+        assert!(snap.get("query.tagged.matches_in").unwrap() > 0);
+
+        let reports = rt.finish().unwrap();
+        let manifest = &reports[0].manifest;
+        assert_eq!(manifest.name(), "query_tagged");
+        let json = manifest.to_json();
+        assert!(json.contains("query.tagged.rows"), "{json}");
+        assert!(json.contains("trades"), "{json}");
+    }
+
+    #[test]
+    fn poll_mid_run_streams_rows_incrementally() {
+        let mut rt = runtime(2);
+        rt.admit("inc", &joined()).unwrap();
+        let inputs = workload(200, 8);
+        let mut seen = 0u64;
+        for chunk in inputs.chunks(50) {
+            feed(&mut rt, chunk);
+            rt.poll().unwrap();
+            seen += rt.take_rows("inc").unwrap().len() as u64;
+        }
+        let reports = rt.finish().unwrap();
+        let reference = reference_join(&inputs, 16, JoinPredicate::Equi);
+        assert_eq!(seen + reports[0].rows.len() as u64, reference.len() as u64);
+    }
+}

@@ -51,4 +51,30 @@ pub use hwsim;
 pub use obs;
 pub use joinhw;
 pub use joinsw;
+pub use query;
 pub use streamcore;
+
+/// The workspace-wide single import: the software-join surface
+/// ([`joinsw::prelude`]) together with the standing-query front end
+/// ([`query::prelude`]), which is all most programs driving the fabric
+/// need.
+///
+/// ```
+/// use accel_landscape::prelude::*;
+/// use accel_landscape::streamcore::Tuple;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register_spec("trades=sym:32,qty:32").unwrap();
+/// catalog.register_spec("quotes=sym:32,px:32").unwrap();
+/// let mut runtime = QueryRuntime::new(catalog, RuntimeConfig::new(2));
+/// let plan = LogicalPlan::source("trades")
+///     .join(LogicalPlan::source("quotes"), "sym", 8);
+/// runtime.admit("ticks", &plan).unwrap();
+/// runtime.push("trades", Tuple::new(1, 0)).unwrap();
+/// runtime.push("quotes", Tuple::new(1, 1)).unwrap();
+/// assert_eq!(runtime.finish().unwrap()[0].rows.len(), 1);
+/// ```
+pub mod prelude {
+    pub use joinsw::prelude::*;
+    pub use query::prelude::*;
+}
